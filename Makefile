@@ -1,0 +1,42 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build test test-race bench tools examples cover clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every experiment table (E1-E7, C1).
+tables:
+	$(GO) run ./cmd/discbench
+
+tools:
+	mkdir -p bin
+	$(GO) build -o bin/ ./cmd/...
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/gamestore
+	$(GO) run ./examples/downloadapp
+	$(GO) run ./examples/endtoend
+	$(GO) run ./examples/licensedplayback
+
+cover:
+	$(GO) test -coverprofile=cover.out ./...
+	$(GO) tool cover -func=cover.out | tail -1
+
+clean:
+	rm -rf bin cover.out test_output.txt bench_output.txt

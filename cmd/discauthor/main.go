@@ -1,0 +1,378 @@
+// Command discauthor assembles a protected disc image: cluster document
+// plus clip payloads plus permission request files, signed at the chosen
+// granularity, with optional post-signature encryption and a detached
+// clip signature. Together with discsign, disccrypt, and discplayer it
+// completes the CLI authoring chain:
+//
+//	discauthor build → (publish) → discplayer fetch → discplayer run
+//
+// Usage:
+//
+//	discauthor build -cluster cluster.xml -out disc.img -keys studio
+//	                 [-clips dir] [-perm app-1=perm.xml]
+//	                 [-level cluster] [-id X]
+//	                 [-encrypt "//manifest/code"] [-enckey <hex>]
+//	                 [-sign-clips]
+//	discauthor demo  -out disc.img -keys studio   # generate a demo disc
+//	discauthor inspect -image disc.img
+package main
+
+import (
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"discsec/internal/access"
+	"discsec/internal/core"
+	"discsec/internal/disc"
+	"discsec/internal/keymgmt"
+	"discsec/internal/player"
+	"discsec/internal/rights"
+	"discsec/internal/workload"
+	"discsec/internal/xmldom"
+	"discsec/internal/xmldsig"
+	"discsec/internal/xmlenc"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	var err error
+	switch os.Args[1] {
+	case "build":
+		err = cmdBuild(os.Args[2:])
+	case "demo":
+		err = cmdDemo(os.Args[2:])
+	case "inspect":
+		err = cmdInspect(os.Args[2:])
+	case "license":
+		err = cmdLicense(os.Args[2:])
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "discauthor:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: discauthor build|demo|inspect|license [flags]")
+	os.Exit(2)
+}
+
+// grantFlags collects repeated -grant principal:right:resource[:maxuses]
+// flags.
+type grantFlags []rights.Grant
+
+func (g *grantFlags) String() string { return fmt.Sprint([]rights.Grant(*g)) }
+
+func (g *grantFlags) Set(v string) error {
+	parts := strings.Split(v, ":")
+	if len(parts) < 3 || len(parts) > 4 {
+		return fmt.Errorf("-grant wants principal:right:resource[:maxuses], got %q", v)
+	}
+	grant := rights.Grant{
+		Principal: parts[0],
+		Right:     rights.Right(parts[1]),
+		Resource:  parts[2],
+	}
+	if len(parts) == 4 {
+		n, err := strconv.Atoi(parts[3])
+		if err != nil || n < 1 {
+			return fmt.Errorf("-grant maxuses %q must be a positive integer", parts[3])
+		}
+		grant.MaxUses = n
+	}
+	*g = append(*g, grant)
+	return nil
+}
+
+// cmdLicense creates a signed rights license and attaches it to a disc
+// image (or writes it to a file).
+func cmdLicense(args []string) error {
+	fs := flag.NewFlagSet("license", flag.ExitOnError)
+	keys := fs.String("keys", "", "rights issuer identity directory (required)")
+	imagePath := fs.String("image", "", "disc image to attach the license to (rewritten in place)")
+	out := fs.String("out", "", "write the signed license to this file instead of an image")
+	id := fs.String("id", "license-1", "license id")
+	var grants grantFlags
+	fs.Var(&grants, "grant", "principal:right:resource[:maxuses] (repeatable)")
+	fs.Parse(args)
+	if *keys == "" || len(grants) == 0 {
+		return fmt.Errorf("license requires -keys and at least one -grant")
+	}
+	if (*imagePath == "") == (*out == "") {
+		return fmt.Errorf("license requires exactly one of -image or -out")
+	}
+	identity, err := keymgmt.LoadIdentity(*keys)
+	if err != nil {
+		return err
+	}
+	lic := &rights.License{ID: *id, Issuer: identity.Name, Grants: grants}
+	doc := lic.Document()
+	if _, err := xmldsig.SignEnveloped(doc, doc.Root(), xmldsig.SignOptions{
+		Key:     identity.Key,
+		KeyInfo: xmldsig.KeyInfoSpec{KeyName: identity.Name, Certificates: identity.Chain},
+	}); err != nil {
+		return err
+	}
+	if *out != "" {
+		if err := os.WriteFile(*out, doc.Bytes(), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("signed license written to %s (%d grants)\n", *out, len(grants))
+		return nil
+	}
+	im, err := disc.LoadImageFile(*imagePath)
+	if err != nil {
+		return err
+	}
+	if err := im.Put(player.LicensePath, doc.Bytes()); err != nil {
+		return err
+	}
+	if err := im.SaveFile(*imagePath); err != nil {
+		return err
+	}
+	fmt.Printf("signed license attached to %s at %s (%d grants)\n", *imagePath, player.LicensePath, len(grants))
+	return nil
+}
+
+// permFlags collects repeated -perm manifestID=file flags.
+type permFlags map[string]string
+
+func (p permFlags) String() string { return fmt.Sprint(map[string]string(p)) }
+
+func (p permFlags) Set(v string) error {
+	parts := strings.SplitN(v, "=", 2)
+	if len(parts) != 2 {
+		return fmt.Errorf("-perm wants manifestID=file, got %q", v)
+	}
+	p[parts[0]] = parts[1]
+	return nil
+}
+
+// encryptFlags collects repeated -encrypt path flags.
+type encryptFlags []string
+
+func (e *encryptFlags) String() string { return strings.Join(*e, ",") }
+
+func (e *encryptFlags) Set(v string) error {
+	*e = append(*e, v)
+	return nil
+}
+
+func cmdBuild(args []string) error {
+	fs := flag.NewFlagSet("build", flag.ExitOnError)
+	clusterPath := fs.String("cluster", "", "cluster XML document")
+	out := fs.String("out", "disc.img", "output image file")
+	keys := fs.String("keys", "", "identity directory from 'discsign keygen' (omit to skip signing)")
+	clipsDir := fs.String("clips", "", "directory of .m2ts clip files (stored under CLIPS/)")
+	levelName := fs.String("level", "cluster", "signature granularity")
+	id := fs.String("id", "", "target Id for narrower levels")
+	encKeyHex := fs.String("enckey", "", "content encryption key, hex")
+	signClips := fs.Bool("sign-clips", false, "add a detached signature over all clips")
+	perms := permFlags{}
+	fs.Var(perms, "perm", "manifestID=permission-file (repeatable)")
+	var encPaths encryptFlags
+	fs.Var(&encPaths, "encrypt", "element query path to encrypt after signing (repeatable)")
+	fs.Parse(args)
+	if *clusterPath == "" {
+		return fmt.Errorf("build requires -cluster")
+	}
+
+	raw, err := os.ReadFile(*clusterPath)
+	if err != nil {
+		return err
+	}
+	cluster, err := disc.ParseClusterString(string(raw))
+	if err != nil {
+		return err
+	}
+
+	spec := core.PackageSpec{Cluster: cluster}
+
+	if len(perms) > 0 {
+		spec.PermissionRequests = map[string]*access.PermissionRequest{}
+		for mid, file := range perms {
+			prRaw, err := os.ReadFile(file)
+			if err != nil {
+				return err
+			}
+			pr, err := access.ParsePermissionRequestString(string(prRaw))
+			if err != nil {
+				return fmt.Errorf("%s: %w", file, err)
+			}
+			spec.PermissionRequests[mid] = pr
+		}
+	}
+
+	if *clipsDir != "" {
+		spec.Clips = map[string][]byte{}
+		entries, err := os.ReadDir(*clipsDir)
+		if err != nil {
+			return err
+		}
+		for _, e := range entries {
+			if e.IsDir() || !strings.HasSuffix(e.Name(), ".m2ts") {
+				continue
+			}
+			b, err := os.ReadFile(filepath.Join(*clipsDir, e.Name()))
+			if err != nil {
+				return err
+			}
+			spec.Clips["CLIPS/"+e.Name()] = b
+		}
+		fmt.Printf("loaded %d clips from %s\n", len(spec.Clips), *clipsDir)
+	}
+
+	var identity *keymgmt.Identity
+	if *keys != "" {
+		identity, err = keymgmt.LoadIdentity(*keys)
+		if err != nil {
+			return err
+		}
+		spec.Sign = true
+		if spec.SignLevel, err = levelByName(*levelName); err != nil {
+			return err
+		}
+		spec.SignID = *id
+	}
+	spec.SignClips = *signClips
+	if *signClips && !spec.Sign {
+		return fmt.Errorf("-sign-clips requires -keys")
+	}
+
+	if len(encPaths) > 0 {
+		if *encKeyHex == "" {
+			return fmt.Errorf("-encrypt requires -enckey")
+		}
+		key, err := hex.DecodeString(*encKeyHex)
+		if err != nil {
+			return fmt.Errorf("-enckey: %w", err)
+		}
+		spec.EncryptPaths = encPaths
+		spec.Encryption = xmlenc.EncryptOptions{Key: key}
+	}
+
+	p := &core.Protector{Identity: identity}
+	im, err := p.Package(spec)
+	if err != nil {
+		return err
+	}
+	if err := im.SaveFile(*out); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d payload bytes, %d files)\n", *out, im.Size(), len(im.Paths()))
+	return nil
+}
+
+// cmdDemo generates a self-contained demo disc, so the full CLI chain
+// can be exercised without hand-writing content.
+func cmdDemo(args []string) error {
+	fs := flag.NewFlagSet("demo", flag.ExitOnError)
+	out := fs.String("out", "disc.img", "output image file")
+	keys := fs.String("keys", "", "identity directory (required)")
+	fs.Parse(args)
+	if *keys == "" {
+		return fmt.Errorf("demo requires -keys (run 'discsign keygen' first)")
+	}
+	identity, err := keymgmt.LoadIdentity(*keys)
+	if err != nil {
+		return err
+	}
+	cluster, clips := workload.Cluster(workload.ClusterSpec{
+		AVTracks: 1, AppTracks: 1,
+		Manifest: workload.ManifestSpec{
+			Regions: 2, MediaItems: 4, ScriptStatements: 20, HighScoreEntries: 5,
+		},
+		ClipDurationMS: 500, ClipBitrateKbps: 4000, Seed: 42,
+	})
+	p := &core.Protector{Identity: identity}
+	im, err := p.Package(core.PackageSpec{
+		Cluster: cluster,
+		Clips:   clips,
+		PermissionRequests: map[string]*access.PermissionRequest{
+			"app-1": {AppID: "app-1", Permissions: []access.Permission{
+				{Name: access.PermGraphicsPlane},
+				{Name: access.PermLocalStorageRead, Target: "app-1/*"},
+				{Name: access.PermLocalStorageWrite, Target: "app-1/*"},
+			}},
+		},
+		Sign:      true,
+		SignLevel: core.LevelCluster,
+		SignClips: true,
+	})
+	if err != nil {
+		return err
+	}
+	if err := im.SaveFile(*out); err != nil {
+		return err
+	}
+	fmt.Printf("demo disc written to %s; run it with:\n", *out)
+	fmt.Printf("  discplayer run -image %s -roots <root.pem>\n", *out)
+	return nil
+}
+
+func cmdInspect(args []string) error {
+	fs := flag.NewFlagSet("inspect", flag.ExitOnError)
+	imagePath := fs.String("image", "", "disc image file")
+	fs.Parse(args)
+	if *imagePath == "" {
+		return fmt.Errorf("inspect requires -image")
+	}
+	im, err := disc.LoadImageFile(*imagePath)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("image: %d files, %d payload bytes\n", len(im.Paths()), im.Size())
+	for _, p := range im.Paths() {
+		b, _ := im.Get(p)
+		fmt.Printf("  %-40s %10d\n", p, len(b))
+	}
+	idx, err := im.ReadIndexDocumentBytes()
+	if err != nil {
+		return nil // image without index: listing is all we can do
+	}
+	doc, err := xmldom.ParseBytes(idx)
+	if err != nil {
+		return err
+	}
+	sigs := 0
+	encs := 0
+	doc.Root().Walk(func(n xmldom.Node) bool {
+		if e, ok := n.(*xmldom.Element); ok {
+			switch e.Local {
+			case "Signature":
+				sigs++
+			case "EncryptedData":
+				encs++
+			}
+		}
+		return true
+	})
+	fmt.Printf("index: %d signature(s), %d encrypted region(s)\n", sigs, encs)
+	return nil
+}
+
+func levelByName(s string) (core.Level, error) {
+	switch s {
+	case "cluster":
+		return core.LevelCluster, nil
+	case "track":
+		return core.LevelTrack, nil
+	case "manifest":
+		return core.LevelManifest, nil
+	case "markup":
+		return core.LevelMarkup, nil
+	case "code":
+		return core.LevelCode, nil
+	default:
+		return 0, fmt.Errorf("unknown level %q", s)
+	}
+}

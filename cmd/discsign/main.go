@@ -1,0 +1,189 @@
+// Command discsign signs and verifies disc cluster documents at the
+// paper's granularity levels (§5.2): cluster, track, manifest, markup,
+// code.
+//
+// Usage:
+//
+//	discsign keygen  -dir keys -name "Studio" [-root rootdir]
+//	discsign sign    -in cluster.xml -out signed.xml -keys keys [-level cluster] [-id app-1]
+//	discsign verify  -in signed.xml -roots root.pem [-require]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"discsec/internal/core"
+	"discsec/internal/keymgmt"
+	"discsec/internal/xmldom"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	var err error
+	switch os.Args[1] {
+	case "keygen":
+		err = cmdKeygen(os.Args[2:])
+	case "sign":
+		err = cmdSign(os.Args[2:])
+	case "verify":
+		err = cmdVerify(os.Args[2:])
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "discsign:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: discsign keygen|sign|verify [flags]")
+	os.Exit(2)
+}
+
+// cmdKeygen creates a root authority (or reuses one) and issues a
+// signing identity under it.
+func cmdKeygen(args []string) error {
+	fs := flag.NewFlagSet("keygen", flag.ExitOnError)
+	dir := fs.String("dir", "keys", "output directory for the identity")
+	name := fs.String("name", "Content Creator", "identity common name")
+	rootDir := fs.String("root", "", "existing root identity directory (default: create a new root next to -dir)")
+	fs.Parse(args)
+
+	var rootID *keymgmt.Identity
+	rootPath := *rootDir
+	if rootPath == "" {
+		rootPath = filepath.Join(filepath.Dir(*dir), "root")
+	}
+	if _, err := os.Stat(filepath.Join(rootPath, "key.pem")); err == nil {
+		var err error
+		rootID, err = keymgmt.LoadIdentity(rootPath)
+		if err != nil {
+			return fmt.Errorf("loading root: %w", err)
+		}
+		fmt.Printf("using existing root %q\n", rootID.Name)
+	}
+
+	var ca *keymgmt.CA
+	if rootID == nil {
+		newCA, err := keymgmt.NewRootCA("discsign root", keymgmt.ECDSAP256)
+		if err != nil {
+			return err
+		}
+		ca = newCA
+		rootIdentity := &keymgmt.Identity{Name: "discsign root", Key: ca.Key, Cert: ca.Cert, Chain: [][]byte{ca.Cert.Raw}}
+		if err := keymgmt.SaveIdentity(rootIdentity, rootPath); err != nil {
+			return err
+		}
+		if err := keymgmt.SaveCertPEM(ca.Cert, filepath.Join(rootPath, "root.pem")); err != nil {
+			return err
+		}
+		fmt.Printf("created root authority in %s (trust anchor: %s)\n", rootPath, filepath.Join(rootPath, "root.pem"))
+	} else {
+		ca = &keymgmt.CA{Cert: rootID.Cert, Key: rootID.Key}
+	}
+
+	id, err := ca.IssueIdentity(*name, keymgmt.ECDSAP256)
+	if err != nil {
+		return err
+	}
+	if err := keymgmt.SaveIdentity(id, *dir); err != nil {
+		return err
+	}
+	fmt.Printf("issued identity %q in %s\n", *name, *dir)
+	return nil
+}
+
+func cmdSign(args []string) error {
+	fs := flag.NewFlagSet("sign", flag.ExitOnError)
+	in := fs.String("in", "", "input cluster document")
+	out := fs.String("out", "", "output signed document (default: overwrite input)")
+	keys := fs.String("keys", "keys", "identity directory from keygen")
+	levelName := fs.String("level", "cluster", "granularity: cluster, track, manifest, markup, code")
+	id := fs.String("id", "", "target Id for track/manifest/markup/code levels")
+	fs.Parse(args)
+	if *in == "" {
+		return fmt.Errorf("sign requires -in")
+	}
+	if *out == "" {
+		*out = *in
+	}
+	level, err := levelByName(*levelName)
+	if err != nil {
+		return err
+	}
+
+	identity, err := keymgmt.LoadIdentity(*keys)
+	if err != nil {
+		return err
+	}
+	raw, err := os.ReadFile(*in)
+	if err != nil {
+		return err
+	}
+	doc, err := xmldom.ParseBytes(raw)
+	if err != nil {
+		return err
+	}
+	p := &core.Protector{Identity: identity}
+	if _, err := p.Sign(doc, level, *id); err != nil {
+		return err
+	}
+	if err := os.WriteFile(*out, doc.Bytes(), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("signed %s at %s level as %q -> %s\n", *in, level, identity.Name, *out)
+	return nil
+}
+
+func cmdVerify(args []string) error {
+	fs := flag.NewFlagSet("verify", flag.ExitOnError)
+	in := fs.String("in", "", "signed document")
+	roots := fs.String("roots", "", "PEM file with trusted roots")
+	require := fs.Bool("require", true, "fail when no signature is present")
+	fs.Parse(args)
+	if *in == "" || *roots == "" {
+		return fmt.Errorf("verify requires -in and -roots")
+	}
+	pool, err := keymgmt.LoadCertPool(*roots)
+	if err != nil {
+		return err
+	}
+	raw, err := os.ReadFile(*in)
+	if err != nil {
+		return err
+	}
+	opener := &core.Opener{Roots: pool, RequireSignature: *require}
+	res, err := opener.Open(raw)
+	if err != nil {
+		return fmt.Errorf("VERIFICATION FAILED: %w", err)
+	}
+	for i, rep := range res.Signatures {
+		fmt.Printf("signature %d: signer=%q cn=%q chain-validated=%v references=%v\n",
+			i+1, rep.SignerName, rep.SignerCN, rep.ChainValidated, rep.References)
+	}
+	fmt.Println("verification OK")
+	return nil
+}
+
+func levelByName(s string) (core.Level, error) {
+	switch s {
+	case "cluster":
+		return core.LevelCluster, nil
+	case "track":
+		return core.LevelTrack, nil
+	case "manifest":
+		return core.LevelManifest, nil
+	case "markup":
+		return core.LevelMarkup, nil
+	case "code":
+		return core.LevelCode, nil
+	default:
+		return 0, fmt.Errorf("unknown level %q", s)
+	}
+}

@@ -1,0 +1,143 @@
+// Downloadapp reproduces the paper's §5.1 global scenario (Fig. 3): a
+// content server publishes a signed bonus application; a connected
+// player downloads it over the network and authenticates it before
+// execution. Tampered downloads and applications signed outside the
+// player's trust chain are barred, and an XKMS-style key service
+// answers locate/validate queries about the signer.
+//
+//	go run ./examples/downloadapp
+package main
+
+import (
+	"fmt"
+	"log"
+	"net/http/httptest"
+	"strings"
+
+	"discsec"
+	"discsec/internal/access"
+	"discsec/internal/disc"
+	"discsec/internal/keymgmt"
+	"discsec/internal/server"
+)
+
+func main() {
+	// PKI: licensor root, legitimate vendor, and a rogue author with a
+	// self-signed chain.
+	licensor, err := discsec.NewAuthority("Licensor Root")
+	check(err)
+	vendor, err := licensor.IssueIdentity("Bonus Content Vendor")
+	check(err)
+	rogueRoot, err := discsec.NewAuthority("Rogue Root")
+	check(err)
+	rogue, err := rogueRoot.IssueIdentity("Rogue Author")
+	check(err)
+
+	// XKMS-style trust service: the vendor registers its certificate.
+	keyService := keymgmt.NewService(licensor.TrustPool())
+	check(keyService.Register("Bonus Content Vendor", vendor.Cert, "reg-secret"))
+	xkms := httptest.NewServer(&keymgmt.Handler{Service: keyService})
+	defer xkms.Close()
+
+	// The vendor publishes three variants on a content server.
+	good := authoredDocument(vendor, `player.log("bonus clip menu ready");`)
+	tampered := strings.Replace(good, "bonus clip menu ready", "bonus clip menu ready; exfiltrate()", 1)
+	roguePkg := authoredDocument(rogue, `player.log("rogue payload");`)
+
+	cs := server.NewContentServer()
+	cs.PublishDocument("apps/bonus.xml", []byte(good))
+	cs.PublishDocument("apps/bonus-tampered.xml", []byte(tampered))
+	cs.PublishDocument("apps/bonus-rogue.xml", []byte(roguePkg))
+	web := httptest.NewServer(cs)
+	defer web.Close()
+	fmt.Printf("content server catalog: %v\n", cs.Catalog())
+
+	// The player downloads and authenticates each variant.
+	player := discsec.NewPlayer(discsec.PlayerConfig{
+		Roots:            licensor.TrustPool(),
+		Policy:           permitVerified(),
+		RequireSignature: true, // downloaded content MUST be signed
+	})
+	dl := &server.Downloader{}
+
+	for _, name := range []string{"apps/bonus.xml", "apps/bonus-tampered.xml", "apps/bonus-rogue.xml"} {
+		raw, err := dl.Fetch(web.URL, name)
+		check(err)
+		sess, err := player.LoadDocument(raw)
+		if err != nil {
+			fmt.Printf("%-26s BARRED: %v\n", name, shorten(err))
+			continue
+		}
+		rep, err := sess.RunApplication("t-bonus")
+		check(err)
+		fmt.Printf("%-26s EXECUTED (signer=%q): %v\n", name, sess.SignerName(), rep.Log)
+	}
+
+	// Consult the key service about the signer, like a player
+	// refreshing trust state (paper §7).
+	xc := &keymgmt.Client{BaseURL: xkms.URL}
+	status, _, err := xc.Validate("Bonus Content Vendor")
+	check(err)
+	fmt.Printf("\nXKMS validate(Bonus Content Vendor) = %s\n", status)
+
+	// Revocation propagates: after the vendor key is revoked, the
+	// service reports Invalid and a strict platform would re-check
+	// before executing cached content.
+	check(xc.Revoke("Bonus Content Vendor", "reg-secret"))
+	status, reason, err := xc.Validate("Bonus Content Vendor")
+	check(err)
+	fmt.Printf("after revocation: %s (%s)\n", status, reason)
+}
+
+func authoredDocument(id *discsec.Identity, script string) string {
+	cluster := &discsec.InteractiveCluster{
+		Title: "Bonus Material",
+		Tracks: []*discsec.Track{{
+			ID:   "t-bonus",
+			Kind: disc.TrackApplication,
+			Manifest: &discsec.Manifest{
+				ID:   "bonus",
+				Code: disc.Code{Scripts: []disc.Script{{Language: "ecmascript", Source: script}}},
+			},
+		}},
+	}
+	doc := cluster.Document()
+	author := discsec.NewAuthor(id)
+	if err := author.SignDocument(doc, discsec.LevelCluster, ""); err != nil {
+		log.Fatal(err)
+	}
+	return doc.String()
+}
+
+func permitVerified() *discsec.PDP {
+	return &discsec.PDP{PolicySet: access.PolicySet{
+		Combining: access.DenyOverrides,
+		Policies: []access.Policy{{
+			Combining: access.FirstApplicable,
+			Rules: []access.Rule{
+				{
+					Effect: access.EffectDeny,
+					Condition: access.Not{C: access.Compare{
+						Category: access.CatSubject, Attribute: "verified",
+						Op: access.OpEquals, Value: "true",
+					}},
+				},
+				{Effect: access.EffectPermit},
+			},
+		}},
+	}}
+}
+
+func shorten(err error) string {
+	s := err.Error()
+	if len(s) > 110 {
+		return s[:110] + "…"
+	}
+	return s
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

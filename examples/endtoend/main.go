@@ -1,0 +1,177 @@
+// Endtoend walks the paper's §7 / Fig. 9 flow in full, printing each
+// stage:
+//
+//	author: pre-encrypt license secrets → sign (with decryption
+//	        transform excepting them) → post-encrypt the code →
+//	        package → publish
+//	player: download → decrypt post-signature regions → verify →
+//	        open excepted regions → evaluate permissions → execute
+//
+// It also demonstrates WHY the ordering matters: decrypting the
+// excepted region before verification breaks the signature.
+//
+//	go run ./examples/endtoend
+package main
+
+import (
+	"fmt"
+	"log"
+	"net/http/httptest"
+	"strings"
+
+	"discsec"
+	"discsec/internal/access"
+	"discsec/internal/core"
+	"discsec/internal/disc"
+	"discsec/internal/server"
+	"discsec/internal/workload"
+	"discsec/internal/xmldom"
+	"discsec/internal/xmldsig"
+	"discsec/internal/xmlenc"
+)
+
+func main() {
+	licensor, err := discsec.NewAuthority("Licensor Root")
+	check(err)
+	studio, err := licensor.IssueIdentity("End-to-End Studio")
+	check(err)
+	key := workload.Bytes(32, 0xE2E)
+
+	// ----- Authoring (Fig. 9 left half) --------------------------------
+	doc := appDocument()
+	author := discsec.NewAuthor(studio)
+
+	// Stage A1: the license block is encrypted BEFORE signing — it is
+	// signed in its ciphertext form.
+	preID, err := author.EncryptRegion(doc, "//manifest/license", "enc-license", discsec.EncryptOptions{Key: key})
+	check(err)
+	fmt.Println("A1 pre-encrypted license block as", preID)
+
+	// Stage A2+A3: sign the cluster with a decryption transform that
+	// excepts the license block, then encrypt the code part.
+	err = author.SignThenEncrypt(doc, core.SignThenEncryptSpec{
+		Level:           discsec.LevelCluster,
+		PreEncryptedIDs: []string{preID},
+		PostEncrypt:     []string{"//manifest/code"},
+		Encryption:      discsec.EncryptOptions{Key: key},
+	})
+	check(err)
+	fmt.Println("A2 signed cluster (decryption transform records the exception)")
+	fmt.Println("A3 post-encrypted the code part")
+
+	transmitted := doc.Bytes()
+	if strings.Contains(string(transmitted), "SECRET-LICENSE") || strings.Contains(string(transmitted), "boot sequence") {
+		log.Fatal("plaintext leaked into the transmitted document")
+	}
+	fmt.Printf("A4 transmitted document: %d bytes, no plaintext visible\n", len(transmitted))
+
+	// Stage A5: publish on a content server.
+	cs := server.NewContentServer()
+	cs.PublishDocument("apps/feature.xml", transmitted)
+	web := httptest.NewServer(cs)
+	defer web.Close()
+
+	// ----- Player (Fig. 9 right half) -----------------------------------
+	dl := &server.Downloader{}
+	raw, err := dl.Fetch(web.URL, "apps/feature.xml")
+	check(err)
+	fmt.Printf("P1 downloaded %d bytes\n", len(raw))
+
+	player := discsec.NewPlayer(discsec.PlayerConfig{
+		Roots:            licensor.TrustPool(),
+		Policy:           permitVerified(),
+		RequireSignature: true,
+		DecryptKeys:      discsec.DecryptOptions{Key: key},
+	})
+	sess, err := player.LoadDocument(raw)
+	check(err)
+	rep0 := sess.OpenResult.Signatures[0]
+	fmt.Printf("P2 decryption transform: %d region(s) decrypted before verification\n", rep0.DecryptedBeforeVerify)
+	fmt.Printf("P3 signature verified: signer=%q chain=%v\n", rep0.SignerCN, rep0.ChainValidated)
+	fmt.Printf("P4 excepted regions opened after verification: %d\n", sess.OpenResult.OpenedAfterVerify)
+
+	rep, err := sess.RunApplication("t-app")
+	check(err)
+	fmt.Printf("P5 executed application %q:\n", rep.AppID)
+	for _, l := range rep.Log {
+		fmt.Println("   |", l)
+	}
+	if len(rep.ScriptErrors) > 0 {
+		log.Fatalf("script errors: %v", rep.ScriptErrors)
+	}
+
+	// ----- Why the order matters ----------------------------------------
+	// Decrypt EVERYTHING first (ignoring the exception list), then try
+	// to verify: the license block was signed as ciphertext, so this
+	// must fail.
+	wrong, err := xmldom.ParseBytes(raw)
+	check(err)
+	_, err = xmlenc.DecryptAll(wrong, xmlenc.DecryptOptions{Key: key})
+	check(err)
+	sig := xmldsig.FindSignature(wrong)
+	if _, err := xmldsig.Verify(wrong, sig, xmldsig.VerifyOptions{Roots: licensor.TrustPool()}); err != nil {
+		fmt.Printf("\nordering check: decrypt-everything-then-verify correctly FAILS (%v)\n", shorten(err))
+	} else {
+		log.Fatal("verification succeeded despite wrong processing order")
+	}
+}
+
+func appDocument() *discsec.Document {
+	cluster := &discsec.InteractiveCluster{
+		Title: "Protected Feature",
+		Tracks: []*discsec.Track{{
+			ID:   "t-app",
+			Kind: disc.TrackApplication,
+			Manifest: &discsec.Manifest{
+				ID: "feature-app",
+				Code: disc.Code{Scripts: []disc.Script{{
+					Language: "ecmascript",
+					Source:   `player.log("boot sequence complete, verified =", player.verified);`,
+				}}},
+			},
+		}},
+	}
+	doc := cluster.Document()
+	// Insert the license block the model does not carry natively.
+	manifest, err := doc.Root().Find("//manifest")
+	check(err)
+	if manifest == nil {
+		log.Fatal("no manifest")
+	}
+	lic := manifest.CreateChild("license")
+	lic.CreateChild("key").SetText("SECRET-LICENSE-KEY-0042")
+	return doc
+}
+
+func permitVerified() *discsec.PDP {
+	return &discsec.PDP{PolicySet: access.PolicySet{
+		Combining: access.DenyOverrides,
+		Policies: []access.Policy{{
+			Combining: access.FirstApplicable,
+			Rules: []access.Rule{
+				{
+					Effect: access.EffectDeny,
+					Condition: access.Not{C: access.Compare{
+						Category: access.CatSubject, Attribute: "verified",
+						Op: access.OpEquals, Value: "true",
+					}},
+				},
+				{Effect: access.EffectPermit},
+			},
+		}},
+	}}
+}
+
+func shorten(err error) string {
+	s := err.Error()
+	if len(s) > 100 {
+		return s[:100] + "…"
+	}
+	return s
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

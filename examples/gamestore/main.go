@@ -1,0 +1,158 @@
+// Gamestore reproduces the paper's §4 partial-encryption scenario: a
+// disc game keeps its general application markup in the clear but
+// encrypts the high-score state, which the player decrypts "in parallel
+// to the execution of the markup" — here: during load, without touching
+// the rest of the document. Scores persist across runs in the player's
+// quota-managed local storage.
+//
+//	go run ./examples/gamestore
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"discsec"
+	"discsec/internal/access"
+	"discsec/internal/disc"
+	"discsec/internal/markup"
+	"discsec/internal/workload"
+)
+
+func main() {
+	licensor, err := discsec.NewAuthority("Licensor Root")
+	check(err)
+	studio, err := licensor.IssueIdentity("Game Studio")
+	check(err)
+
+	// Author the game: layout + timing + script + a state submarkup
+	// holding the shipped high-score table.
+	cluster := gameCluster()
+	contentKey := workload.Bytes(32, 0x9A3E)
+
+	author := discsec.NewAuthor(studio)
+	image, err := author.Package(discsec.PackageSpec{
+		Cluster: cluster,
+		PermissionRequests: map[string]*discsec.PermissionRequest{
+			"game": {AppID: "game", Permissions: []discsec.Permission{
+				{Name: access.PermLocalStorageRead, Target: "game/*"},
+				{Name: access.PermLocalStorageWrite, Target: "game/*"},
+				{Name: access.PermGraphicsPlane},
+			}},
+		},
+		Sign:      true,
+		SignLevel: discsec.LevelCluster,
+		// Encrypt ONLY the state submarkup (the high scores); the
+		// markup and code stay clear — the paper's performance
+		// argument for partial encryption.
+		EncryptPaths: []string{"//submarkup[@kind='state']"},
+		Encryption:   discsec.EncryptOptions{Key: contentKey},
+	})
+	check(err)
+
+	raw, _ := image.Get(disc.IndexPath)
+	fmt.Printf("packaged image: %d bytes; shipped scores visible in image: %v\n",
+		len(raw), strings.Contains(string(raw), "highscores"))
+
+	// Player with the content key: loads, decrypts the score region,
+	// verifies the signature, runs the game twice.
+	player := discsec.NewPlayer(discsec.PlayerConfig{
+		Roots:            licensor.TrustPool(),
+		Policy:           permitVerified(),
+		RequireSignature: true,
+		DecryptKeys:      discsec.DecryptOptions{Key: contentKey},
+	})
+
+	for run := 1; run <= 2; run++ {
+		session, err := player.Load(image)
+		check(err)
+		report, err := session.RunApplication("t-game")
+		check(err)
+		fmt.Printf("\nrun %d (verified=%v):\n", run, session.Verified())
+		for _, l := range report.Log {
+			fmt.Println("  ", l)
+		}
+		if len(report.ScriptErrors) > 0 {
+			log.Fatalf("script errors: %v", report.ScriptErrors)
+		}
+	}
+
+	// A second player without the key cannot even load the disc's
+	// encrypted region — secrecy holds at rest, not just in transit.
+	noKey := discsec.NewPlayer(discsec.PlayerConfig{
+		Roots:            licensor.TrustPool(),
+		Policy:           permitVerified(),
+		RequireSignature: true,
+	})
+	if _, err := noKey.Load(image); err != nil {
+		fmt.Printf("\nplayer without content key: correctly refused (%v)\n", err)
+	} else {
+		log.Fatal("player without key loaded encrypted content")
+	}
+}
+
+func gameCluster() *discsec.InteractiveCluster {
+	layout := &markup.Layout{Regions: []markup.Region{
+		{ID: "board", Width: 1920, Height: 980},
+		{ID: "hud", Top: 980, Width: 1920, Height: 100, ZIndex: 1},
+	}}
+	timing := &markup.TimingNode{Kind: "par", Children: []*markup.TimingNode{
+		{Kind: "img", Src: "board.png", Region: "board", DurMS: 60000},
+		{Kind: "img", Src: "hud.png", Region: "hud", DurMS: 60000},
+	}}
+	script := `
+player.log("game start, app =", player.appId);
+var best = storage.get("best");
+if (best == null) { best = 0; }
+var session = Number(best) + 150;
+if (session > Number(best)) {
+  storage.set("best", session);
+  player.log("new best score:", session);
+} else {
+  player.log("best remains:", best);
+}
+display.draw("scoreboard", session);
+`
+	return &discsec.InteractiveCluster{
+		Title: "Disc Puzzler",
+		Tracks: []*discsec.Track{{
+			ID:   "t-game",
+			Kind: disc.TrackApplication,
+			Manifest: &discsec.Manifest{
+				ID: "game",
+				Markup: disc.Markup{SubMarkups: []disc.SubMarkup{
+					{Kind: "layout", Content: layout.Element()},
+					{Kind: "timing", Content: timing.Element()},
+					{Kind: "state", Content: workload.HighScores(5, 77)},
+				}},
+				Code: disc.Code{Scripts: []disc.Script{{Language: "ecmascript", Source: script}}},
+			},
+		}},
+	}
+}
+
+func permitVerified() *discsec.PDP {
+	return &discsec.PDP{PolicySet: access.PolicySet{
+		Combining: access.DenyOverrides,
+		Policies: []access.Policy{{
+			Combining: access.FirstApplicable,
+			Rules: []access.Rule{
+				{
+					Effect: access.EffectDeny,
+					Condition: access.Not{C: access.Compare{
+						Category: access.CatSubject, Attribute: "verified",
+						Op: access.OpEquals, Value: "true",
+					}},
+				},
+				{Effect: access.EffectPermit},
+			},
+		}},
+	}}
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,140 @@
+// Licensedplayback demonstrates the paper's §9 future-work item,
+// implemented: an XRML-style rights license — itself ordinary signed
+// markup — governs what the player may do with the disc. The license
+// grants this device two plays of the feature track; a third play and
+// a foreign device are refused, and a tampered license (use count
+// inflated) fails signature verification outright.
+//
+//	go run ./examples/licensedplayback
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"discsec"
+	"discsec/internal/access"
+	"discsec/internal/disc"
+	"discsec/internal/player"
+	"discsec/internal/rights"
+	"discsec/internal/xmldsig"
+)
+
+func main() {
+	licensor, err := discsec.NewAuthority("Licensor Root")
+	check(err)
+	studio, err := licensor.IssueIdentity("Feature Studio")
+	check(err)
+
+	// Author a disc with one A/V feature track (plus the mandatory
+	// application track) and signed clips.
+	clip := disc.GenerateClip(disc.ClipSpec{DurationMS: 400, BitrateKbps: 6000, Seed: 11})
+	cluster := &discsec.InteractiveCluster{
+		Title: "Licensed Feature",
+		Tracks: []*discsec.Track{
+			{
+				ID:   "t-feature",
+				Kind: disc.TrackAV,
+				Playlist: &disc.Playlist{Items: []disc.PlayItem{
+					{ClipID: "clip-1", InMS: 0, OutMS: 400},
+				}},
+			},
+			{
+				ID:   "t-menu",
+				Kind: disc.TrackApplication,
+				Manifest: &discsec.Manifest{
+					ID:   "menu",
+					Code: disc.Code{Scripts: []disc.Script{{Language: "ecmascript", Source: `player.log("menu up");`}}},
+				},
+			},
+		},
+	}
+	author := discsec.NewAuthor(studio)
+	image, err := author.Package(discsec.PackageSpec{
+		Cluster:   cluster,
+		Clips:     map[string][]byte{"CLIPS/clip-1.m2ts": clip},
+		Sign:      true,
+		SignLevel: discsec.LevelCluster,
+		SignClips: true,
+	})
+	check(err)
+
+	// The rights issuer attaches a signed license: device-A may play
+	// the feature twice.
+	license := &rights.License{
+		ID:     "lic-feature",
+		Issuer: studio.Name,
+		Grants: []rights.Grant{
+			{Principal: "device-A", Right: rights.RightPlay, Resource: "t-feature", MaxUses: 2},
+		},
+	}
+	licDoc := license.Document()
+	_, err = xmldsig.SignEnveloped(licDoc, licDoc.Root(), xmldsig.SignOptions{
+		Key:     studio.Key,
+		KeyInfo: xmldsig.KeyInfoSpec{KeyName: studio.Name, Certificates: studio.Chain},
+	})
+	check(err)
+	check(image.Put(player.LicensePath, licDoc.Bytes()))
+
+	// Player side.
+	p := discsec.NewPlayer(discsec.PlayerConfig{
+		Roots:            licensor.TrustPool(),
+		Policy:           &discsec.PDP{PolicySet: access.PolicySet{}},
+		RequireSignature: true,
+	})
+	session, err := p.Load(image)
+	check(err)
+	fmt.Printf("loaded %q (verified=%v)\n\n", session.Cluster.Title, session.Verified())
+
+	play := func(device string) {
+		rep, err := session.PlayTrackLicensed(device, "t-feature")
+		if err != nil {
+			fmt.Printf("%s: play REFUSED: %v\n", device, err)
+			return
+		}
+		fmt.Printf("%s: played %d clip(s), %d packets, clip signature by %q\n",
+			device, len(rep.Clips), rep.Clips[0].Packets, rep.SignerCN)
+	}
+
+	play("device-A") // 1st: ok
+	play("device-A") // 2nd: ok
+	play("device-A") // 3rd: exhausted
+	play("device-B") // no grant
+
+	// Tampering with the license (inflating the use count) breaks its
+	// signature.
+	raw, _ := image.Get(player.LicensePath)
+	mutated := []byte(replaceOnce(string(raw), `maxuses="2"`, `maxuses="99"`))
+	check(image.Put(player.LicensePath, mutated))
+	fresh, err := p.Load(image)
+	check(err)
+	if _, err := fresh.PlayTrackLicensed("device-A", "t-feature"); err != nil {
+		fmt.Printf("\ntampered license: correctly refused (%v)\n", short(err))
+	} else {
+		log.Fatal("tampered license honored")
+	}
+}
+
+func replaceOnce(s, old, repl string) string {
+	for i := 0; i+len(old) <= len(s); i++ {
+		if s[i:i+len(old)] == old {
+			return s[:i] + repl + s[i+len(old):]
+		}
+	}
+	log.Fatalf("pattern %q not found", old)
+	return s
+}
+
+func short(err error) string {
+	s := err.Error()
+	if len(s) > 90 {
+		return s[:90] + "…"
+	}
+	return s
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

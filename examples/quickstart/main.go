@@ -1,0 +1,98 @@
+// Quickstart: sign a disc application and verify it on a player in
+// ~50 lines of the public API.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"discsec"
+	"discsec/internal/access"
+	"discsec/internal/disc"
+	"discsec/internal/xmldom"
+)
+
+func main() {
+	// 1. The format licensor runs a root authority; the studio gets a
+	//    certified signing identity.
+	licensor, err := discsec.NewAuthority("Format Licensor Root")
+	check(err)
+	studio, err := licensor.IssueIdentity("Example Studio")
+	check(err)
+
+	// 2. The studio authors a disc: one application track with markup
+	//    and a script, signed at cluster level.
+	layout := xmldom.NewElement("layout")
+	layout.DeclareNamespace("", "urn:discsec:smil")
+	layout.CreateChild("region").SetAttr("id", "main").SetAttr("width", "1920").SetAttr("height", "1080")
+
+	cluster := &discsec.InteractiveCluster{
+		Title: "Quickstart Feature",
+		Tracks: []*discsec.Track{{
+			ID:   "t-app",
+			Kind: disc.TrackApplication,
+			Manifest: &discsec.Manifest{
+				ID:     "app-hello",
+				Markup: disc.Markup{SubMarkups: []disc.SubMarkup{{Kind: "layout", Content: layout}}},
+				Code: disc.Code{Scripts: []disc.Script{{
+					Language: "ecmascript",
+					Source:   `player.log("hello from a verified disc application");`,
+				}}},
+			},
+		}},
+	}
+	author := discsec.NewAuthor(studio)
+	image, err := author.Package(discsec.PackageSpec{
+		Cluster:   cluster,
+		Sign:      true,
+		SignLevel: discsec.LevelCluster,
+	})
+	check(err)
+
+	// 3. A player trusting the licensor root loads the disc: the
+	//    signature is verified before anything executes.
+	player := discsec.NewPlayer(discsec.PlayerConfig{
+		Roots:            licensor.TrustPool(),
+		Policy:           permitVerified(),
+		RequireSignature: true,
+	})
+	session, err := player.Load(image)
+	check(err)
+	fmt.Printf("loaded %q — verified=%v, signed by %q\n",
+		session.Cluster.Title, session.Verified(), session.SignerName())
+
+	report, err := session.RunApplication("t-app")
+	check(err)
+	for _, line := range report.Log {
+		fmt.Println("script:", line)
+	}
+}
+
+// permitVerified is the simplest sensible platform policy: verified
+// applications get what they request, unverified ones get nothing.
+func permitVerified() *discsec.PDP {
+	return &discsec.PDP{PolicySet: access.PolicySet{
+		Combining: access.DenyOverrides,
+		Policies: []access.Policy{{
+			Combining: access.FirstApplicable,
+			Rules: []access.Rule{
+				{
+					Effect: access.EffectDeny,
+					Condition: access.Not{C: access.Compare{
+						Category: access.CatSubject, Attribute: "verified",
+						Op: access.OpEquals, Value: "true",
+					}},
+				},
+				{Effect: access.EffectPermit},
+			},
+		}},
+	}}
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

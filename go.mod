@@ -1,0 +1,3 @@
+module discsec
+
+go 1.22

@@ -1,0 +1,357 @@
+package access
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestParsePermissionRequest(t *testing.T) {
+	pr, err := ParsePermissionRequestString(`<permissionrequestfile appid="0x4001" orgid="0x0001">
+  <permission name="localstorage.write" target="scores/*"/>
+  <permission name="graphics.plane"/>
+  <permission name="network.connect" target="https://studio.example"/>
+</permissionrequestfile>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr.AppID != "0x4001" || pr.OrgID != "0x0001" {
+		t.Errorf("ids = %q %q", pr.AppID, pr.OrgID)
+	}
+	if len(pr.Permissions) != 3 {
+		t.Fatalf("permissions = %d", len(pr.Permissions))
+	}
+	if pr.Permissions[0].Name != PermLocalStorageWrite || pr.Permissions[0].Target != "scores/*" {
+		t.Errorf("perm[0] = %+v", pr.Permissions[0])
+	}
+}
+
+func TestPermissionRequestRoundTrip(t *testing.T) {
+	pr := &PermissionRequest{
+		AppID: "0x1", OrgID: "0x2",
+		Permissions: []Permission{
+			{Name: PermGraphicsPlane},
+			{Name: PermLocalStorageRead, Target: "save/*"},
+		},
+	}
+	back, err := ParsePermissionRequest(pr.Document())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.AppID != pr.AppID || len(back.Permissions) != 2 || back.Permissions[1].Target != "save/*" {
+		t.Errorf("round trip = %+v", back)
+	}
+}
+
+func TestParsePermissionRequestErrors(t *testing.T) {
+	if _, err := ParsePermissionRequestString(`<wrong/>`); err == nil {
+		t.Error("wrong root accepted")
+	}
+	if _, err := ParsePermissionRequestString(`<permissionrequestfile><permission/></permissionrequestfile>`); err == nil {
+		t.Error("nameless permission accepted")
+	}
+}
+
+func TestGrantSetAllows(t *testing.T) {
+	gs := &GrantSet{granted: []Permission{
+		{Name: "localstorage.write", Target: "scores/*"},
+		{Name: "graphics.plane"},
+		{Name: "network.connect", Target: "https://studio.example"},
+	}}
+	cases := []struct {
+		name, target string
+		want         bool
+	}{
+		{"localstorage.write", "scores/high.xml", true},
+		{"localstorage.write", "other/high.xml", false},
+		{"graphics.plane", "anything", true},
+		{"network.connect", "https://studio.example", true},
+		{"network.connect", "https://evil.example", false},
+		{"returnchannel.dial", "", false},
+	}
+	for _, tc := range cases {
+		if got := gs.Allows(tc.name, tc.target); got != tc.want {
+			t.Errorf("Allows(%q, %q) = %v, want %v", tc.name, tc.target, got, tc.want)
+		}
+	}
+}
+
+func playerPolicy() *PDP {
+	// Realistic platform policy: verified applications may use storage
+	// under their own appid prefix and the graphics plane; network
+	// connects only to https; unverified applications get nothing.
+	return &PDP{PolicySet: PolicySet{
+		ID:        "player-platform",
+		Combining: DenyOverrides,
+		Policies: []Policy{
+			{
+				ID:        "require-verification",
+				Combining: FirstApplicable,
+				Rules: []Rule{{
+					ID:     "deny-unverified",
+					Effect: EffectDeny,
+					Condition: Not{C: Compare{
+						Category: CatSubject, Attribute: "verified", Op: OpEquals, Value: "true",
+					}},
+				}},
+			},
+			{
+				ID:        "storage",
+				Combining: FirstApplicable,
+				Target: Target{{
+					Category: CatAction, Attribute: "name", Op: OpPrefix, Value: "localstorage.",
+				}},
+				Rules: []Rule{{
+					ID:     "own-prefix-only",
+					Effect: EffectPermit,
+					Condition: Compare{
+						Category: CatResource, Attribute: "target", Op: OpGlob, Value: "app-*",
+					},
+				}},
+			},
+			{
+				ID:        "graphics",
+				Combining: FirstApplicable,
+				Target: Target{{
+					Category: CatAction, Attribute: "name", Op: OpEquals, Value: PermGraphicsPlane,
+				}},
+				Rules: []Rule{{ID: "allow", Effect: EffectPermit}},
+			},
+			{
+				ID:        "network",
+				Combining: FirstApplicable,
+				Target: Target{{
+					Category: CatAction, Attribute: "name", Op: OpEquals, Value: PermNetworkConnect,
+				}},
+				Rules: []Rule{{
+					ID:     "https-only",
+					Effect: EffectPermit,
+					Condition: Compare{
+						Category: CatResource, Attribute: "target", Op: OpPrefix, Value: "https://",
+					},
+				}},
+			},
+		},
+	}}
+}
+
+func TestEvaluateRequestVerifiedApp(t *testing.T) {
+	pdp := playerPolicy()
+	pr := &PermissionRequest{
+		AppID: "app-77",
+		Permissions: []Permission{
+			{Name: PermLocalStorageWrite, Target: "app-77/scores"},
+			{Name: PermLocalStorageWrite, Target: "other-app/secrets"},
+			{Name: PermGraphicsPlane},
+			{Name: PermNetworkConnect, Target: "https://studio.example"},
+			{Name: PermNetworkConnect, Target: "http://plain.example"},
+			{Name: PermReturnChannel},
+		},
+	}
+	gs, err := pdp.EvaluateRequest(pr, map[string]string{"verified": "true"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gs.Granted()) != 3 {
+		t.Errorf("granted = %v", gs.Granted())
+	}
+	if len(gs.Denied()) != 3 {
+		t.Errorf("denied = %v", gs.Denied())
+	}
+	if !gs.Allows(PermLocalStorageWrite, "app-77/scores") {
+		t.Error("own storage denied")
+	}
+	if gs.Allows(PermLocalStorageWrite, "other-app/secrets") {
+		t.Error("foreign storage granted")
+	}
+	if gs.Allows(PermNetworkConnect, "http://plain.example") {
+		t.Error("plain http granted")
+	}
+}
+
+func TestEvaluateRequestUnverifiedAppDeniedEverything(t *testing.T) {
+	pdp := playerPolicy()
+	pr := &PermissionRequest{
+		AppID:       "app-77",
+		Permissions: []Permission{{Name: PermGraphicsPlane}, {Name: PermLocalStorageRead, Target: "app-77/x"}},
+	}
+	gs, err := pdp.EvaluateRequest(pr, map[string]string{"verified": "false"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gs.Granted()) != 0 {
+		t.Errorf("unverified app granted: %v", gs.Granted())
+	}
+}
+
+func TestCombiningAlgorithms(t *testing.T) {
+	permitRule := Rule{ID: "p", Effect: EffectPermit}
+	denyRule := Rule{ID: "d", Effect: EffectDeny}
+	na := Rule{ID: "na", Effect: EffectPermit, Target: Target{{Category: CatAction, Attribute: "name", Op: OpEquals, Value: "never"}}}
+	req := &Request{Action: map[string]string{"name": "x"}}
+
+	cases := []struct {
+		name  string
+		alg   Combining
+		rules []Rule
+		want  Decision
+	}{
+		{"deny-overrides deny wins", DenyOverrides, []Rule{permitRule, denyRule}, Deny},
+		{"deny-overrides permit", DenyOverrides, []Rule{na, permitRule}, Permit},
+		{"deny-overrides all NA", DenyOverrides, []Rule{na}, NotApplicable},
+		{"permit-overrides permit wins", PermitOverrides, []Rule{denyRule, permitRule}, Permit},
+		{"permit-overrides deny", PermitOverrides, []Rule{na, denyRule}, Deny},
+		{"first-applicable takes first", FirstApplicable, []Rule{na, denyRule, permitRule}, Deny},
+		{"first-applicable all NA", FirstApplicable, []Rule{na, na}, NotApplicable},
+		{"deny-unless-permit permit", DenyUnlessPermit, []Rule{na, permitRule}, Permit},
+		{"deny-unless-permit default deny", DenyUnlessPermit, []Rule{na}, Deny},
+		{"permit-unless-deny deny", PermitUnlessDeny, []Rule{na, denyRule}, Deny},
+		{"permit-unless-deny default permit", PermitUnlessDeny, []Rule{na}, Permit},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := Policy{Combining: tc.alg, Rules: tc.rules}
+			got, err := p.Evaluate(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != tc.want {
+				t.Errorf("got %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestConditionTree(t *testing.T) {
+	req := &Request{
+		Subject:     map[string]string{"org": "studio", "trust": "high"},
+		Environment: map[string]string{"online": "true"},
+	}
+	cond := And{
+		Compare{Category: CatSubject, Attribute: "org", Op: OpEquals, Value: "studio"},
+		Or{
+			Compare{Category: CatSubject, Attribute: "trust", Op: OpEquals, Value: "high"},
+			Compare{Category: CatSubject, Attribute: "trust", Op: OpEquals, Value: "medium"},
+		},
+		Not{C: Compare{Category: CatEnvironment, Attribute: "online", Op: OpEquals, Value: "false"}},
+		Present{Category: CatEnvironment, Attribute: "online"},
+	}
+	ok, err := cond.Eval(req)
+	if err != nil || !ok {
+		t.Errorf("cond = %v, %v", ok, err)
+	}
+	cond2 := And{cond, Present{Category: CatSubject, Attribute: "missing"}}
+	if ok, _ := cond2.Eval(req); ok {
+		t.Error("missing attribute evaluated true")
+	}
+}
+
+func TestGlobMatch(t *testing.T) {
+	cases := []struct {
+		pattern, s string
+		want       bool
+	}{
+		{"*", "anything", true},
+		{"app-*", "app-77", true},
+		{"app-*", "other", false},
+		{"*.xml", "scores.xml", true},
+		{"*.xml", "scores.xmlx", false},
+		{"a*b*c", "aXXbYYc", true},
+		{"a*b*c", "aXXcYYb", false},
+		{"exact", "exact", true},
+		{"exact", "exactly", false},
+	}
+	for _, tc := range cases {
+		if got := globMatch(tc.pattern, tc.s); got != tc.want {
+			t.Errorf("globMatch(%q, %q) = %v, want %v", tc.pattern, tc.s, got, tc.want)
+		}
+	}
+}
+
+// Property: a glob pattern built by inserting '*' anywhere into a string
+// matches the original string.
+func TestGlobInsertionProperty(t *testing.T) {
+	f := func(s string, pos uint8) bool {
+		if strings.Contains(s, "*") || len(s) > 40 {
+			return true
+		}
+		p := int(pos) % (len(s) + 1)
+		pattern := s[:p] + "*" + s[p:]
+		return globMatch(pattern, s)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPolicyXMLRoundTrip(t *testing.T) {
+	pdp := playerPolicy()
+	text := pdp.PolicySet.Document().String()
+	back, err := ParsePolicySetString(text)
+	if err != nil {
+		t.Fatalf("parse rendered policy: %v\n%s", err, text)
+	}
+	// Behavioural equivalence: the reparsed policy decides identically
+	// on a matrix of requests.
+	reqs := []*Request{
+		{Subject: map[string]string{"verified": "true"}, Action: map[string]string{"name": PermGraphicsPlane}, Resource: map[string]string{}},
+		{Subject: map[string]string{"verified": "false"}, Action: map[string]string{"name": PermGraphicsPlane}, Resource: map[string]string{}},
+		{Subject: map[string]string{"verified": "true"}, Action: map[string]string{"name": PermLocalStorageWrite}, Resource: map[string]string{"target": "app-1/x"}},
+		{Subject: map[string]string{"verified": "true"}, Action: map[string]string{"name": PermLocalStorageWrite}, Resource: map[string]string{"target": "zzz"}},
+		{Subject: map[string]string{"verified": "true"}, Action: map[string]string{"name": PermNetworkConnect}, Resource: map[string]string{"target": "https://ok"}},
+		{Subject: map[string]string{"verified": "true"}, Action: map[string]string{"name": PermNetworkConnect}, Resource: map[string]string{"target": "ftp://no"}},
+	}
+	pdp2 := &PDP{PolicySet: *back}
+	for i, req := range reqs {
+		d1, err1 := pdp.Decide(req)
+		d2, err2 := pdp2.Decide(req)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("req %d: %v %v", i, err1, err2)
+		}
+		if d1 != d2 {
+			t.Errorf("req %d: original %v, reparsed %v", i, d1, d2)
+		}
+	}
+}
+
+func TestParsePolicyErrors(t *testing.T) {
+	bad := []string{
+		`<notpolicy/>`,
+		`<policyset combining="bogus"/>`,
+		`<policyset><policy><rule effect="sideways"/></policy></policyset>`,
+		`<policyset><policy><rule><condition><xyzzy/></condition></rule></policy></policyset>`,
+		`<policyset><policy><rule><condition><and/><or/></condition></rule></policy></policyset>`,
+		`<policyset><target><match category="nowhere" attribute="a"/></target></policyset>`,
+		`<policyset><target><match category="subject" op="fuzzy" attribute="a"/></target></policyset>`,
+		`<policyset><target><match category="subject" op="equals"/></target></policyset>`,
+	}
+	for _, s := range bad {
+		if _, err := ParsePolicySetString(s); err == nil {
+			t.Errorf("accepted: %s", s)
+		}
+	}
+}
+
+func TestDecisionStrings(t *testing.T) {
+	if Permit.String() != "Permit" || Deny.String() != "Deny" || NotApplicable.String() != "NotApplicable" || Indeterminate.String() != "Indeterminate" {
+		t.Error("decision strings wrong")
+	}
+	if EffectDeny.String() != "Deny" || EffectPermit.String() != "Permit" {
+		t.Error("effect strings wrong")
+	}
+	for _, c := range []Combining{DenyOverrides, PermitOverrides, FirstApplicable, DenyUnlessPermit, PermitUnlessDeny} {
+		back, err := CombiningByName(c.String())
+		if err != nil || back != c {
+			t.Errorf("combining round trip %v: %v %v", c, back, err)
+		}
+	}
+}
+
+func TestPermissionString(t *testing.T) {
+	if got := (Permission{Name: "a.b", Target: "t"}).String(); got != "a.b[t]" {
+		t.Errorf("got %q", got)
+	}
+	if got := (Permission{Name: "a.b"}).String(); got != "a.b" {
+		t.Errorf("got %q", got)
+	}
+}

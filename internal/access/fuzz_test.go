@@ -1,0 +1,30 @@
+package access
+
+import "testing"
+
+// FuzzParsePolicySet checks the policy decoder against arbitrary input:
+// no panics, and accepted policies round-trip behaviourally through
+// their XML form for a probe request.
+func FuzzParsePolicySet(f *testing.F) {
+	f.Add(`<policyset combining="deny-overrides"><policy combining="first-applicable"><rule effect="permit"><condition><compare category="subject" attribute="verified" op="equals" value="true"/></condition></rule></policy></policyset>`)
+	f.Add(`<policyset><target><match category="action" attribute="name" op="prefix" value="x"/></target></policyset>`)
+	f.Fuzz(func(t *testing.T, s string) {
+		ps, err := ParsePolicySetString(s)
+		if err != nil {
+			return
+		}
+		back, err := ParsePolicySetString(ps.Document().String())
+		if err != nil {
+			t.Fatalf("accepted policy did not round-trip: %v", err)
+		}
+		probe := &Request{
+			Subject: map[string]string{"verified": "true"},
+			Action:  map[string]string{"name": "x.y"},
+		}
+		d1, e1 := (&PDP{PolicySet: *ps}).Decide(probe)
+		d2, e2 := (&PDP{PolicySet: *back}).Decide(probe)
+		if (e1 == nil) != (e2 == nil) || d1 != d2 {
+			t.Fatalf("behaviour changed after round-trip: %v/%v vs %v/%v", d1, e1, d2, e2)
+		}
+	})
+}

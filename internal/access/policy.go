@@ -1,0 +1,485 @@
+package access
+
+import (
+	"fmt"
+	"strings"
+)
+
+// XACML-lite policy model. The vocabulary follows XACML 2.0 (targets,
+// rules with effects, conditions, combining algorithms) restricted to
+// string attributes, which is all the disc player context needs.
+
+// Decision is the outcome of a policy evaluation.
+type Decision int
+
+// XACML decisions.
+const (
+	NotApplicable Decision = iota
+	Permit
+	Deny
+	Indeterminate
+)
+
+func (d Decision) String() string {
+	switch d {
+	case Permit:
+		return "Permit"
+	case Deny:
+		return "Deny"
+	case NotApplicable:
+		return "NotApplicable"
+	case Indeterminate:
+		return "Indeterminate"
+	default:
+		return fmt.Sprintf("Decision(%d)", int(d))
+	}
+}
+
+// Effect is a rule's outcome when it applies.
+type Effect int
+
+// Rule effects.
+const (
+	EffectPermit Effect = iota
+	EffectDeny
+)
+
+func (e Effect) String() string {
+	if e == EffectDeny {
+		return "Deny"
+	}
+	return "Permit"
+}
+
+// Combining selects a combining algorithm for rules or policies.
+type Combining int
+
+// Combining algorithms. DenyUnlessPermit and PermitUnlessDeny are the
+// XACML 3.0 total algorithms (never NotApplicable/Indeterminate).
+const (
+	DenyOverrides Combining = iota
+	PermitOverrides
+	FirstApplicable
+	DenyUnlessPermit
+	PermitUnlessDeny
+)
+
+func (c Combining) String() string {
+	switch c {
+	case DenyOverrides:
+		return "deny-overrides"
+	case PermitOverrides:
+		return "permit-overrides"
+	case FirstApplicable:
+		return "first-applicable"
+	case DenyUnlessPermit:
+		return "deny-unless-permit"
+	case PermitUnlessDeny:
+		return "permit-unless-deny"
+	default:
+		return fmt.Sprintf("Combining(%d)", int(c))
+	}
+}
+
+// CombiningByName parses a combining algorithm name.
+func CombiningByName(s string) (Combining, error) {
+	switch s {
+	case "deny-overrides":
+		return DenyOverrides, nil
+	case "permit-overrides":
+		return PermitOverrides, nil
+	case "first-applicable":
+		return FirstApplicable, nil
+	case "deny-unless-permit":
+		return DenyUnlessPermit, nil
+	case "permit-unless-deny":
+		return PermitUnlessDeny, nil
+	default:
+		return 0, fmt.Errorf("access: unknown combining algorithm %q", s)
+	}
+}
+
+// Category names an attribute category of the request context.
+type Category string
+
+// Request context categories.
+const (
+	CatSubject     Category = "subject"
+	CatResource    Category = "resource"
+	CatAction      Category = "action"
+	CatEnvironment Category = "environment"
+)
+
+// Request is the decision request the player builds per permission: who
+// (subject: signer, org, trust level), what (resource: permission target),
+// which action (permission name), and environment (network state, disc
+// type).
+type Request struct {
+	Subject     map[string]string
+	Resource    map[string]string
+	Action      map[string]string
+	Environment map[string]string
+}
+
+// Attr fetches an attribute from a category; missing values are "".
+func (r *Request) Attr(cat Category, name string) (string, bool) {
+	var m map[string]string
+	switch cat {
+	case CatSubject:
+		m = r.Subject
+	case CatResource:
+		m = r.Resource
+	case CatAction:
+		m = r.Action
+	case CatEnvironment:
+		m = r.Environment
+	}
+	v, ok := m[name]
+	return v, ok
+}
+
+// MatchOp compares an attribute to a literal.
+type MatchOp string
+
+// Match operators.
+const (
+	OpEquals   MatchOp = "equals"
+	OpPrefix   MatchOp = "prefix"
+	OpSuffix   MatchOp = "suffix"
+	OpContains MatchOp = "contains"
+	OpGlob     MatchOp = "glob" // '*' wildcards, matched greedily
+)
+
+// Match is one attribute test.
+type Match struct {
+	Category  Category
+	Attribute string
+	Op        MatchOp
+	Value     string
+}
+
+// Eval applies the match against the request. A missing attribute never
+// matches.
+func (m Match) Eval(req *Request) (bool, error) {
+	v, ok := req.Attr(m.Category, m.Attribute)
+	if !ok {
+		return false, nil
+	}
+	switch m.Op {
+	case OpEquals, "":
+		return v == m.Value, nil
+	case OpPrefix:
+		return strings.HasPrefix(v, m.Value), nil
+	case OpSuffix:
+		return strings.HasSuffix(v, m.Value), nil
+	case OpContains:
+		return strings.Contains(v, m.Value), nil
+	case OpGlob:
+		return globMatch(m.Value, v), nil
+	default:
+		return false, fmt.Errorf("access: unknown match op %q", m.Op)
+	}
+}
+
+// globMatch matches pattern with '*' wildcards against s.
+func globMatch(pattern, s string) bool {
+	parts := strings.Split(pattern, "*")
+	if len(parts) == 1 {
+		return pattern == s
+	}
+	if !strings.HasPrefix(s, parts[0]) {
+		return false
+	}
+	s = s[len(parts[0]):]
+	for i := 1; i < len(parts)-1; i++ {
+		idx := strings.Index(s, parts[i])
+		if idx < 0 {
+			return false
+		}
+		s = s[idx+len(parts[i]):]
+	}
+	return strings.HasSuffix(s, parts[len(parts)-1])
+}
+
+// Target is a conjunction of matches; an empty target applies to every
+// request.
+type Target []Match
+
+// Applies reports whether all matches hold.
+func (t Target) Applies(req *Request) (bool, error) {
+	for _, m := range t {
+		ok, err := m.Eval(req)
+		if err != nil {
+			return false, err
+		}
+		if !ok {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// Condition is a boolean expression over request attributes.
+type Condition interface {
+	Eval(req *Request) (bool, error)
+}
+
+// And is a conjunction condition.
+type And []Condition
+
+// Eval implements Condition.
+func (a And) Eval(req *Request) (bool, error) {
+	for _, c := range a {
+		ok, err := c.Eval(req)
+		if err != nil || !ok {
+			return false, err
+		}
+	}
+	return true, nil
+}
+
+// Or is a disjunction condition.
+type Or []Condition
+
+// Eval implements Condition.
+func (o Or) Eval(req *Request) (bool, error) {
+	for _, c := range o {
+		ok, err := c.Eval(req)
+		if err != nil {
+			return false, err
+		}
+		if ok {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// Not negates a condition.
+type Not struct{ C Condition }
+
+// Eval implements Condition.
+func (n Not) Eval(req *Request) (bool, error) {
+	ok, err := n.C.Eval(req)
+	return !ok, err
+}
+
+// Compare tests one attribute (a Match used as a condition leaf).
+type Compare Match
+
+// Eval implements Condition.
+func (c Compare) Eval(req *Request) (bool, error) { return Match(c).Eval(req) }
+
+// Present tests attribute presence.
+type Present struct {
+	Category  Category
+	Attribute string
+}
+
+// Eval implements Condition.
+func (p Present) Eval(req *Request) (bool, error) {
+	_, ok := req.Attr(p.Category, p.Attribute)
+	return ok, nil
+}
+
+// Rule is one XACML rule.
+type Rule struct {
+	ID        string
+	Effect    Effect
+	Target    Target
+	Condition Condition
+}
+
+// Evaluate returns the rule's contribution for the request.
+func (r *Rule) Evaluate(req *Request) (Decision, error) {
+	applies, err := r.Target.Applies(req)
+	if err != nil {
+		return Indeterminate, err
+	}
+	if !applies {
+		return NotApplicable, nil
+	}
+	if r.Condition != nil {
+		ok, err := r.Condition.Eval(req)
+		if err != nil {
+			return Indeterminate, err
+		}
+		if !ok {
+			return NotApplicable, nil
+		}
+	}
+	if r.Effect == EffectDeny {
+		return Deny, nil
+	}
+	return Permit, nil
+}
+
+// Policy groups rules under a target and combining algorithm.
+type Policy struct {
+	ID        string
+	Target    Target
+	Combining Combining
+	Rules     []Rule
+}
+
+// Evaluate combines the rule decisions.
+func (p *Policy) Evaluate(req *Request) (Decision, error) {
+	applies, err := p.Target.Applies(req)
+	if err != nil {
+		return Indeterminate, err
+	}
+	if !applies {
+		return NotApplicable, nil
+	}
+	decisions := make([]Decision, 0, len(p.Rules))
+	for i := range p.Rules {
+		d, err := p.Rules[i].Evaluate(req)
+		if err != nil {
+			return Indeterminate, err
+		}
+		decisions = append(decisions, d)
+	}
+	return combine(p.Combining, decisions), nil
+}
+
+// PolicySet groups policies.
+type PolicySet struct {
+	ID        string
+	Target    Target
+	Combining Combining
+	Policies  []Policy
+}
+
+// Evaluate combines the policy decisions.
+func (ps *PolicySet) Evaluate(req *Request) (Decision, error) {
+	applies, err := ps.Target.Applies(req)
+	if err != nil {
+		return Indeterminate, err
+	}
+	if !applies {
+		return NotApplicable, nil
+	}
+	decisions := make([]Decision, 0, len(ps.Policies))
+	for i := range ps.Policies {
+		d, err := ps.Policies[i].Evaluate(req)
+		if err != nil {
+			return Indeterminate, err
+		}
+		decisions = append(decisions, d)
+	}
+	return combine(ps.Combining, decisions), nil
+}
+
+func combine(alg Combining, ds []Decision) Decision {
+	switch alg {
+	case DenyOverrides:
+		sawPermit := false
+		for _, d := range ds {
+			switch d {
+			case Deny, Indeterminate:
+				return Deny
+			case Permit:
+				sawPermit = true
+			}
+		}
+		if sawPermit {
+			return Permit
+		}
+		return NotApplicable
+	case PermitOverrides:
+		sawDeny := false
+		for _, d := range ds {
+			switch d {
+			case Permit:
+				return Permit
+			case Deny, Indeterminate:
+				sawDeny = true
+			}
+		}
+		if sawDeny {
+			return Deny
+		}
+		return NotApplicable
+	case FirstApplicable:
+		for _, d := range ds {
+			if d != NotApplicable {
+				return d
+			}
+		}
+		return NotApplicable
+	case DenyUnlessPermit:
+		for _, d := range ds {
+			if d == Permit {
+				return Permit
+			}
+		}
+		return Deny
+	case PermitUnlessDeny:
+		for _, d := range ds {
+			if d == Deny {
+				return Deny
+			}
+		}
+		return Permit
+	default:
+		return Indeterminate
+	}
+}
+
+// PDP is the policy decision point the player consults.
+type PDP struct {
+	PolicySet PolicySet
+	// DefaultDecision resolves NotApplicable outcomes; a closed
+	// platform uses Deny (the zero value is Deny-biased:
+	// NotApplicable maps to Deny unless DefaultPermit is set).
+	DefaultPermit bool
+}
+
+// Decide evaluates the request to a final Permit/Deny.
+func (pdp *PDP) Decide(req *Request) (Decision, error) {
+	d, err := pdp.PolicySet.Evaluate(req)
+	if err != nil {
+		return Deny, err
+	}
+	switch d {
+	case Permit:
+		return Permit, nil
+	case Deny, Indeterminate:
+		return Deny, nil
+	default: // NotApplicable
+		if pdp.DefaultPermit {
+			return Permit, nil
+		}
+		return Deny, nil
+	}
+}
+
+// EvaluateRequest decides every permission in a request file against the
+// PDP, building the grant set the player enforces at runtime. Subject and
+// environment attributes describe the application's provenance (signer
+// identity, verification state).
+func (pdp *PDP) EvaluateRequest(pr *PermissionRequest, subject, environment map[string]string) (*GrantSet, error) {
+	gs := &GrantSet{}
+	for _, perm := range pr.Permissions {
+		req := &Request{
+			Subject: subject,
+			Action:  map[string]string{"name": perm.Name},
+			Resource: map[string]string{
+				"target": perm.Target,
+				"appid":  pr.AppID,
+				"orgid":  pr.OrgID,
+			},
+			Environment: environment,
+		}
+		d, err := pdp.Decide(req)
+		if err != nil {
+			return nil, err
+		}
+		if d == Permit {
+			gs.granted = append(gs.granted, perm)
+		} else {
+			gs.denied = append(gs.denied, perm)
+		}
+	}
+	return gs, nil
+}

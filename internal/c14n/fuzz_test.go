@@ -1,0 +1,58 @@
+package c14n
+
+import (
+	"bytes"
+	"testing"
+
+	"discsec/internal/xmldom"
+)
+
+// FuzzCanonicalize checks, for any parseable input, that
+// canonicalization never panics, is idempotent, and that the memoized
+// and reference namespace strategies agree byte-for-byte.
+func FuzzCanonicalize(f *testing.F) {
+	seeds := []string{
+		`<r/>`,
+		`<a xmlns="urn:d" xmlns:p="urn:p" p:k="v"><b xmlns=""><p:c/></b></a>`,
+		`<a xml:lang="en"><b xml:space="preserve"> <c/> </b></a>`,
+		`<r at="a&#x9;b&#xA;c&#xD;">t&#xD;</r>`,
+		`<a xmlns:x="urn:1"><b xmlns:x="urn:1"><x:c/></b></a>`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		doc, err := xmldom.ParseBytes(data)
+		if err != nil {
+			return
+		}
+		for _, opts := range []Options{{}, {Exclusive: true}, {WithComments: true}} {
+			c1, err := CanonicalizeDocument(doc, opts)
+			if err != nil {
+				continue // malformed comments/PIs may be unserializable
+			}
+			// Idempotence.
+			doc2, err := xmldom.ParseBytes(c1)
+			if err != nil {
+				t.Fatalf("canonical form does not parse: %v\n%q", err, c1)
+			}
+			c2, err := CanonicalizeDocument(doc2, opts)
+			if err != nil {
+				t.Fatalf("re-canonicalize: %v", err)
+			}
+			if !bytes.Equal(c1, c2) {
+				t.Fatalf("not idempotent (opts %+v):\n1: %q\n2: %q", opts, c1, c2)
+			}
+			// Strategy agreement.
+			ref := opts
+			ref.ReferenceNamespaceResolution = true
+			c3, err := CanonicalizeDocument(doc, ref)
+			if err != nil {
+				t.Fatalf("reference strategy: %v", err)
+			}
+			if !bytes.Equal(c1, c3) {
+				t.Fatalf("strategies diverged (opts %+v):\nmemoized:  %q\nreference: %q", opts, c1, c3)
+			}
+		}
+	})
+}

@@ -1,0 +1,183 @@
+package core
+
+import (
+	"crypto"
+	"crypto/x509"
+	"errors"
+	"fmt"
+
+	"discsec/internal/dectrans"
+	"discsec/internal/disc"
+	"discsec/internal/xmldom"
+	"discsec/internal/xmldsig"
+	"discsec/internal/xmlenc"
+)
+
+// Opener is the player-side Verifier and Decryptor of the paper's §8
+// architecture, applying the Fig. 9 processing order.
+type Opener struct {
+	// Roots are the player's trusted root certificates (§5.5). When
+	// nil, embedded certificates are accepted without chain validation
+	// — only suitable for tests.
+	Roots *x509.CertPool
+	// Decrypt supplies key material for encrypted regions.
+	Decrypt xmlenc.DecryptOptions
+	// RequireSignature makes Open fail on documents without any
+	// signature (the player policy for downloaded applications).
+	RequireSignature bool
+	// Resolver dereferences detached reference URIs (usually the disc
+	// image).
+	Resolver xmldsig.ExternalResolver
+	// KeyByName resolves ds:KeyName hints when the signature embeds no
+	// certificate — the XKMS trust-server flow of the paper's §7
+	// (keymgmt.Service.PublicKeyByName or Client.PublicKeyByName).
+	KeyByName func(name string) (crypto.PublicKey, error)
+	// AcceptedSignatureMethods optionally restricts algorithms.
+	AcceptedSignatureMethods []string
+}
+
+// SignatureReport describes one validated signature.
+type SignatureReport struct {
+	// SignerName is the ds:KeyName hint, usually the identity name.
+	SignerName string
+	// SignerCN is the common name of the leaf certificate, when
+	// present.
+	SignerCN string
+	// ChainValidated reports whether an X.509 chain to the player
+	// roots was validated.
+	ChainValidated bool
+	// References lists validated reference URIs.
+	References []string
+	// DecryptedBeforeVerify counts post-signature encryptions undone
+	// by the decryption transform pass.
+	DecryptedBeforeVerify int
+}
+
+// OpenResult is the outcome of processing a protected document.
+type OpenResult struct {
+	// Doc is the fully decrypted, verified document.
+	Doc *xmldom.Document
+	// Signatures reports each validated signature.
+	Signatures []SignatureReport
+	// OpenedAfterVerify counts excepted regions decrypted after
+	// verification.
+	OpenedAfterVerify int
+}
+
+// ErrVerificationRequired is returned when RequireSignature is set and
+// the document carries no signature.
+var ErrVerificationRequired = errors.New("core: document carries no signature but the platform requires one")
+
+// Open processes a protected cluster/manifest document end-to-end:
+//
+//  1. For each signature, run the decryption transform pass (decrypt
+//     everything encrypted after signing, leave dcrpt:Except regions).
+//  2. Verify every signature; any failure aborts.
+//  3. Decrypt remaining (excepted) regions so the application is
+//     executable.
+func (o *Opener) Open(docBytes []byte) (*OpenResult, error) {
+	doc, err := xmldom.ParseBytes(docBytes)
+	if err != nil {
+		return nil, fmt.Errorf("core: parse: %w", err)
+	}
+	return o.OpenDocument(doc)
+}
+
+// OpenDocument is Open over an already-parsed document (which it
+// mutates).
+func (o *Opener) OpenDocument(doc *xmldom.Document) (*OpenResult, error) {
+	res := &OpenResult{Doc: doc}
+
+	sigs := xmldsig.FindSignatures(doc)
+	if len(sigs) == 0 {
+		if o.RequireSignature {
+			return nil, ErrVerificationRequired
+		}
+		// Unsigned content: just decrypt whatever we can.
+		n, err := xmlenc.DecryptAll(doc, o.Decrypt)
+		if err != nil {
+			return nil, err
+		}
+		res.OpenedAfterVerify = n
+		return res, nil
+	}
+
+	// Phase 1: decryption transform per signature.
+	reports := make([]SignatureReport, len(sigs))
+	for i, sig := range sigs {
+		dres, err := dectrans.ProcessSignature(doc, sig, o.Decrypt)
+		if err != nil {
+			return nil, fmt.Errorf("core: decryption transform: %w", err)
+		}
+		reports[i].DecryptedBeforeVerify = dres.Decrypted
+	}
+
+	// Phase 2: verify all signatures.
+	for i, sig := range sigs {
+		vres, err := xmldsig.Verify(doc, sig, xmldsig.VerifyOptions{
+			Roots:                    o.Roots,
+			Resolver:                 o.Resolver,
+			KeyByName:                o.KeyByName,
+			AcceptedSignatureMethods: o.AcceptedSignatureMethods,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("core: signature %d: %w", i+1, err)
+		}
+		reports[i].ChainValidated = vres.CertificateChainValidated
+		if vres.KeyInfo != nil {
+			reports[i].SignerName = vres.KeyInfo.KeyName
+			if len(vres.KeyInfo.Certificates) > 0 {
+				reports[i].SignerCN = vres.KeyInfo.Certificates[0].Subject.CommonName
+			}
+		}
+		for _, ref := range vres.References {
+			reports[i].References = append(reports[i].References, ref.URI)
+		}
+	}
+	res.Signatures = reports
+
+	// Phase 3: open excepted regions.
+	n, err := xmlenc.DecryptAll(doc, o.Decrypt)
+	if err != nil {
+		return nil, fmt.Errorf("core: opening excepted regions: %w", err)
+	}
+	res.OpenedAfterVerify = n
+	return res, nil
+}
+
+// VerifyDetached validates a detached signature file from the disc image
+// against the image contents (track payload integrity, §5.3).
+func (o *Opener) VerifyDetached(im *disc.Image, signaturePath string) (*SignatureReport, error) {
+	raw, err := im.Get(signaturePath)
+	if err != nil {
+		return nil, err
+	}
+	doc, err := xmldom.ParseBytes(raw)
+	if err != nil {
+		return nil, fmt.Errorf("core: parse detached signature: %w", err)
+	}
+	sig := xmldsig.FindSignature(doc)
+	if sig == nil {
+		return nil, xmldsig.ErrNoSignature
+	}
+	vres, err := xmldsig.Verify(doc, sig, xmldsig.VerifyOptions{
+		Roots:                    o.Roots,
+		Resolver:                 im,
+		KeyByName:                o.KeyByName,
+		AcceptedSignatureMethods: o.AcceptedSignatureMethods,
+	})
+	if err != nil {
+		return nil, err
+	}
+	rep := &SignatureReport{ChainValidated: vres.CertificateChainValidated}
+	if vres.KeyInfo != nil {
+		rep.SignerName = vres.KeyInfo.KeyName
+		if len(vres.KeyInfo.Certificates) > 0 {
+			rep.SignerCN = vres.KeyInfo.Certificates[0].Subject.CommonName
+		}
+	}
+	for _, ref := range vres.References {
+		rep.References = append(rep.References, ref.URI)
+	}
+	return rep, nil
+}

@@ -1,0 +1,132 @@
+package core
+
+import (
+	"fmt"
+
+	"discsec/internal/access"
+	"discsec/internal/disc"
+	"discsec/internal/xmlenc"
+)
+
+// PackageSpec describes a complete authoring run: content, permissions,
+// and the protection to apply (paper Fig. 9, authoring half).
+type PackageSpec struct {
+	// Cluster is the content hierarchy to package.
+	Cluster *disc.InteractiveCluster
+	// Clips maps image paths ("CLIPS/clip-1.m2ts") to payloads.
+	Clips map[string][]byte
+	// PermissionRequests maps manifest IDs to their permission request
+	// files; each is written to APPS/<id>/permissions.xml and wired
+	// into the manifest.
+	PermissionRequests map[string]*access.PermissionRequest
+
+	// SignLevel/SignID select the signature granularity (LevelCluster
+	// signs everything). Signing is skipped when Sign is false.
+	Sign      bool
+	SignLevel Level
+	SignID    string
+
+	// EncryptPaths lists element query paths to encrypt after signing.
+	EncryptPaths []string
+	// Encryption configures cipher and key delivery for EncryptPaths.
+	Encryption xmlenc.EncryptOptions
+
+	// SignClips adds a detached signature over all clip payloads at
+	// SIGS/tracks.xml.
+	SignClips bool
+}
+
+// ClipSignaturePath is where Package stores the detached clip signature.
+const ClipSignaturePath = "SIGS/tracks.xml"
+
+// Package assembles and protects a disc image.
+func (p *Protector) Package(spec PackageSpec) (*disc.Image, error) {
+	if spec.Cluster == nil {
+		return nil, fmt.Errorf("core: PackageSpec requires a cluster")
+	}
+	im := disc.NewImage()
+
+	// Wire permission request files into manifests before rendering.
+	for id, pr := range spec.PermissionRequests {
+		found := false
+		for _, tr := range spec.Cluster.ApplicationTracks() {
+			if tr.Manifest != nil && tr.Manifest.ID == id {
+				path := "APPS/" + id + "/permissions.xml"
+				if err := im.Put(path, pr.Document().Bytes()); err != nil {
+					return nil, err
+				}
+				tr.Manifest.PermissionFile = path
+				found = true
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("core: permission request for unknown manifest %q", id)
+		}
+	}
+
+	doc := spec.Cluster.Document()
+
+	if spec.Sign {
+		if len(spec.EncryptPaths) > 0 {
+			if _, err := p.SignThenEncrypt(doc, SignThenEncryptSpec{
+				Level:       spec.SignLevel,
+				ID:          spec.SignID,
+				PostEncrypt: spec.EncryptPaths,
+				Encryption:  spec.Encryption,
+			}); err != nil {
+				return nil, err
+			}
+		} else if _, err := p.Sign(doc, spec.SignLevel, spec.SignID); err != nil {
+			return nil, err
+		}
+	} else if len(spec.EncryptPaths) > 0 {
+		for i, path := range spec.EncryptPaths {
+			el, err := doc.Root().Find(path)
+			if err != nil {
+				return nil, err
+			}
+			if el == nil {
+				return nil, fmt.Errorf("core: EncryptPaths %q matched nothing", path)
+			}
+			opts := spec.Encryption
+			if opts.DataID == "" {
+				opts.DataID = fmt.Sprintf("enc-%d", i+1)
+			}
+			if _, err := xmlenc.EncryptElement(el, opts); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	if err := im.Put(disc.IndexPath, doc.Bytes()); err != nil {
+		return nil, err
+	}
+
+	var clipPaths []string
+	for path, data := range spec.Clips {
+		if err := im.Put(path, data); err != nil {
+			return nil, err
+		}
+		clipPaths = append(clipPaths, path)
+	}
+
+	if spec.SignClips {
+		if len(clipPaths) == 0 {
+			return nil, fmt.Errorf("core: SignClips set but no clips supplied")
+		}
+		// Deterministic reference order.
+		sortStrings(clipPaths)
+		if err := p.SignTrackPayloads(im, clipPaths, ClipSignaturePath); err != nil {
+			return nil, err
+		}
+	}
+	return im, nil
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

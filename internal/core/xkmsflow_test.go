@@ -1,0 +1,81 @@
+package core
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"discsec/internal/keymgmt"
+	"discsec/internal/xmldsig"
+)
+
+// The XKMS verification flow (paper §7 and the "extend the prototype
+// with XML based Key Management" future work): the signer embeds only a
+// ds:KeyName; the player resolves the verification key through the
+// trust service, which also enforces revocation.
+func TestOpenWithXKMSKeyResolution(t *testing.T) {
+	// A signer that embeds no certificates — only a KeyName.
+	doc := sampleClusterDoc(t)
+	opts := xmldsig.SignOptions{
+		Key:     creator.Key,
+		KeyInfo: xmldsig.KeyInfoSpec{KeyName: creator.Name},
+	}
+	if _, err := xmldsig.SignEnveloped(doc, doc.Root(), opts); err != nil {
+		t.Fatal(err)
+	}
+	raw := doc.Bytes()
+	if strings.Contains(string(raw), "X509Certificate") {
+		t.Fatal("setup: certificate leaked into signature")
+	}
+
+	service := keymgmt.NewService(rootCA.Pool())
+	if err := service.Register(creator.Name, creator.Cert, "auth"); err != nil {
+		t.Fatal(err)
+	}
+
+	// In-process resolution.
+	opener := &Opener{RequireSignature: true, KeyByName: service.PublicKeyByName}
+	res, err := opener.Open(raw)
+	if err != nil {
+		t.Fatalf("open via in-process XKMS: %v", err)
+	}
+	if res.Signatures[0].SignerName != creator.Name {
+		t.Errorf("signer = %q", res.Signatures[0].SignerName)
+	}
+
+	// Over-the-wire resolution.
+	srv := httptest.NewServer(&keymgmt.Handler{Service: service})
+	defer srv.Close()
+	client := &keymgmt.Client{BaseURL: srv.URL}
+	opener2 := &Opener{RequireSignature: true, KeyByName: client.PublicKeyByName}
+	if _, err := opener2.Open(raw); err != nil {
+		t.Fatalf("open via HTTP XKMS: %v", err)
+	}
+
+	// Revocation closes the door.
+	if err := service.Revoke(creator.Name, "auth"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := opener.Open(raw); err == nil {
+		t.Error("revoked signer accepted via in-process XKMS")
+	}
+	if _, err := opener2.Open(raw); err == nil {
+		t.Error("revoked signer accepted via HTTP XKMS")
+	}
+}
+
+func TestOpenKeyNameUnknownBinding(t *testing.T) {
+	doc := sampleClusterDoc(t)
+	opts := xmldsig.SignOptions{
+		Key:     creator.Key,
+		KeyInfo: xmldsig.KeyInfoSpec{KeyName: "nobody-knows-me"},
+	}
+	if _, err := xmldsig.SignEnveloped(doc, doc.Root(), opts); err != nil {
+		t.Fatal(err)
+	}
+	service := keymgmt.NewService(rootCA.Pool())
+	opener := &Opener{RequireSignature: true, KeyByName: service.PublicKeyByName}
+	if _, err := opener.Open(doc.Bytes()); err == nil {
+		t.Error("unknown key name accepted")
+	}
+}

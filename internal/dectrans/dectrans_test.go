@@ -1,0 +1,186 @@
+package dectrans
+
+import (
+	"crypto/rand"
+	"crypto/rsa"
+	"strings"
+	"testing"
+
+	"discsec/internal/xmldom"
+	"discsec/internal/xmldsig"
+	"discsec/internal/xmlenc"
+	"discsec/internal/xmlsecuri"
+)
+
+var testRSAKey *rsa.PrivateKey
+
+func init() {
+	var err error
+	testRSAKey, err = rsa.GenerateKey(rand.Reader, 2048)
+	if err != nil {
+		panic(err)
+	}
+}
+
+func parseDoc(t *testing.T, s string) *xmldom.Document {
+	t.Helper()
+	doc, err := xmldom.ParseString(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return doc
+}
+
+func key(n int) []byte {
+	k := make([]byte, n)
+	for i := range k {
+		k[i] = byte(i*13 + 7)
+	}
+	return k
+}
+
+// TestSignThenEncryptRoundTrip exercises the paper's Fig. 9 order:
+//  1. author signs the manifest (with a decryption transform declaring
+//     the pre-existing encrypted region as an exception),
+//  2. author encrypts an additional region AFTER signing,
+//  3. player decrypts the post-signature region (but not the excepted
+//     one) and verifies.
+func TestSignThenEncryptRoundTrip(t *testing.T) {
+	doc := parseDoc(t, `<manifest xmlns="urn:m">
+  <markup><layout/></markup>
+  <secrets><licensekey>ABC-123</licensekey></secrets>
+  <code><script>var x = 1;</script></code>
+</manifest>`)
+
+	contentKey := key(32)
+
+	// Step 0: the secrets region is encrypted BEFORE signing (it is
+	// signed in encrypted form).
+	secrets, _ := doc.Root().Find("secrets")
+	if _, err := xmlenc.EncryptElement(secrets, xmlenc.EncryptOptions{Key: contentKey, DataID: "enc-pre"}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Step 1: sign the whole manifest with enveloped signature whose
+	// reference chain includes the decryption transform excepting
+	// enc-pre.
+	refs := []xmldsig.ReferenceSpec{{
+		URI: "",
+		Transforms: []string{
+			xmlsecuri.TransformEnveloped,
+			xmlsecuri.TransformDecryptXML,
+			xmlsecuri.ExcC14N,
+		},
+		DecryptExceptURIs: []string{"#enc-pre"},
+	}}
+	if _, err := xmldsig.SignWithReferences(doc, doc.Root(), refs, xmldsig.SignOptions{Key: testRSAKey, KeyInfo: xmldsig.KeyInfoSpec{IncludeKeyValue: true}}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Step 2: encrypt the code region AFTER signing.
+	code, _ := doc.Root().Find("code")
+	if _, err := xmlenc.EncryptElement(code, xmlenc.EncryptOptions{Key: contentKey, DataID: "enc-post"}); err != nil {
+		t.Fatal(err)
+	}
+
+	transmitted := doc.Root().String()
+	if strings.Contains(transmitted, "var x = 1;") || strings.Contains(transmitted, "ABC-123") {
+		t.Fatal("plaintext leaked in transmission")
+	}
+
+	// Player side.
+	rx := parseDoc(t, transmitted)
+	sig := xmldsig.FindSignature(rx)
+	if sig == nil {
+		t.Fatal("no signature in received document")
+	}
+	res, err := ProcessSignature(rx, sig, xmlenc.DecryptOptions{Key: contentKey})
+	if err != nil {
+		t.Fatalf("decryption transform: %v", err)
+	}
+	if res.Decrypted != 1 || res.Excepted != 1 {
+		t.Errorf("result = %+v, want 1 decrypted / 1 excepted", res)
+	}
+
+	if _, err := xmldsig.Verify(rx, sig, xmldsig.VerifyOptions{}); err != nil {
+		t.Fatalf("verify after decryption transform: %v", err)
+	}
+
+	// The excepted region can be opened afterwards.
+	if _, err := xmlenc.DecryptAll(rx, xmlenc.DecryptOptions{Key: contentKey}); err != nil {
+		t.Fatalf("opening excepted region: %v", err)
+	}
+	if el, _ := rx.Root().Find("secrets/licensekey"); el == nil || el.Text() != "ABC-123" {
+		t.Errorf("secrets not recovered: %s", rx.Root().String())
+	}
+	if el, _ := rx.Root().Find("code/script"); el == nil || el.Text() != "var x = 1;" {
+		t.Errorf("code not recovered")
+	}
+}
+
+// Decrypting everything (ignoring the exception) must break the
+// signature: the excepted region was signed as ciphertext.
+func TestDecryptingExceptedRegionBreaksSignature(t *testing.T) {
+	doc := parseDoc(t, `<m xmlns="urn:m"><sec><k>s3cret</k></sec><body>text</body></m>`)
+	contentKey := key(32)
+	sec, _ := doc.Root().Find("sec")
+	if _, err := xmlenc.EncryptElement(sec, xmlenc.EncryptOptions{Key: contentKey, DataID: "pre"}); err != nil {
+		t.Fatal(err)
+	}
+	refs := []xmldsig.ReferenceSpec{{
+		URI:               "",
+		Transforms:        []string{xmlsecuri.TransformEnveloped, xmlsecuri.TransformDecryptXML, xmlsecuri.ExcC14N},
+		DecryptExceptURIs: []string{"#pre"},
+	}}
+	if _, err := xmldsig.SignWithReferences(doc, doc.Root(), refs, xmldsig.SignOptions{Key: testRSAKey, KeyInfo: xmldsig.KeyInfoSpec{IncludeKeyValue: true}}); err != nil {
+		t.Fatal(err)
+	}
+
+	rx := parseDoc(t, doc.Root().String())
+	// WRONG order: decrypt everything, then verify.
+	if _, err := xmlenc.DecryptAll(rx, xmlenc.DecryptOptions{Key: contentKey}); err != nil {
+		t.Fatal(err)
+	}
+	sig := xmldsig.FindSignature(rx)
+	if _, err := xmldsig.Verify(rx, sig, xmldsig.VerifyOptions{}); err == nil {
+		t.Error("verification succeeded although the excepted region was decrypted first")
+	}
+}
+
+func TestProcessDocumentBareIDs(t *testing.T) {
+	doc := parseDoc(t, `<m><a><x>1</x></a><b><y>2</y></b></m>`)
+	k := key(16)
+	a, _ := doc.Root().Find("a")
+	b, _ := doc.Root().Find("b")
+	if _, err := xmlenc.EncryptElement(a, xmlenc.EncryptOptions{Algorithm: xmlsecuri.EncAES128GCM, Key: k, DataID: "keep"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := xmlenc.EncryptElement(b, xmlenc.EncryptOptions{Algorithm: xmlsecuri.EncAES128GCM, Key: k, DataID: "open"}); err != nil {
+		t.Fatal(err)
+	}
+	// Exception given without the fragment hash.
+	res, err := ProcessDocument(doc, []string{"keep"}, xmlenc.DecryptOptions{Key: k})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Decrypted != 1 || res.Excepted != 1 {
+		t.Errorf("result = %+v", res)
+	}
+	if el, _ := doc.Root().Find("b/y"); el == nil {
+		t.Error("b not decrypted")
+	}
+	if el, _ := doc.Root().Find("a/x"); el != nil {
+		t.Error("a was decrypted despite exception")
+	}
+}
+
+func TestProcessDocumentNothingToDo(t *testing.T) {
+	doc := parseDoc(t, `<m><a/></m>`)
+	res, err := ProcessDocument(doc, nil, xmlenc.DecryptOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Decrypted != 0 || res.Excepted != 0 {
+		t.Errorf("result = %+v", res)
+	}
+}

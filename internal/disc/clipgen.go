@@ -1,0 +1,141 @@
+package disc
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Synthetic MPEG-2 transport stream generation. The paper's prototype
+// handled studio HD footage; for the reproduction, the security pipeline
+// treats A/V as opaque octets, so what matters is realistic framing and
+// size. Streams produced here are structurally valid TS packet sequences:
+// 188-byte packets with 0x47 sync bytes, PID multiplexing, continuity
+// counters, and a PES-like header at the start of each payload unit.
+
+// TSPacketSize is the MPEG-2 transport stream packet size.
+const TSPacketSize = 188
+
+// tsSyncByte is the MPEG-2 TS sync byte.
+const tsSyncByte = 0x47
+
+// ClipSpec parameterizes synthetic clip generation.
+type ClipSpec struct {
+	// DurationMS is the clip duration in milliseconds.
+	DurationMS int64
+	// BitrateKbps is the nominal stream bitrate (default 24000, a
+	// typical HD rate).
+	BitrateKbps int
+	// Seed makes generation deterministic.
+	Seed uint64
+	// PIDs lists the elementary stream PIDs to multiplex (default
+	// video 0x1011 and audio 0x1100, the BD-ROM conventions).
+	PIDs []uint16
+}
+
+// GenerateClip produces a synthetic transport stream of the size implied
+// by duration and bitrate.
+func GenerateClip(spec ClipSpec) []byte {
+	if spec.BitrateKbps <= 0 {
+		spec.BitrateKbps = 24000
+	}
+	if spec.DurationMS <= 0 {
+		spec.DurationMS = 1000
+	}
+	if len(spec.PIDs) == 0 {
+		spec.PIDs = []uint16{0x1011, 0x1100}
+	}
+	totalBytes := spec.DurationMS * int64(spec.BitrateKbps) * 1000 / 8 / 1000
+	packets := int(totalBytes / TSPacketSize)
+	if packets < 1 {
+		packets = 1
+	}
+
+	rng := splitMix64(spec.Seed)
+	out := make([]byte, packets*TSPacketSize)
+	counters := make(map[uint16]byte, len(spec.PIDs))
+
+	for p := 0; p < packets; p++ {
+		pkt := out[p*TSPacketSize : (p+1)*TSPacketSize]
+		pid := spec.PIDs[p%len(spec.PIDs)]
+		cc := counters[pid]
+		counters[pid] = (cc + 1) & 0x0F
+
+		payloadUnitStart := p%16 == 0
+		pkt[0] = tsSyncByte
+		pkt[1] = byte(pid >> 8 & 0x1F)
+		if payloadUnitStart {
+			pkt[1] |= 0x40
+		}
+		pkt[2] = byte(pid)
+		pkt[3] = 0x10 | cc // adaptation: payload only
+
+		body := pkt[4:]
+		if payloadUnitStart {
+			// PES-like start code prefix and stream id.
+			body[0], body[1], body[2] = 0x00, 0x00, 0x01
+			body[3] = 0xE0 // video stream id class
+			body = body[4:]
+		}
+		for i := 0; i < len(body); i += 8 {
+			v := rng()
+			for j := 0; j < 8 && i+j < len(body); j++ {
+				body[i+j] = byte(v >> (8 * j))
+			}
+		}
+	}
+	return out
+}
+
+// ValidateClip checks structural transport-stream invariants: packet
+// alignment, sync bytes, and per-PID continuity counters.
+func ValidateClip(data []byte) error {
+	if len(data) == 0 || len(data)%TSPacketSize != 0 {
+		return fmt.Errorf("disc: clip length %d is not a multiple of %d", len(data), TSPacketSize)
+	}
+	last := map[uint16]int{}
+	for p := 0; p*TSPacketSize < len(data); p++ {
+		pkt := data[p*TSPacketSize:]
+		if pkt[0] != tsSyncByte {
+			return fmt.Errorf("disc: packet %d missing sync byte", p)
+		}
+		pid := uint16(pkt[1]&0x1F)<<8 | uint16(pkt[2])
+		cc := int(pkt[3] & 0x0F)
+		if prev, seen := last[pid]; seen {
+			if cc != (prev+1)&0x0F {
+				return fmt.Errorf("disc: packet %d PID %#x continuity jump %d -> %d", p, pid, prev, cc)
+			}
+		}
+		last[pid] = cc
+	}
+	return nil
+}
+
+// ClipPIDs returns the distinct PIDs present in a stream.
+func ClipPIDs(data []byte) ([]uint16, error) {
+	if len(data)%TSPacketSize != 0 {
+		return nil, errors.New("disc: misaligned clip")
+	}
+	seen := map[uint16]bool{}
+	var out []uint16
+	for p := 0; p*TSPacketSize < len(data); p++ {
+		pkt := data[p*TSPacketSize:]
+		pid := uint16(pkt[1]&0x1F)<<8 | uint16(pkt[2])
+		if !seen[pid] {
+			seen[pid] = true
+			out = append(out, pid)
+		}
+	}
+	return out, nil
+}
+
+// splitMix64 returns a fast deterministic PRNG.
+func splitMix64(seed uint64) func() uint64 {
+	state := seed
+	return func() uint64 {
+		state += 0x9E3779B97F4A7C15
+		z := state
+		z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+		z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+		return z ^ (z >> 31)
+	}
+}

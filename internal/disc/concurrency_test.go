@@ -1,0 +1,63 @@
+package disc
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// The image and local storage are shared between the engine and
+// playback paths; exercise them concurrently (run with -race).
+func TestImageConcurrentAccess(t *testing.T) {
+	im := NewImage()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				path := fmt.Sprintf("W%d/file-%d", w, i)
+				if err := im.Put(path, []byte{byte(w), byte(i)}); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := im.Get(path); err != nil {
+					t.Error(err)
+					return
+				}
+				im.Paths()
+				im.Size()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := len(im.Paths()); got != 8*50 {
+		t.Errorf("paths = %d", got)
+	}
+}
+
+func TestLocalStorageConcurrentAccess(t *testing.T) {
+	ls := NewLocalStorage(1 << 20)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			app := fmt.Sprintf("app-%d", w)
+			for i := 0; i < 50; i++ {
+				name := fmt.Sprintf("e%d", i)
+				if err := ls.Put(app, name, []byte("v")); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := ls.Get(app, name); err != nil {
+					t.Error(err)
+					return
+				}
+				ls.List(app)
+				ls.Used()
+			}
+		}(w)
+	}
+	wg.Wait()
+}

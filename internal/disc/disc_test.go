@@ -1,0 +1,413 @@
+package disc
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"discsec/internal/xmldom"
+)
+
+func sampleCluster() *InteractiveCluster {
+	layout := xmldom.NewElement("layout")
+	layout.DeclareNamespace("", "urn:discsec:smil")
+	layout.CreateChild("region").SetAttr("id", "main")
+	timing := xmldom.NewElement("timing")
+	timing.DeclareNamespace("", "urn:discsec:smil")
+	timing.CreateChild("seq").SetAttr("dur", "5s")
+
+	return &InteractiveCluster{
+		Title: "Feature Film",
+		Tracks: []*Track{
+			{
+				ID:   "track-av-1",
+				Kind: TrackAV,
+				Playlist: &Playlist{
+					Name: "main-feature",
+					Items: []PlayItem{
+						{ClipID: "clip-1", InMS: 0, OutMS: 60000},
+						{ClipID: "clip-2", InMS: 0, OutMS: 30000},
+					},
+				},
+			},
+			{
+				ID:   "track-app-1",
+				Kind: TrackApplication,
+				Manifest: &Manifest{
+					ID:             "app-menu",
+					PermissionFile: "APPS/app-menu/permissions.xml",
+					Markup: Markup{SubMarkups: []SubMarkup{
+						{Kind: "layout", Content: layout},
+						{Kind: "timing", Content: timing},
+					}},
+					Code: Code{Scripts: []Script{
+						{Language: "ecmascript", Source: "var selected = 0;"},
+					}},
+				},
+			},
+		},
+	}
+}
+
+func TestClusterXMLRoundTrip(t *testing.T) {
+	c := sampleCluster()
+	doc := c.Document()
+	back, err := ParseClusterString(doc.String())
+	if err != nil {
+		t.Fatalf("parse rendered cluster: %v\n%s", err, doc.String())
+	}
+	if back.Title != c.Title || len(back.Tracks) != 2 {
+		t.Fatalf("round trip = %+v", back)
+	}
+	av := back.FindTrack("track-av-1")
+	if av == nil || av.Playlist == nil || len(av.Playlist.Items) != 2 {
+		t.Fatalf("av track = %+v", av)
+	}
+	if av.Playlist.Items[0].OutMS != 60000 {
+		t.Errorf("playitem out = %d", av.Playlist.Items[0].OutMS)
+	}
+	app := back.FindTrack("track-app-1")
+	if app == nil || app.Manifest == nil {
+		t.Fatal("application track lost")
+	}
+	m := app.Manifest
+	if m.ID != "app-menu" || m.PermissionFile != "APPS/app-menu/permissions.xml" {
+		t.Errorf("manifest = %+v", m)
+	}
+	if len(m.Markup.SubMarkups) != 2 || m.Markup.SubMarkups[0].Kind != "layout" {
+		t.Errorf("submarkups = %+v", m.Markup.SubMarkups)
+	}
+	if m.Markup.SubMarkups[0].Content.FirstChildElement("region") == nil {
+		t.Error("layout content lost")
+	}
+	if len(m.Code.Scripts) != 1 || m.Code.Scripts[0].Source != "var selected = 0;" {
+		t.Errorf("scripts = %+v", m.Code.Scripts)
+	}
+	if len(back.ApplicationTracks()) != 1 || len(back.AVTracks()) != 1 {
+		t.Error("track filters wrong")
+	}
+}
+
+func TestParseClusterErrors(t *testing.T) {
+	bad := []string{
+		`<wrong xmlns="urn:discsec:cluster"/>`,
+		`<cluster/>`, // wrong namespace
+		`<cluster xmlns="urn:discsec:cluster"><track Id="t" kind="weird"/></cluster>`,
+		`<cluster xmlns="urn:discsec:cluster"><track Id="t" kind="av"/></cluster>`,          // no playlist
+		`<cluster xmlns="urn:discsec:cluster"><track Id="t" kind="application"/></cluster>`, // no manifest
+		`<cluster xmlns="urn:discsec:cluster"><track Id="t" kind="av"><playlist><playitem clip="c" in="x" out="1"/></playlist></track></cluster>`,
+	}
+	for _, s := range bad {
+		if _, err := ParseClusterString(s); err == nil {
+			t.Errorf("accepted: %s", s)
+		}
+	}
+}
+
+func TestImagePutGet(t *testing.T) {
+	im := NewImage()
+	if err := im.Put("CLIPS/clip-1.m2ts", []byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	b, err := im.Get("CLIPS/clip-1.m2ts")
+	if err != nil || !bytes.Equal(b, []byte{1, 2, 3}) {
+		t.Fatalf("get = %v, %v", b, err)
+	}
+	// Returned slice is a copy.
+	b[0] = 99
+	b2, _ := im.Get("CLIPS/clip-1.m2ts")
+	if b2[0] != 1 {
+		t.Error("Get returned aliased storage")
+	}
+	if _, err := im.Get("missing"); err == nil {
+		t.Error("missing path accepted")
+	}
+	if !im.Has("CLIPS/clip-1.m2ts") || im.Has("nope") {
+		t.Error("Has wrong")
+	}
+	if im.Size() != 3 {
+		t.Errorf("size = %d", im.Size())
+	}
+	if !im.Remove("CLIPS/clip-1.m2ts") || im.Remove("CLIPS/clip-1.m2ts") {
+		t.Error("Remove wrong")
+	}
+}
+
+func TestImagePathValidation(t *testing.T) {
+	im := NewImage()
+	for _, p := range []string{"", "/abs", "a//b", "a/../b", "./x", "a/."} {
+		if err := im.Put(p, nil); err == nil {
+			t.Errorf("path %q accepted", p)
+		}
+	}
+}
+
+func TestImageContainerRoundTrip(t *testing.T) {
+	im := NewImage()
+	c := sampleCluster()
+	if err := im.WriteIndex(c); err != nil {
+		t.Fatal(err)
+	}
+	clip := GenerateClip(ClipSpec{DurationMS: 100, BitrateKbps: 1000, Seed: 7})
+	im.Put("CLIPS/clip-1.m2ts", clip)
+	im.Put("APPS/app-menu/permissions.xml", []byte(`<permissionrequestfile/>`))
+
+	packed := im.Bytes()
+	back, err := ReadImageBytes(packed)
+	if err != nil {
+		t.Fatalf("read container: %v", err)
+	}
+	if len(back.Paths()) != 3 {
+		t.Fatalf("paths = %v", back.Paths())
+	}
+	got, err := back.Get("CLIPS/clip-1.m2ts")
+	if err != nil || !bytes.Equal(got, clip) {
+		t.Error("clip did not round trip")
+	}
+	idx, err := back.ReadIndexDocumentBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseClusterString(string(idx)); err != nil {
+		t.Errorf("index reparse: %v", err)
+	}
+}
+
+func TestImageContainerCorruption(t *testing.T) {
+	im := NewImage()
+	im.Put("a", []byte("data"))
+	packed := im.Bytes()
+
+	// Flip a payload byte: digest check must fail.
+	corrupt := append([]byte(nil), packed...)
+	corrupt[len(imageMagic)+3] ^= 0xFF
+	if _, err := ReadImageBytes(corrupt); err == nil {
+		t.Error("corrupted container accepted")
+	}
+	// Truncate.
+	if _, err := ReadImageBytes(packed[:10]); err == nil {
+		t.Error("truncated container accepted")
+	}
+	// Bad magic.
+	bad := append([]byte("XXXXXXXX"), packed[8:]...)
+	if _, err := ReadImageBytes(bad); err == nil {
+		t.Error("bad magic accepted")
+	}
+}
+
+// Property: any set of files survives the container round trip.
+func TestImageContainerRoundTripProperty(t *testing.T) {
+	f := func(names []uint16, blobs [][]byte) bool {
+		im := NewImage()
+		want := map[string][]byte{}
+		for i, n := range names {
+			if i >= len(blobs) {
+				break
+			}
+			path := "F/" + itoaU16(n)
+			im.Put(path, blobs[i])
+			want[path] = blobs[i]
+		}
+		back, err := ReadImageBytes(im.Bytes())
+		if err != nil {
+			return false
+		}
+		for p, b := range want {
+			got, err := back.Get(p)
+			if err != nil || !bytes.Equal(got, b) {
+				return false
+			}
+		}
+		return len(back.Paths()) == len(want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func itoaU16(v uint16) string {
+	const digits = "0123456789"
+	if v == 0 {
+		return "0"
+	}
+	var b [5]byte
+	i := len(b)
+	for v > 0 {
+		i--
+		b[i] = digits[v%10]
+		v /= 10
+	}
+	return string(b[i:])
+}
+
+func TestGenerateClipStructure(t *testing.T) {
+	clip := GenerateClip(ClipSpec{DurationMS: 2000, BitrateKbps: 8000, Seed: 42})
+	if len(clip)%TSPacketSize != 0 {
+		t.Fatalf("clip length %d not packet-aligned", len(clip))
+	}
+	wantBytes := int64(2000) * 8000 * 1000 / 8 / 1000
+	if diff := wantBytes - int64(len(clip)); diff < 0 || diff > TSPacketSize {
+		t.Errorf("clip size %d, want about %d", len(clip), wantBytes)
+	}
+	if err := ValidateClip(clip); err != nil {
+		t.Errorf("generated clip invalid: %v", err)
+	}
+	pids, err := ClipPIDs(clip)
+	if err != nil || len(pids) != 2 {
+		t.Errorf("pids = %v, %v", pids, err)
+	}
+}
+
+func TestGenerateClipDeterministic(t *testing.T) {
+	a := GenerateClip(ClipSpec{DurationMS: 500, BitrateKbps: 2000, Seed: 1})
+	b := GenerateClip(ClipSpec{DurationMS: 500, BitrateKbps: 2000, Seed: 1})
+	c := GenerateClip(ClipSpec{DurationMS: 500, BitrateKbps: 2000, Seed: 2})
+	if !bytes.Equal(a, b) {
+		t.Error("same seed produced different clips")
+	}
+	if bytes.Equal(a, c) {
+		t.Error("different seeds produced identical clips")
+	}
+}
+
+func TestValidateClipDetectsDamage(t *testing.T) {
+	clip := GenerateClip(ClipSpec{DurationMS: 100, BitrateKbps: 2000, Seed: 3})
+	// Break a sync byte.
+	bad := append([]byte(nil), clip...)
+	bad[TSPacketSize] = 0x00
+	if err := ValidateClip(bad); err == nil {
+		t.Error("broken sync accepted")
+	}
+	// Break continuity: swap two packets of the same PID.
+	bad2 := append([]byte(nil), clip...)
+	copy(bad2[0:TSPacketSize], clip[2*TSPacketSize:3*TSPacketSize])
+	if err := ValidateClip(bad2); err == nil {
+		t.Error("continuity jump accepted")
+	}
+	if err := ValidateClip(clip[:100]); err == nil {
+		t.Error("misaligned clip accepted")
+	}
+}
+
+func TestLocalStorageLifecycle(t *testing.T) {
+	ls := NewLocalStorage(100)
+	if err := ls.Put("app-1", "scores.xml", bytes.Repeat([]byte("x"), 60)); err != nil {
+		t.Fatal(err)
+	}
+	if ls.Used() != 60 {
+		t.Errorf("used = %d", ls.Used())
+	}
+	// Over quota.
+	if err := ls.Put("app-1", "big.bin", bytes.Repeat([]byte("y"), 50)); !errors.Is(err, ErrQuotaExceeded) {
+		t.Errorf("quota err = %v", err)
+	}
+	// Replacing counts the delta, not the sum.
+	if err := ls.Put("app-1", "scores.xml", bytes.Repeat([]byte("x"), 90)); err != nil {
+		t.Errorf("replace within quota: %v", err)
+	}
+	got, err := ls.Get("app-1", "scores.xml")
+	if err != nil || len(got) != 90 {
+		t.Errorf("get = %d bytes, %v", len(got), err)
+	}
+	if _, err := ls.Get("app-1", "missing"); !errors.Is(err, ErrNoEntry) {
+		t.Errorf("missing err = %v", err)
+	}
+	if _, err := ls.Get("app-2", "scores.xml"); err == nil {
+		t.Error("cross-app read succeeded")
+	}
+	names := ls.List("app-1")
+	if len(names) != 1 || names[0] != "scores.xml" {
+		t.Errorf("list = %v", names)
+	}
+	if !ls.Delete("app-1", "scores.xml") || ls.Delete("app-1", "scores.xml") {
+		t.Error("delete semantics wrong")
+	}
+	if ls.Used() != 0 {
+		t.Errorf("used after delete = %d", ls.Used())
+	}
+	if err := ls.Put("", "x", nil); err == nil {
+		t.Error("empty app id accepted")
+	}
+	if err := ls.Put("a/b", "x", nil); err == nil {
+		t.Error("slash in app id accepted")
+	}
+	if NewLocalStorage(0).Quota() != DefaultStorageQuota {
+		t.Error("default quota not applied")
+	}
+}
+
+func TestImageResolveReference(t *testing.T) {
+	im := NewImage()
+	im.Put("CLIPS/c.m2ts", []byte("clip"))
+	for _, uri := range []string{"CLIPS/c.m2ts", "disc://CLIPS/c.m2ts"} {
+		b, err := im.ResolveReference(uri)
+		if err != nil || string(b) != "clip" {
+			t.Errorf("resolve %q = %q, %v", uri, b, err)
+		}
+	}
+}
+
+func TestImageFileHelpers(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/disc.img"
+	im := NewImage()
+	im.Put("a/b", []byte("payload"))
+	if err := im.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadImageFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := back.Get("a/b")
+	if err != nil || string(b) != "payload" {
+		t.Errorf("round trip = %q, %v", b, err)
+	}
+	if _, err := LoadImageFile(dir + "/missing.img"); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestOpenLocalStoragePersistence(t *testing.T) {
+	dir := t.TempDir()
+	ls, err := OpenLocalStorage(dir, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ls.Put("app-1", "scores.xml", []byte("best=300")); err != nil {
+		t.Fatal(err)
+	}
+	if err := ls.Put("app-1", "weird/name with spaces", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if err := ls.Put("app-2", "other", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	ls.Delete("app-2", "other")
+
+	// Reopen: state survives.
+	ls2, err := OpenLocalStorage(dir, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ls2.Get("app-1", "scores.xml")
+	if err != nil || string(b) != "best=300" {
+		t.Errorf("reloaded scores = %q, %v", b, err)
+	}
+	b, err = ls2.Get("app-1", "weird/name with spaces")
+	if err != nil || string(b) != "v" {
+		t.Errorf("escaped name entry = %q, %v", b, err)
+	}
+	if _, err := ls2.Get("app-2", "other"); err == nil {
+		t.Error("deleted entry survived reopen")
+	}
+	if ls2.Used() != ls.Used() {
+		t.Errorf("used %d != %d after reopen", ls2.Used(), ls.Used())
+	}
+
+	// Quota enforced against preexisting content.
+	if _, err := OpenLocalStorage(dir, 5); err == nil {
+		t.Error("reopen under quota accepted")
+	}
+}

@@ -1,0 +1,25 @@
+package disc
+
+import "testing"
+
+// FuzzParseCluster checks the content-hierarchy decoder against
+// arbitrary input: no panics, and accepted clusters round-trip through
+// their XML form.
+func FuzzParseCluster(f *testing.F) {
+	f.Add(`<cluster xmlns="urn:discsec:cluster" title="t"><track Id="a" kind="av"><playlist><playitem clip="c" in="0" out="5"/></playlist></track></cluster>`)
+	f.Add(`<cluster xmlns="urn:discsec:cluster"><track Id="b" kind="application"><manifest Id="m"><markup><submarkup kind="layout"><x/></submarkup></markup><code><script language="ecmascript">var v=1;</script></code></manifest></track></cluster>`)
+	f.Add(`<cluster/>`)
+	f.Fuzz(func(t *testing.T, s string) {
+		c, err := ParseClusterString(s)
+		if err != nil {
+			return
+		}
+		back, err := ParseClusterString(c.Document().String())
+		if err != nil {
+			t.Fatalf("accepted cluster did not round-trip: %v", err)
+		}
+		if len(back.Tracks) != len(c.Tracks) {
+			t.Fatalf("track count changed: %d -> %d", len(c.Tracks), len(back.Tracks))
+		}
+	})
+}

@@ -1,0 +1,299 @@
+package disc
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Image is a virtual disc image: the file tree a pressed disc would
+// expose to the player. The index document (the Interactive Cluster) and
+// every referenced resource (clips, permission files, detached
+// signatures) live under well-known paths.
+//
+// Well-known paths:
+//
+//	INDEX/cluster.xml      the interactive cluster document
+//	CLIPS/<id>.m2ts        transport streams
+//	APPS/<id>/...          per-application resources
+//	CERTS/...              certificate files
+type Image struct {
+	mu    sync.RWMutex
+	files map[string][]byte
+}
+
+// IndexPath is the image path of the cluster document.
+const IndexPath = "INDEX/cluster.xml"
+
+// NewImage creates an empty image.
+func NewImage() *Image {
+	return &Image{files: make(map[string][]byte)}
+}
+
+// Put stores a file, replacing any previous content. Paths are
+// slash-separated and must be relative and clean.
+func (im *Image) Put(path string, data []byte) error {
+	if err := checkPath(path); err != nil {
+		return err
+	}
+	im.mu.Lock()
+	defer im.mu.Unlock()
+	im.files[path] = append([]byte(nil), data...)
+	return nil
+}
+
+// Get retrieves a file's content.
+func (im *Image) Get(path string) ([]byte, error) {
+	im.mu.RLock()
+	defer im.mu.RUnlock()
+	b, ok := im.files[path]
+	if !ok {
+		return nil, fmt.Errorf("disc: image has no file %q", path)
+	}
+	return append([]byte(nil), b...), nil
+}
+
+// Has reports whether a path exists.
+func (im *Image) Has(path string) bool {
+	im.mu.RLock()
+	defer im.mu.RUnlock()
+	_, ok := im.files[path]
+	return ok
+}
+
+// Remove deletes a file, reporting whether it existed.
+func (im *Image) Remove(path string) bool {
+	im.mu.Lock()
+	defer im.mu.Unlock()
+	_, ok := im.files[path]
+	delete(im.files, path)
+	return ok
+}
+
+// Paths lists all file paths in sorted order.
+func (im *Image) Paths() []string {
+	im.mu.RLock()
+	defer im.mu.RUnlock()
+	out := make([]string, 0, len(im.files))
+	for p := range im.files {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Size returns the total payload bytes.
+func (im *Image) Size() int64 {
+	im.mu.RLock()
+	defer im.mu.RUnlock()
+	var n int64
+	for _, b := range im.files {
+		n += int64(len(b))
+	}
+	return n
+}
+
+// ResolveReference implements xmldsig.ExternalResolver so detached
+// signatures can reference image files by path (with or without the
+// disc:// scheme prefix).
+func (im *Image) ResolveReference(uri string) ([]byte, error) {
+	return im.Get(strings.TrimPrefix(uri, "disc://"))
+}
+
+func checkPath(p string) error {
+	if p == "" {
+		return errors.New("disc: empty path")
+	}
+	if strings.HasPrefix(p, "/") {
+		return fmt.Errorf("disc: path %q must be relative", p)
+	}
+	for _, seg := range strings.Split(p, "/") {
+		if seg == "" || seg == "." || seg == ".." {
+			return fmt.Errorf("disc: path %q contains invalid segment", p)
+		}
+	}
+	return nil
+}
+
+// --- Container format --------------------------------------------------
+//
+// A minimal deterministic container: magic, entry count, then for each
+// entry (sorted by path) the path and payload with uvarint lengths,
+// terminated by a SHA-256 of everything preceding the digest. The digest
+// gives cheap whole-image integrity (transport corruption detection; the
+// cryptographic trust comes from signatures inside the content).
+
+var imageMagic = []byte("DISCIMG1")
+
+// errCorruptImage reports container-level damage.
+var errCorruptImage = errors.New("disc: corrupt image container")
+
+// WriteTo serializes the image container.
+func (im *Image) WriteTo(w io.Writer) (int64, error) {
+	im.mu.RLock()
+	defer im.mu.RUnlock()
+
+	paths := make([]string, 0, len(im.files))
+	for p := range im.files {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+
+	h := sha256.New()
+	cw := &countingWriter{w: io.MultiWriter(w, h)}
+
+	if _, err := cw.Write(imageMagic); err != nil {
+		return cw.n, err
+	}
+	if err := writeUvarint(cw, uint64(len(paths))); err != nil {
+		return cw.n, err
+	}
+	for _, p := range paths {
+		if err := writeUvarint(cw, uint64(len(p))); err != nil {
+			return cw.n, err
+		}
+		if _, err := io.WriteString(cw, p); err != nil {
+			return cw.n, err
+		}
+		data := im.files[p]
+		if err := writeUvarint(cw, uint64(len(data))); err != nil {
+			return cw.n, err
+		}
+		if _, err := cw.Write(data); err != nil {
+			return cw.n, err
+		}
+	}
+	// Digest trailer is written to w only (not into the hash).
+	n, err := w.Write(h.Sum(nil))
+	return cw.n + int64(n), err
+}
+
+// Bytes serializes the image container to memory.
+func (im *Image) Bytes() []byte {
+	var buf bytes.Buffer
+	im.WriteTo(&buf) //nolint:errcheck // bytes.Buffer cannot fail
+	return buf.Bytes()
+}
+
+// ReadImage parses an image container, validating the integrity digest.
+func ReadImage(r io.Reader) (*Image, error) {
+	all, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	return ReadImageBytes(all)
+}
+
+// ReadImageBytes parses an image container from memory.
+func ReadImageBytes(all []byte) (*Image, error) {
+	if len(all) < len(imageMagic)+sha256.Size {
+		return nil, errCorruptImage
+	}
+	body, digest := all[:len(all)-sha256.Size], all[len(all)-sha256.Size:]
+	sum := sha256.Sum256(body)
+	if !bytes.Equal(sum[:], digest) {
+		return nil, fmt.Errorf("%w: integrity digest mismatch", errCorruptImage)
+	}
+	if !bytes.HasPrefix(body, imageMagic) {
+		return nil, fmt.Errorf("%w: bad magic", errCorruptImage)
+	}
+	br := bytes.NewReader(body[len(imageMagic):])
+	count, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", errCorruptImage, err)
+	}
+	if count > 1<<20 {
+		return nil, fmt.Errorf("%w: implausible entry count %d", errCorruptImage, count)
+	}
+	im := NewImage()
+	for i := uint64(0); i < count; i++ {
+		p, err := readLengthPrefixed(br)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", errCorruptImage, err)
+		}
+		data, err := readLengthPrefixed(br)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", errCorruptImage, err)
+		}
+		if err := im.Put(string(p), data); err != nil {
+			return nil, err
+		}
+	}
+	if br.Len() != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", errCorruptImage, br.Len())
+	}
+	return im, nil
+}
+
+func readLengthPrefixed(r *bytes.Reader) ([]byte, error) {
+	n, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(r.Len()) {
+		return nil, errors.New("length exceeds remaining data")
+	}
+	out := make([]byte, n)
+	if _, err := io.ReadFull(r, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+func writeUvarint(w io.Writer, v uint64) error {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	_, err := w.Write(buf[:n])
+	return err
+}
+
+// WriteIndex stores the cluster document at the well-known index path.
+func (im *Image) WriteIndex(c *InteractiveCluster) error {
+	return im.Put(IndexPath, c.Document().Bytes())
+}
+
+// ReadIndexDocumentBytes returns the raw cluster document, preserving
+// signatures and encryption structures the model types do not carry.
+func (im *Image) ReadIndexDocumentBytes() ([]byte, error) {
+	return im.Get(IndexPath)
+}
+
+// SaveFile writes the image container to a file.
+func (im *Image) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := im.WriteTo(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadImageFile reads an image container from a file.
+func LoadImageFile(path string) (*Image, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return ReadImageBytes(b)
+}

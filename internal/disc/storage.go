@@ -1,0 +1,199 @@
+package disc
+
+import (
+	"errors"
+	"fmt"
+	"net/url"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// LocalStorage is the player's persistent store (paper §4: "encrypt and
+// store the high scores of a game in a local storage"). Entries are
+// namespaced per application and quota-limited, matching CE device
+// constraints. With a backing directory the store survives player
+// restarts; without one it is session-scoped.
+type LocalStorage struct {
+	quota int64
+	dir   string // "" for in-memory only
+
+	mu    sync.RWMutex
+	used  int64
+	items map[string][]byte // key: appID + "/" + name
+}
+
+// Storage errors.
+var (
+	// ErrQuotaExceeded indicates the write would exceed the quota.
+	ErrQuotaExceeded = errors.New("disc: local storage quota exceeded")
+	// ErrNoEntry indicates a missing storage entry.
+	ErrNoEntry = errors.New("disc: no such storage entry")
+)
+
+// DefaultStorageQuota is the default local storage size (a 2005-era CE
+// budget).
+const DefaultStorageQuota = 8 << 20
+
+// NewLocalStorage creates an in-memory store with the given quota in
+// bytes (0 means DefaultStorageQuota).
+func NewLocalStorage(quota int64) *LocalStorage {
+	if quota <= 0 {
+		quota = DefaultStorageQuota
+	}
+	return &LocalStorage{quota: quota, items: make(map[string][]byte)}
+}
+
+// OpenLocalStorage creates (or reopens) a directory-backed store:
+// entries are persisted as files under dir/<appID>/<escaped name> and
+// reloaded on open, so player state (high scores, license use counts)
+// survives restarts.
+func OpenLocalStorage(dir string, quota int64) (*LocalStorage, error) {
+	ls := NewLocalStorage(quota)
+	ls.dir = dir
+	if err := os.MkdirAll(dir, 0o700); err != nil {
+		return nil, err
+	}
+	apps, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	for _, app := range apps {
+		if !app.IsDir() {
+			continue
+		}
+		appID := app.Name()
+		entries, err := os.ReadDir(filepath.Join(dir, appID))
+		if err != nil {
+			return nil, err
+		}
+		for _, e := range entries {
+			if e.IsDir() {
+				continue
+			}
+			name, err := url.PathUnescape(e.Name())
+			if err != nil {
+				continue // foreign file; ignore
+			}
+			b, err := os.ReadFile(filepath.Join(dir, appID, e.Name()))
+			if err != nil {
+				return nil, err
+			}
+			ls.items[appID+"/"+name] = b
+			ls.used += int64(len(b))
+		}
+	}
+	if ls.used > ls.quota {
+		return nil, fmt.Errorf("disc: existing storage (%d bytes) exceeds quota %d", ls.used, ls.quota)
+	}
+	return ls, nil
+}
+
+// persist mirrors an entry to the backing directory (no-op in-memory).
+// Called with the mutex held.
+func (ls *LocalStorage) persist(appID, name string, data []byte) error {
+	if ls.dir == "" {
+		return nil
+	}
+	appDir := filepath.Join(ls.dir, appID)
+	if err := os.MkdirAll(appDir, 0o700); err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(appDir, url.PathEscape(name)), data, 0o600)
+}
+
+func (ls *LocalStorage) unpersist(appID, name string) {
+	if ls.dir == "" {
+		return
+	}
+	os.Remove(filepath.Join(ls.dir, appID, url.PathEscape(name)))
+}
+
+func storageKey(appID, name string) (string, error) {
+	if appID == "" || name == "" {
+		return "", errors.New("disc: storage requires app id and entry name")
+	}
+	if strings.Contains(appID, "/") {
+		return "", fmt.Errorf("disc: app id %q must not contain '/'", appID)
+	}
+	return appID + "/" + name, nil
+}
+
+// Put stores an entry for an application, enforcing the quota.
+func (ls *LocalStorage) Put(appID, name string, data []byte) error {
+	key, err := storageKey(appID, name)
+	if err != nil {
+		return err
+	}
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
+	delta := int64(len(data)) - int64(len(ls.items[key]))
+	if ls.used+delta > ls.quota {
+		return fmt.Errorf("%w: %d + %d > %d", ErrQuotaExceeded, ls.used, delta, ls.quota)
+	}
+	if err := ls.persist(appID, name, data); err != nil {
+		return fmt.Errorf("disc: persisting %s: %w", key, err)
+	}
+	ls.items[key] = append([]byte(nil), data...)
+	ls.used += delta
+	return nil
+}
+
+// Get retrieves an entry.
+func (ls *LocalStorage) Get(appID, name string) ([]byte, error) {
+	key, err := storageKey(appID, name)
+	if err != nil {
+		return nil, err
+	}
+	ls.mu.RLock()
+	defer ls.mu.RUnlock()
+	b, ok := ls.items[key]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoEntry, key)
+	}
+	return append([]byte(nil), b...), nil
+}
+
+// Delete removes an entry, reporting whether it existed.
+func (ls *LocalStorage) Delete(appID, name string) bool {
+	key, err := storageKey(appID, name)
+	if err != nil {
+		return false
+	}
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
+	b, ok := ls.items[key]
+	if ok {
+		ls.used -= int64(len(b))
+		delete(ls.items, key)
+		ls.unpersist(appID, name)
+	}
+	return ok
+}
+
+// List returns the entry names of an application, sorted.
+func (ls *LocalStorage) List(appID string) []string {
+	prefix := appID + "/"
+	ls.mu.RLock()
+	defer ls.mu.RUnlock()
+	var out []string
+	for k := range ls.items {
+		if strings.HasPrefix(k, prefix) {
+			out = append(out, strings.TrimPrefix(k, prefix))
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Used reports the consumed bytes.
+func (ls *LocalStorage) Used() int64 {
+	ls.mu.RLock()
+	defer ls.mu.RUnlock()
+	return ls.used
+}
+
+// Quota reports the configured quota.
+func (ls *LocalStorage) Quota() int64 { return ls.quota }

@@ -1,0 +1,144 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestXMLPackageRoundTrip(t *testing.T) {
+	payload := []byte("interactive application payload")
+	pkg, err := BuildXMLPackage(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := OpenXMLPackage(pkg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(back, payload) {
+		t.Error("round trip mismatch")
+	}
+}
+
+func TestDCFPackageRoundTrip(t *testing.T) {
+	payload := []byte("interactive application payload")
+	pkg, err := BuildDCFPackage(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := OpenDCFPackage(pkg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(back, payload) {
+		t.Error("round trip mismatch")
+	}
+}
+
+// E1's headline claim must hold in this implementation: XML framing
+// costs a multiple of the binary framing at small payloads, decaying
+// toward the base64 floor (~1.33x) for large ones.
+func TestOverheadShape(t *testing.T) {
+	ratio := func(n int) float64 {
+		payload := make([]byte, n)
+		x, err := BuildXMLPackage(payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := BuildDCFPackage(payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return float64(len(x)) / float64(len(d))
+	}
+	small := ratio(256)
+	mid := ratio(4096)
+	large := ratio(1 << 20)
+	if small <= mid || mid <= large {
+		t.Errorf("overhead not decaying: %0.2f, %0.2f, %0.2f", small, mid, large)
+	}
+	if small < 2.0 {
+		t.Errorf("small-payload ratio %0.2f below the paper's band", small)
+	}
+	if large < 1.25 || large > 1.6 {
+		t.Errorf("large-payload ratio %0.2f should approach the base64 floor", large)
+	}
+}
+
+func TestSignAtAllLevels(t *testing.T) {
+	for _, target := range GranularityTargets() {
+		raw, err := SignAtLevel(target)
+		if err != nil {
+			t.Fatalf("%s: sign: %v", target.Name, err)
+		}
+		if err := VerifySigned(raw); err != nil {
+			t.Fatalf("%s: verify: %v", target.Name, err)
+		}
+	}
+}
+
+func TestSignatureForms(t *testing.T) {
+	for _, form := range []SignatureForm{FormEnveloped, FormEnveloping, FormDetached} {
+		pkg, ext, err := SignForm(form)
+		if err != nil {
+			t.Fatalf("%s: sign: %v", form, err)
+		}
+		if err := VerifyForm(form, pkg, ext); err != nil {
+			t.Fatalf("%s: verify: %v", form, err)
+		}
+	}
+}
+
+func TestEncryptGranularity(t *testing.T) {
+	full := GameDocument(32)
+	if err := EncryptFull(full); err != nil {
+		t.Fatal(err)
+	}
+	partial := GameDocument(32)
+	if err := EncryptScoresOnly(partial); err != nil {
+		t.Fatal(err)
+	}
+	// Partial ciphertext is smaller than full ciphertext.
+	if len(partial.Bytes()) >= len(full.Bytes())+len(partial.Bytes())/10 {
+		// partial keeps cleartext markup, so overall doc may be a bit
+		// larger than pure payload comparisons; the decrypt cost is
+		// what E5 measures. Just ensure both decrypt.
+		t.Log("partial vs full size comparison is workload-dependent")
+	}
+	if err := DecryptAllIn(full.Bytes()); err != nil {
+		t.Errorf("full decrypt: %v", err)
+	}
+	if err := DecryptAllIn(partial.Bytes()); err != nil {
+		t.Errorf("partial decrypt: %v", err)
+	}
+}
+
+func TestPipelineEndToEnd(t *testing.T) {
+	art, err := AuthorPipeline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := PlayerPipeline(art.PackedImage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.ScriptErrors) != 0 {
+		t.Errorf("script errors: %v", rep.ScriptErrors)
+	}
+	if len(rep.Granted) == 0 {
+		t.Error("no permissions granted to verified app")
+	}
+}
+
+func TestStartupConfigs(t *testing.T) {
+	for _, cfg := range StartupConfigs() {
+		packed, err := BuildStartupImage(cfg)
+		if err != nil {
+			t.Fatalf("%s: build: %v", cfg, err)
+		}
+		require := cfg != StartupClear
+		if err := RunStartup(packed, require); err != nil {
+			t.Fatalf("%s: run: %v", cfg, err)
+		}
+	}
+}

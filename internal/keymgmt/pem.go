@@ -1,0 +1,128 @@
+package keymgmt
+
+import (
+	"crypto"
+	"crypto/x509"
+	"encoding/pem"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// PEM persistence for identities and trust anchors, used by the command
+// line tools. Private keys are stored PKCS#8, certificates as standard
+// CERTIFICATE blocks (leaf first, then the chain).
+
+const (
+	keyFileName   = "key.pem"
+	chainFileName = "chain.pem"
+)
+
+// SaveIdentity writes an identity's key and certificate chain into dir.
+func SaveIdentity(id *Identity, dir string) error {
+	if err := os.MkdirAll(dir, 0o700); err != nil {
+		return err
+	}
+	der, err := x509.MarshalPKCS8PrivateKey(id.Key)
+	if err != nil {
+		return err
+	}
+	keyPEM := pem.EncodeToMemory(&pem.Block{Type: "PRIVATE KEY", Bytes: der})
+	if err := os.WriteFile(filepath.Join(dir, keyFileName), keyPEM, 0o600); err != nil {
+		return err
+	}
+	var chainPEM []byte
+	for _, c := range id.Chain {
+		chainPEM = append(chainPEM, pem.EncodeToMemory(&pem.Block{Type: "CERTIFICATE", Bytes: c})...)
+	}
+	return os.WriteFile(filepath.Join(dir, chainFileName), chainPEM, 0o644)
+}
+
+// LoadIdentity reads an identity previously written by SaveIdentity.
+func LoadIdentity(dir string) (*Identity, error) {
+	keyPEM, err := os.ReadFile(filepath.Join(dir, keyFileName))
+	if err != nil {
+		return nil, err
+	}
+	block, _ := pem.Decode(keyPEM)
+	if block == nil || block.Type != "PRIVATE KEY" {
+		return nil, fmt.Errorf("keymgmt: %s: no PRIVATE KEY block", filepath.Join(dir, keyFileName))
+	}
+	keyAny, err := x509.ParsePKCS8PrivateKey(block.Bytes)
+	if err != nil {
+		return nil, err
+	}
+	signer, ok := keyAny.(crypto.Signer)
+	if !ok {
+		return nil, fmt.Errorf("keymgmt: key type %T cannot sign", keyAny)
+	}
+	chain, err := readCertChain(filepath.Join(dir, chainFileName))
+	if err != nil {
+		return nil, err
+	}
+	if len(chain) == 0 {
+		return nil, errors.New("keymgmt: identity has no certificates")
+	}
+	leaf, err := x509.ParseCertificate(chain[0])
+	if err != nil {
+		return nil, err
+	}
+	return &Identity{
+		Name:  leaf.Subject.CommonName,
+		Key:   signer,
+		Cert:  leaf,
+		Chain: chain,
+	}, nil
+}
+
+// SaveCertPEM writes one certificate to path.
+func SaveCertPEM(cert *x509.Certificate, path string) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	return os.WriteFile(path, pem.EncodeToMemory(&pem.Block{Type: "CERTIFICATE", Bytes: cert.Raw}), 0o644)
+}
+
+// LoadCertPool reads trust anchors from one or more PEM files.
+func LoadCertPool(paths ...string) (*x509.CertPool, error) {
+	pool := x509.NewCertPool()
+	total := 0
+	for _, p := range paths {
+		ders, err := readCertChain(p)
+		if err != nil {
+			return nil, err
+		}
+		for _, der := range ders {
+			cert, err := x509.ParseCertificate(der)
+			if err != nil {
+				return nil, fmt.Errorf("keymgmt: %s: %w", p, err)
+			}
+			pool.AddCert(cert)
+			total++
+		}
+	}
+	if total == 0 {
+		return nil, errors.New("keymgmt: no certificates loaded")
+	}
+	return pool, nil
+}
+
+func readCertChain(path string) ([][]byte, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var out [][]byte
+	for {
+		var block *pem.Block
+		block, raw = pem.Decode(raw)
+		if block == nil {
+			break
+		}
+		if block.Type == "CERTIFICATE" {
+			out = append(out, block.Bytes)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,77 @@
+package keymgmt
+
+import (
+	"crypto/ecdsa"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestSaveLoadIdentity(t *testing.T) {
+	dir := t.TempDir()
+	if err := SaveIdentity(fixture.creator, dir); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	back, err := LoadIdentity(dir)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if back.Name != fixture.creator.Name {
+		t.Errorf("name = %q", back.Name)
+	}
+	if !back.Cert.Equal(fixture.creator.Cert) {
+		t.Error("certificate mismatch")
+	}
+	if len(back.Chain) != len(fixture.creator.Chain) {
+		t.Errorf("chain length = %d", len(back.Chain))
+	}
+	// The loaded key must actually be the same key: the public halves
+	// must match.
+	certPub, ok := back.Cert.PublicKey.(*ecdsa.PublicKey)
+	if !ok {
+		t.Fatalf("certificate key type %T", back.Cert.PublicKey)
+	}
+	keyPub, ok := back.Key.Public().(*ecdsa.PublicKey)
+	if !ok {
+		t.Fatalf("private key public type %T", back.Key.Public())
+	}
+	if !certPub.Equal(keyPub) {
+		t.Error("loaded key does not match certificate")
+	}
+}
+
+func TestLoadIdentityErrors(t *testing.T) {
+	if _, err := LoadIdentity(t.TempDir()); err == nil {
+		t.Error("empty dir accepted")
+	}
+}
+
+func TestSaveLoadCertPool(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "root.pem")
+	if err := SaveCertPEM(fixture.root.Cert, path); err != nil {
+		t.Fatal(err)
+	}
+	pool, err := LoadCertPool(path)
+	if err != nil {
+		t.Fatalf("load pool: %v", err)
+	}
+	// The pool works as a trust anchor set.
+	if _, err := VerifyChain(fixture.author.Cert, pool); err != nil {
+		t.Errorf("verify against loaded pool: %v", err)
+	}
+	if _, err := LoadCertPool(filepath.Join(dir, "missing.pem")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestLoadCertPoolEmptyFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "empty.pem")
+	if err := os.WriteFile(path, []byte("not pem at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadCertPool(path); err == nil {
+		t.Error("file without certificates accepted")
+	}
+}

@@ -1,0 +1,188 @@
+package keymgmt
+
+import (
+	"crypto"
+	"crypto/x509"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// BindingStatus is the XKMS key binding status reported by Validate.
+type BindingStatus string
+
+// Key binding statuses per XKMS.
+const (
+	StatusValid         BindingStatus = "Valid"
+	StatusInvalid       BindingStatus = "Invalid"
+	StatusIndeterminate BindingStatus = "Indeterminate"
+)
+
+// Service errors.
+var (
+	// ErrNotFound indicates no binding is registered under the name.
+	ErrNotFound = errors.New("keymgmt: key binding not found")
+	// ErrAlreadyRegistered indicates a Register collision.
+	ErrAlreadyRegistered = errors.New("keymgmt: key name already registered")
+	// ErrRevoked indicates the binding has been revoked.
+	ErrRevoked = errors.New("keymgmt: key binding revoked")
+	// ErrBadAuthenticator indicates a revocation/reissue request failed
+	// proof of possession.
+	ErrBadAuthenticator = errors.New("keymgmt: authenticator mismatch")
+)
+
+// KeyBinding associates a name with a certificate, mirroring the XKMS
+// KeyBinding structure.
+type KeyBinding struct {
+	Name        string
+	Certificate *x509.Certificate
+	Revoked     bool
+}
+
+// Service is the trust server of the paper's §7: it accepts key
+// registrations and answers locate/validate queries for players. The
+// zero value is not usable; construct with NewService.
+type Service struct {
+	roots *x509.CertPool
+
+	mu            sync.RWMutex
+	bindings      map[string]*binding
+	intermediates []*x509.Certificate
+}
+
+type binding struct {
+	cert          *x509.Certificate
+	revoked       bool
+	authenticator string
+}
+
+// NewService creates a key service trusting the given roots for
+// validation decisions.
+func NewService(roots *x509.CertPool) *Service {
+	return &Service{roots: roots, bindings: make(map[string]*binding)}
+}
+
+// Register binds name to a certificate. The authenticator is a shared
+// secret the registrant must present to revoke or replace the binding
+// (standing in for the XKMS proof-of-possession exchange).
+func (s *Service) Register(name string, cert *x509.Certificate, authenticator string) error {
+	if name == "" || cert == nil {
+		return errors.New("keymgmt: Register requires a name and certificate")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if b, ok := s.bindings[name]; ok && !b.revoked {
+		return fmt.Errorf("%w: %q", ErrAlreadyRegistered, name)
+	}
+	s.bindings[name] = &binding{cert: cert, authenticator: authenticator}
+	return nil
+}
+
+// Locate returns the binding registered under name, revoked or not
+// (XKMS Locate is a dumb directory lookup; trust decisions belong to
+// Validate).
+func (s *Service) Locate(name string) (*KeyBinding, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	b, ok := s.bindings[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	return &KeyBinding{Name: name, Certificate: b.cert, Revoked: b.revoked}, nil
+}
+
+// Validate reports the trust status of the named binding: Valid when
+// registered, unrevoked, and chain-valid to the service roots.
+func (s *Service) Validate(name string) (BindingStatus, error) {
+	s.mu.RLock()
+	b, ok := s.bindings[name]
+	s.mu.RUnlock()
+	if !ok {
+		return StatusIndeterminate, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	if b.revoked {
+		return StatusInvalid, fmt.Errorf("%w: %q", ErrRevoked, name)
+	}
+	if s.roots != nil {
+		s.mu.RLock()
+		inter := append([]*x509.Certificate(nil), s.intermediates...)
+		s.mu.RUnlock()
+		if _, err := VerifyChain(b.cert, s.roots, inter...); err != nil {
+			return StatusInvalid, fmt.Errorf("keymgmt: chain validation for %q: %w", name, err)
+		}
+	}
+	return StatusValid, nil
+}
+
+// AddIntermediate registers a chain-building certificate the service
+// uses when validating bindings issued under subordinate authorities.
+func (s *Service) AddIntermediate(cert *x509.Certificate) {
+	if cert == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.intermediates = append(s.intermediates, cert)
+}
+
+// Revoke marks the binding invalid. The authenticator must match the one
+// presented at registration.
+func (s *Service) Revoke(name, authenticator string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.bindings[name]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	if b.authenticator != authenticator {
+		return ErrBadAuthenticator
+	}
+	b.revoked = true
+	return nil
+}
+
+// Reissue replaces the certificate under an existing binding (key
+// rollover), authenticated like Revoke.
+func (s *Service) Reissue(name string, cert *x509.Certificate, authenticator string) error {
+	if cert == nil {
+		return errors.New("keymgmt: Reissue requires a certificate")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.bindings[name]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	if b.authenticator != authenticator {
+		return ErrBadAuthenticator
+	}
+	b.cert = cert
+	b.revoked = false
+	return nil
+}
+
+// PublicKeyByName resolves a KeyName hint to a public key for signature
+// verification, refusing revoked and chain-invalid bindings. It adapts
+// the service to the verifier's KeyByName hook, realizing the paper's
+// §7 "trust server" role in the verification path.
+func (s *Service) PublicKeyByName(name string) (crypto.PublicKey, error) {
+	if _, err := s.Validate(name); err != nil {
+		return nil, err
+	}
+	kb, err := s.Locate(name)
+	if err != nil {
+		return nil, err
+	}
+	return kb.Certificate.PublicKey, nil
+}
+
+// Names returns the registered binding names (diagnostics and tests).
+func (s *Service) Names() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.bindings))
+	for n := range s.bindings {
+		out = append(out, n)
+	}
+	return out
+}

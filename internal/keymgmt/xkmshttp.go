@@ -1,0 +1,283 @@
+package keymgmt
+
+import (
+	"bytes"
+	"crypto"
+	"crypto/x509"
+	"encoding/base64"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"discsec/internal/xmldom"
+	"discsec/internal/xmlsecuri"
+)
+
+// XKMS-style XML message exchange over HTTP. The messages are a compact
+// profile of XKMS 2.0: LocateRequest/LocateResult,
+// ValidateRequest/ValidateResult, RegisterRequest/RegisterResult,
+// RevokeRequest/RevokeResult, each a small XML document.
+
+const xkmsPrefix = "xkms"
+
+// Result majors per XKMS.
+const (
+	resultSuccess = "Success"
+	resultSender  = "Sender"
+)
+
+// Handler exposes a Service as an XKMS-style HTTP endpoint. POST XML
+// request documents to it.
+type Handler struct {
+	Service *Service
+}
+
+// ServeHTTP implements http.Handler.
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "xkms endpoint accepts POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, 4<<20))
+	if err != nil {
+		http.Error(w, "read error", http.StatusBadRequest)
+		return
+	}
+	resp, err := h.handle(body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	w.Header().Set("Content-Type", "application/xml")
+	w.Write(resp)
+}
+
+func (h *Handler) handle(body []byte) ([]byte, error) {
+	doc, err := xmldom.ParseBytes(body)
+	if err != nil {
+		return nil, fmt.Errorf("keymgmt: malformed request: %w", err)
+	}
+	req := doc.Root()
+	name := childText(req, "KeyName")
+	auth := childText(req, "Authenticator")
+
+	switch req.Local {
+	case "LocateRequest":
+		kb, err := h.Service.Locate(name)
+		if err != nil {
+			return errorResult("LocateResult", err), nil
+		}
+		return locateResult(kb), nil
+
+	case "ValidateRequest":
+		status, err := h.Service.Validate(name)
+		res := newResult("ValidateResult", resultSuccess)
+		res.Root().CreateChild(xkmsPrefix + ":Status").SetText(string(status))
+		if err != nil {
+			res.Root().CreateChild(xkmsPrefix + ":Reason").SetText(err.Error())
+		}
+		return res.Bytes(), nil
+
+	case "RegisterRequest":
+		cert, err := certFromRequest(req)
+		if err != nil {
+			return errorResult("RegisterResult", err), nil
+		}
+		if err := h.Service.Register(name, cert, auth); err != nil {
+			return errorResult("RegisterResult", err), nil
+		}
+		return newResult("RegisterResult", resultSuccess).Bytes(), nil
+
+	case "RevokeRequest":
+		if err := h.Service.Revoke(name, auth); err != nil {
+			return errorResult("RevokeResult", err), nil
+		}
+		return newResult("RevokeResult", resultSuccess).Bytes(), nil
+
+	case "ReissueRequest":
+		cert, err := certFromRequest(req)
+		if err != nil {
+			return errorResult("ReissueResult", err), nil
+		}
+		if err := h.Service.Reissue(name, cert, auth); err != nil {
+			return errorResult("ReissueResult", err), nil
+		}
+		return newResult("ReissueResult", resultSuccess).Bytes(), nil
+
+	default:
+		return nil, fmt.Errorf("keymgmt: unknown request %q", req.Local)
+	}
+}
+
+func childText(el *xmldom.Element, local string) string {
+	c := el.FirstChildElement(local)
+	if c == nil {
+		return ""
+	}
+	return c.Text()
+}
+
+func certFromRequest(req *xmldom.Element) (*x509.Certificate, error) {
+	c := req.FirstChildElement("X509Certificate")
+	if c == nil {
+		return nil, errors.New("keymgmt: request missing X509Certificate")
+	}
+	der, err := base64.StdEncoding.DecodeString(c.Text())
+	if err != nil {
+		return nil, fmt.Errorf("keymgmt: X509Certificate: %w", err)
+	}
+	return x509.ParseCertificate(der)
+}
+
+func newResult(local, major string) *xmldom.Document {
+	doc := &xmldom.Document{}
+	root := xmldom.NewElement(xkmsPrefix + ":" + local)
+	root.DeclareNamespace(xkmsPrefix, xmlsecuri.XKMSNamespace)
+	root.SetAttr("ResultMajor", major)
+	doc.SetRoot(root)
+	return doc
+}
+
+func errorResult(local string, err error) []byte {
+	doc := newResult(local, resultSender)
+	doc.Root().SetAttr("ResultMinor", err.Error())
+	return doc.Bytes()
+}
+
+func locateResult(kb *KeyBinding) []byte {
+	doc := newResult("LocateResult", resultSuccess)
+	kbEl := doc.Root().CreateChild(xkmsPrefix + ":KeyBinding")
+	kbEl.SetAttr("Name", kb.Name)
+	status := StatusValid
+	if kb.Revoked {
+		status = StatusInvalid
+	}
+	kbEl.CreateChild(xkmsPrefix + ":Status").SetText(string(status))
+	kbEl.CreateChild(xkmsPrefix + ":X509Certificate").SetText(base64.StdEncoding.EncodeToString(kb.Certificate.Raw))
+	return doc.Bytes()
+}
+
+// Client talks to an XKMS-style endpoint.
+type Client struct {
+	// BaseURL is the endpoint URL.
+	BaseURL string
+	// HTTPClient defaults to http.DefaultClient.
+	HTTPClient *http.Client
+}
+
+func (c *Client) post(doc *xmldom.Document) (*xmldom.Element, error) {
+	hc := c.HTTPClient
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	resp, err := hc.Post(c.BaseURL, "application/xml", bytes.NewReader(doc.Bytes()))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 4<<20))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("keymgmt: endpoint returned %s: %s", resp.Status, bytes.TrimSpace(body))
+	}
+	rd, err := xmldom.ParseBytes(body)
+	if err != nil {
+		return nil, fmt.Errorf("keymgmt: malformed result: %w", err)
+	}
+	root := rd.Root()
+	if major := root.AttrValue("ResultMajor"); major != resultSuccess {
+		return nil, fmt.Errorf("keymgmt: %s: %s", major, root.AttrValue("ResultMinor"))
+	}
+	return root, nil
+}
+
+func newRequest(local string, name string) *xmldom.Document {
+	doc := &xmldom.Document{}
+	root := xmldom.NewElement(xkmsPrefix + ":" + local)
+	root.DeclareNamespace(xkmsPrefix, xmlsecuri.XKMSNamespace)
+	doc.SetRoot(root)
+	if name != "" {
+		root.CreateChild(xkmsPrefix + ":KeyName").SetText(name)
+	}
+	return doc
+}
+
+// Locate fetches the key binding registered under name.
+func (c *Client) Locate(name string) (*KeyBinding, error) {
+	root, err := c.post(newRequest("LocateRequest", name))
+	if err != nil {
+		return nil, err
+	}
+	kbEl := root.FirstChildElement("KeyBinding")
+	if kbEl == nil {
+		return nil, errors.New("keymgmt: LocateResult missing KeyBinding")
+	}
+	der, err := base64.StdEncoding.DecodeString(childText(kbEl, "X509Certificate"))
+	if err != nil {
+		return nil, fmt.Errorf("keymgmt: LocateResult certificate: %w", err)
+	}
+	cert, err := x509.ParseCertificate(der)
+	if err != nil {
+		return nil, err
+	}
+	return &KeyBinding{
+		Name:        kbEl.AttrValue("Name"),
+		Certificate: cert,
+		Revoked:     childText(kbEl, "Status") != string(StatusValid),
+	}, nil
+}
+
+// Validate asks the service for the trust status of the named binding.
+func (c *Client) Validate(name string) (BindingStatus, string, error) {
+	root, err := c.post(newRequest("ValidateRequest", name))
+	if err != nil {
+		return StatusIndeterminate, "", err
+	}
+	return BindingStatus(childText(root, "Status")), childText(root, "Reason"), nil
+}
+
+// Register binds name to cert under the given authenticator secret.
+func (c *Client) Register(name string, cert *x509.Certificate, authenticator string) error {
+	doc := newRequest("RegisterRequest", name)
+	doc.Root().CreateChild(xkmsPrefix + ":Authenticator").SetText(authenticator)
+	doc.Root().CreateChild(xkmsPrefix + ":X509Certificate").SetText(base64.StdEncoding.EncodeToString(cert.Raw))
+	_, err := c.post(doc)
+	return err
+}
+
+// Revoke invalidates the named binding.
+func (c *Client) Revoke(name, authenticator string) error {
+	doc := newRequest("RevokeRequest", name)
+	doc.Root().CreateChild(xkmsPrefix + ":Authenticator").SetText(authenticator)
+	_, err := c.post(doc)
+	return err
+}
+
+// PublicKeyByName resolves a KeyName to a public key over the wire,
+// refusing bindings the service does not report Valid.
+func (c *Client) PublicKeyByName(name string) (crypto.PublicKey, error) {
+	status, reason, err := c.Validate(name)
+	if err != nil {
+		return nil, err
+	}
+	if status != StatusValid {
+		return nil, fmt.Errorf("keymgmt: binding %q is %s: %s", name, status, reason)
+	}
+	kb, err := c.Locate(name)
+	if err != nil {
+		return nil, err
+	}
+	return kb.Certificate.PublicKey, nil
+}
+
+// Reissue replaces the certificate under the named binding.
+func (c *Client) Reissue(name string, cert *x509.Certificate, authenticator string) error {
+	doc := newRequest("ReissueRequest", name)
+	doc.Root().CreateChild(xkmsPrefix + ":Authenticator").SetText(authenticator)
+	doc.Root().CreateChild(xkmsPrefix + ":X509Certificate").SetText(base64.StdEncoding.EncodeToString(cert.Raw))
+	_, err := c.post(doc)
+	return err
+}

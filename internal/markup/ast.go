@@ -1,0 +1,130 @@
+package markup
+
+// AST node types for the ECMAScript subset.
+
+type expr interface{ exprNode() }
+
+type (
+	numberLit struct{ value float64 }
+	stringLit struct{ value string }
+	boolLit   struct{ value bool }
+	nullLit   struct{}
+	identExpr struct {
+		name string
+		line int
+	}
+	arrayLit  struct{ elems []expr }
+	unaryExpr struct {
+		op   string
+		x    expr
+		line int
+	}
+	binaryExpr struct {
+		op   string
+		x, y expr
+		line int
+	}
+	condExpr struct {
+		cond, then, els expr
+	}
+	assignExpr struct {
+		target expr // identExpr, memberExpr, or indexExpr
+		op     string
+		value  expr
+		line   int
+	}
+	callExpr struct {
+		fn   expr
+		args []expr
+		line int
+	}
+	memberExpr struct {
+		obj  expr
+		name string
+		line int
+	}
+	indexExpr struct {
+		obj, index expr
+		line       int
+	}
+	funcLit struct {
+		params []string
+		body   []stmt
+	}
+	// updateExpr is ++/-- in prefix or postfix position.
+	updateExpr struct {
+		target  expr
+		op      string
+		postfix bool
+		line    int
+	}
+)
+
+func (numberLit) exprNode()  {}
+func (stringLit) exprNode()  {}
+func (boolLit) exprNode()    {}
+func (nullLit) exprNode()    {}
+func (identExpr) exprNode()  {}
+func (arrayLit) exprNode()   {}
+func (unaryExpr) exprNode()  {}
+func (binaryExpr) exprNode() {}
+func (condExpr) exprNode()   {}
+func (assignExpr) exprNode() {}
+func (callExpr) exprNode()   {}
+func (memberExpr) exprNode() {}
+func (indexExpr) exprNode()  {}
+func (funcLit) exprNode()    {}
+func (updateExpr) exprNode() {}
+
+type stmt interface{ stmtNode() }
+
+type (
+	varStmt struct {
+		name string
+		init expr // may be nil
+		line int
+	}
+	exprStmt  struct{ x expr }
+	blockStmt struct{ body []stmt }
+	ifStmt    struct {
+		cond      expr
+		then, els stmt // els may be nil
+	}
+	whileStmt struct {
+		cond expr
+		body stmt
+	}
+	forStmt struct {
+		init stmt // may be nil (varStmt or exprStmt)
+		cond expr // may be nil
+		post expr // may be nil
+		body stmt
+	}
+	returnStmt struct {
+		value expr // may be nil
+		line  int
+	}
+	breakStmt    struct{ line int }
+	continueStmt struct{ line int }
+	funcDecl     struct {
+		name string
+		fn   funcLit
+		line int
+	}
+)
+
+func (varStmt) stmtNode()      {}
+func (exprStmt) stmtNode()     {}
+func (blockStmt) stmtNode()    {}
+func (ifStmt) stmtNode()       {}
+func (whileStmt) stmtNode()    {}
+func (forStmt) stmtNode()      {}
+func (returnStmt) stmtNode()   {}
+func (breakStmt) stmtNode()    {}
+func (continueStmt) stmtNode() {}
+func (funcDecl) stmtNode()     {}
+
+// Program is a parsed script ready for execution.
+type Program struct {
+	body []stmt
+}

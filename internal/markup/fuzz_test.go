@@ -1,0 +1,29 @@
+package markup
+
+import "testing"
+
+// FuzzScript checks the script front end and interpreter against
+// arbitrary source: no panics, and the step budget bounds execution.
+func FuzzScript(f *testing.F) {
+	seeds := []string{
+		`var x = 1 + 2 * 3;`,
+		`function f(n) { if (n <= 0) { return 0; } return f(n - 1); } f(10);`,
+		`var a = [1,2,3]; a.push(4); a[0] = a.length;`,
+		`while (false) {}`,
+		`var s = "x" + 1 + true + null;`,
+		`for (var i = 0; i < 3; i++) { continue; }`,
+		`(((((`,
+		`var "str" = ;`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		in := NewInterp()
+		in.StepBudget = 20000
+		in.MaxCallDepth = 64
+		// Errors (syntax or runtime) are acceptable; panics and
+		// unbounded execution are not — the budget guarantees return.
+		_ = in.RunSource(src)
+	})
+}

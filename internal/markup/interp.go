@@ -1,0 +1,949 @@
+package markup
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Value is a script runtime value: one of nil (null), bool, float64,
+// string, *Array, *HostObject, HostFunc, or an internal function value.
+type Value any
+
+// Array is a mutable script array.
+type Array struct {
+	Elems []Value
+}
+
+// HostFunc is a native function exposed to scripts by the player engine.
+type HostFunc func(args []Value) (Value, error)
+
+// HostObject is a namespace of host functions and constants (the engine
+// exposes e.g. "storage", "display", "player").
+type HostObject struct {
+	Name    string
+	Members map[string]Value
+}
+
+// scriptFunc is a user-defined function with its defining environment.
+type scriptFunc struct {
+	name   string
+	params []string
+	body   []stmt
+	env    *scope
+}
+
+// RuntimeError reports a script execution failure.
+type RuntimeError struct {
+	Line int
+	Msg  string
+}
+
+func (e *RuntimeError) Error() string {
+	if e.Line > 0 {
+		return fmt.Sprintf("script:%d: %s", e.Line, e.Msg)
+	}
+	return "script: " + e.Msg
+}
+
+// ErrStepBudget is wrapped by errors reporting an exhausted execution
+// budget (runaway script protection).
+var ErrStepBudget = errors.New("markup: script step budget exhausted")
+
+type scope struct {
+	vars   map[string]Value
+	parent *scope
+}
+
+func newScope(parent *scope) *scope {
+	return &scope{vars: make(map[string]Value), parent: parent}
+}
+
+func (s *scope) lookup(name string) (Value, bool) {
+	for cur := s; cur != nil; cur = cur.parent {
+		if v, ok := cur.vars[name]; ok {
+			return v, true
+		}
+	}
+	return nil, false
+}
+
+func (s *scope) assign(name string, v Value) bool {
+	for cur := s; cur != nil; cur = cur.parent {
+		if _, ok := cur.vars[name]; ok {
+			cur.vars[name] = v
+			return true
+		}
+	}
+	return false
+}
+
+func (s *scope) declare(name string, v Value) {
+	s.vars[name] = v
+}
+
+// Interp executes programs against a host environment.
+type Interp struct {
+	globals *scope
+	// StepBudget bounds the number of evaluation steps; 0 means the
+	// default of 1,000,000.
+	StepBudget int
+	// MaxCallDepth bounds script call nesting; 0 means the default of
+	// 2,000. It protects the host stack from runaway recursion before
+	// the step budget would trip.
+	MaxCallDepth int
+
+	steps int
+	depth int
+}
+
+const (
+	defaultStepBudget   = 1_000_000
+	defaultMaxCallDepth = 2_000
+)
+
+// ErrCallDepth is wrapped by errors reporting exceeded call nesting.
+var ErrCallDepth = errors.New("markup: script call depth exceeded")
+
+// NewInterp creates an interpreter with an empty global scope plus a
+// minimal standard library (abs, floor, min, max, len, str, num).
+func NewInterp() *Interp {
+	in := &Interp{globals: newScope(nil)}
+	in.installStdlib()
+	return in
+}
+
+// SetGlobal binds a global name (host objects, constants).
+func (in *Interp) SetGlobal(name string, v Value) {
+	in.globals.declare(name, v)
+}
+
+// Global reads a global binding after execution (tests, engine state
+// extraction).
+func (in *Interp) Global(name string) (Value, bool) {
+	return in.globals.lookup(name)
+}
+
+// Run executes a program. Function declarations persist in the global
+// scope across Run calls, matching script-per-manifest semantics.
+func (in *Interp) Run(p *Program) error {
+	in.steps = 0
+	_, ctl, err := in.execBlock(p.body, in.globals)
+	if err != nil {
+		return err
+	}
+	if ctl == ctlBreak || ctl == ctlContinue {
+		return &RuntimeError{Msg: "break/continue outside loop"}
+	}
+	return nil
+}
+
+// RunSource parses and executes source text.
+func (in *Interp) RunSource(src string) error {
+	p, err := ParseScript(src)
+	if err != nil {
+		return err
+	}
+	return in.Run(p)
+}
+
+// Call invokes a script-defined global function by name.
+func (in *Interp) Call(name string, args ...Value) (Value, error) {
+	v, ok := in.globals.lookup(name)
+	if !ok {
+		return nil, &RuntimeError{Msg: fmt.Sprintf("undefined function %q", name)}
+	}
+	return in.callValue(v, args, 0)
+}
+
+type ctlFlow int
+
+const (
+	ctlNone ctlFlow = iota
+	ctlReturn
+	ctlBreak
+	ctlContinue
+)
+
+func (in *Interp) budget(line int) error {
+	in.steps++
+	limit := in.StepBudget
+	if limit <= 0 {
+		limit = defaultStepBudget
+	}
+	if in.steps > limit {
+		return fmt.Errorf("%w (line %d)", ErrStepBudget, line)
+	}
+	return nil
+}
+
+func (in *Interp) execBlock(body []stmt, env *scope) (Value, ctlFlow, error) {
+	// Hoist function declarations.
+	for _, s := range body {
+		if fd, ok := s.(funcDecl); ok {
+			env.declare(fd.name, &scriptFunc{name: fd.name, params: fd.fn.params, body: fd.fn.body, env: env})
+		}
+	}
+	for _, s := range body {
+		v, ctl, err := in.execStmt(s, env)
+		if err != nil {
+			return nil, ctlNone, err
+		}
+		if ctl != ctlNone {
+			return v, ctl, nil
+		}
+	}
+	return nil, ctlNone, nil
+}
+
+func (in *Interp) execStmt(s stmt, env *scope) (Value, ctlFlow, error) {
+	switch t := s.(type) {
+	case funcDecl:
+		return nil, ctlNone, nil // hoisted
+
+	case varStmt:
+		if err := in.budget(t.line); err != nil {
+			return nil, ctlNone, err
+		}
+		var v Value
+		if t.init != nil {
+			var err error
+			v, err = in.eval(t.init, env)
+			if err != nil {
+				return nil, ctlNone, err
+			}
+		}
+		env.declare(t.name, v)
+		return nil, ctlNone, nil
+
+	case exprStmt:
+		_, err := in.eval(t.x, env)
+		return nil, ctlNone, err
+
+	case blockStmt:
+		return in.execBlock(t.body, newScope(env))
+
+	case ifStmt:
+		cond, err := in.eval(t.cond, env)
+		if err != nil {
+			return nil, ctlNone, err
+		}
+		if truthy(cond) {
+			return in.execStmt(t.then, env)
+		}
+		if t.els != nil {
+			return in.execStmt(t.els, env)
+		}
+		return nil, ctlNone, nil
+
+	case whileStmt:
+		for {
+			if err := in.budget(0); err != nil {
+				return nil, ctlNone, err
+			}
+			cond, err := in.eval(t.cond, env)
+			if err != nil {
+				return nil, ctlNone, err
+			}
+			if !truthy(cond) {
+				return nil, ctlNone, nil
+			}
+			v, ctl, err := in.execStmt(t.body, env)
+			if err != nil {
+				return nil, ctlNone, err
+			}
+			switch ctl {
+			case ctlReturn:
+				return v, ctl, nil
+			case ctlBreak:
+				return nil, ctlNone, nil
+			}
+		}
+
+	case forStmt:
+		loopEnv := newScope(env)
+		if t.init != nil {
+			if _, _, err := in.execStmt(t.init, loopEnv); err != nil {
+				return nil, ctlNone, err
+			}
+		}
+		for {
+			if err := in.budget(0); err != nil {
+				return nil, ctlNone, err
+			}
+			if t.cond != nil {
+				cond, err := in.eval(t.cond, loopEnv)
+				if err != nil {
+					return nil, ctlNone, err
+				}
+				if !truthy(cond) {
+					return nil, ctlNone, nil
+				}
+			}
+			v, ctl, err := in.execStmt(t.body, loopEnv)
+			if err != nil {
+				return nil, ctlNone, err
+			}
+			if ctl == ctlReturn {
+				return v, ctl, nil
+			}
+			if ctl == ctlBreak {
+				return nil, ctlNone, nil
+			}
+			if t.post != nil {
+				if _, err := in.eval(t.post, loopEnv); err != nil {
+					return nil, ctlNone, err
+				}
+			}
+		}
+
+	case returnStmt:
+		var v Value
+		if t.value != nil {
+			var err error
+			v, err = in.eval(t.value, env)
+			if err != nil {
+				return nil, ctlNone, err
+			}
+		}
+		return v, ctlReturn, nil
+
+	case breakStmt:
+		return nil, ctlBreak, nil
+	case continueStmt:
+		return nil, ctlContinue, nil
+
+	default:
+		return nil, ctlNone, &RuntimeError{Msg: fmt.Sprintf("unknown statement %T", s)}
+	}
+}
+
+func (in *Interp) eval(e expr, env *scope) (Value, error) {
+	switch t := e.(type) {
+	case numberLit:
+		return t.value, nil
+	case stringLit:
+		return t.value, nil
+	case boolLit:
+		return t.value, nil
+	case nullLit:
+		return nil, nil
+
+	case identExpr:
+		if err := in.budget(t.line); err != nil {
+			return nil, err
+		}
+		v, ok := env.lookup(t.name)
+		if !ok {
+			return nil, &RuntimeError{Line: t.line, Msg: fmt.Sprintf("undefined variable %q", t.name)}
+		}
+		return v, nil
+
+	case arrayLit:
+		arr := &Array{Elems: make([]Value, 0, len(t.elems))}
+		for _, el := range t.elems {
+			v, err := in.eval(el, env)
+			if err != nil {
+				return nil, err
+			}
+			arr.Elems = append(arr.Elems, v)
+		}
+		return arr, nil
+
+	case funcLit:
+		return &scriptFunc{params: t.params, body: t.body, env: env}, nil
+
+	case unaryExpr:
+		x, err := in.eval(t.x, env)
+		if err != nil {
+			return nil, err
+		}
+		switch t.op {
+		case "!":
+			return !truthy(x), nil
+		case "-":
+			n, err := toNumber(x, t.line)
+			if err != nil {
+				return nil, err
+			}
+			return -n, nil
+		case "+":
+			return toNumber(x, t.line)
+		}
+		return nil, &RuntimeError{Line: t.line, Msg: "unknown unary " + t.op}
+
+	case binaryExpr:
+		if err := in.budget(t.line); err != nil {
+			return nil, err
+		}
+		// Short-circuit logic.
+		if t.op == "&&" || t.op == "||" {
+			x, err := in.eval(t.x, env)
+			if err != nil {
+				return nil, err
+			}
+			if t.op == "&&" && !truthy(x) {
+				return x, nil
+			}
+			if t.op == "||" && truthy(x) {
+				return x, nil
+			}
+			return in.eval(t.y, env)
+		}
+		x, err := in.eval(t.x, env)
+		if err != nil {
+			return nil, err
+		}
+		y, err := in.eval(t.y, env)
+		if err != nil {
+			return nil, err
+		}
+		return binaryOp(t.op, x, y, t.line)
+
+	case condExpr:
+		c, err := in.eval(t.cond, env)
+		if err != nil {
+			return nil, err
+		}
+		if truthy(c) {
+			return in.eval(t.then, env)
+		}
+		return in.eval(t.els, env)
+
+	case assignExpr:
+		v, err := in.eval(t.value, env)
+		if err != nil {
+			return nil, err
+		}
+		if t.op != "=" {
+			old, err := in.eval(t.target, env)
+			if err != nil {
+				return nil, err
+			}
+			v, err = binaryOp(strings.TrimSuffix(t.op, "="), old, v, t.line)
+			if err != nil {
+				return nil, err
+			}
+		}
+		if err := in.assignTo(t.target, v, env, t.line); err != nil {
+			return nil, err
+		}
+		return v, nil
+
+	case updateExpr:
+		old, err := in.eval(t.target, env)
+		if err != nil {
+			return nil, err
+		}
+		n, err := toNumber(old, t.line)
+		if err != nil {
+			return nil, err
+		}
+		delta := 1.0
+		if t.op == "--" {
+			delta = -1.0
+		}
+		nv := n + delta
+		if err := in.assignTo(t.target, nv, env, t.line); err != nil {
+			return nil, err
+		}
+		if t.postfix {
+			return n, nil
+		}
+		return nv, nil
+
+	case memberExpr:
+		obj, err := in.eval(t.obj, env)
+		if err != nil {
+			return nil, err
+		}
+		return memberOf(obj, t.name, t.line)
+
+	case indexExpr:
+		obj, err := in.eval(t.obj, env)
+		if err != nil {
+			return nil, err
+		}
+		idx, err := in.eval(t.index, env)
+		if err != nil {
+			return nil, err
+		}
+		return indexOf(obj, idx, t.line)
+
+	case callExpr:
+		if err := in.budget(t.line); err != nil {
+			return nil, err
+		}
+		fn, err := in.eval(t.fn, env)
+		if err != nil {
+			return nil, err
+		}
+		args := make([]Value, 0, len(t.args))
+		for _, a := range t.args {
+			v, err := in.eval(a, env)
+			if err != nil {
+				return nil, err
+			}
+			args = append(args, v)
+		}
+		return in.callValue(fn, args, t.line)
+
+	default:
+		return nil, &RuntimeError{Msg: fmt.Sprintf("unknown expression %T", e)}
+	}
+}
+
+func (in *Interp) callValue(fn Value, args []Value, line int) (Value, error) {
+	switch f := fn.(type) {
+	case HostFunc:
+		return f(args)
+	case *scriptFunc:
+		maxDepth := in.MaxCallDepth
+		if maxDepth <= 0 {
+			maxDepth = defaultMaxCallDepth
+		}
+		if in.depth >= maxDepth {
+			return nil, fmt.Errorf("%w (line %d)", ErrCallDepth, line)
+		}
+		in.depth++
+		env := newScope(f.env)
+		for i, p := range f.params {
+			if i < len(args) {
+				env.declare(p, args[i])
+			} else {
+				env.declare(p, nil)
+			}
+		}
+		v, ctl, err := in.execBlock(f.body, env)
+		in.depth--
+		if err != nil {
+			return nil, err
+		}
+		if ctl == ctlBreak || ctl == ctlContinue {
+			return nil, &RuntimeError{Line: line, Msg: "break/continue outside loop"}
+		}
+		return v, nil
+	default:
+		return nil, &RuntimeError{Line: line, Msg: fmt.Sprintf("%s is not callable", TypeName(fn))}
+	}
+}
+
+func (in *Interp) assignTo(target expr, v Value, env *scope, line int) error {
+	switch t := target.(type) {
+	case identExpr:
+		if !env.assign(t.name, v) {
+			return &RuntimeError{Line: line, Msg: fmt.Sprintf("assignment to undeclared variable %q", t.name)}
+		}
+		return nil
+	case memberExpr:
+		obj, err := in.eval(t.obj, env)
+		if err != nil {
+			return err
+		}
+		ho, ok := obj.(*HostObject)
+		if !ok {
+			return &RuntimeError{Line: line, Msg: fmt.Sprintf("cannot set member on %s", TypeName(obj))}
+		}
+		ho.Members[t.name] = v
+		return nil
+	case indexExpr:
+		obj, err := in.eval(t.obj, env)
+		if err != nil {
+			return err
+		}
+		arr, ok := obj.(*Array)
+		if !ok {
+			return &RuntimeError{Line: line, Msg: fmt.Sprintf("cannot index-assign %s", TypeName(obj))}
+		}
+		iv, err := in.eval(t.index, env)
+		if err != nil {
+			return err
+		}
+		n, err := toNumber(iv, line)
+		if err != nil {
+			return err
+		}
+		i := int(n)
+		if i < 0 || i >= len(arr.Elems) {
+			return &RuntimeError{Line: line, Msg: fmt.Sprintf("index %d out of range [0,%d)", i, len(arr.Elems))}
+		}
+		arr.Elems[i] = v
+		return nil
+	default:
+		return &RuntimeError{Line: line, Msg: "invalid assignment target"}
+	}
+}
+
+// --- value semantics ----------------------------------------------------
+
+func truthy(v Value) bool {
+	switch t := v.(type) {
+	case nil:
+		return false
+	case bool:
+		return t
+	case float64:
+		return t != 0 && !math.IsNaN(t)
+	case string:
+		return t != ""
+	default:
+		return true
+	}
+}
+
+func toNumber(v Value, line int) (float64, error) {
+	switch t := v.(type) {
+	case float64:
+		return t, nil
+	case bool:
+		if t {
+			return 1, nil
+		}
+		return 0, nil
+	case string:
+		n, err := strconv.ParseFloat(strings.TrimSpace(t), 64)
+		if err != nil {
+			return 0, &RuntimeError{Line: line, Msg: fmt.Sprintf("cannot convert %q to number", t)}
+		}
+		return n, nil
+	case nil:
+		return 0, nil
+	default:
+		return 0, &RuntimeError{Line: line, Msg: fmt.Sprintf("cannot convert %s to number", TypeName(v))}
+	}
+}
+
+// ToString renders a value the way the script runtime would.
+func ToString(v Value) string {
+	switch t := v.(type) {
+	case nil:
+		return "null"
+	case bool:
+		if t {
+			return "true"
+		}
+		return "false"
+	case float64:
+		if t == math.Trunc(t) && math.Abs(t) < 1e15 {
+			return strconv.FormatInt(int64(t), 10)
+		}
+		return strconv.FormatFloat(t, 'g', -1, 64)
+	case string:
+		return t
+	case *Array:
+		parts := make([]string, len(t.Elems))
+		for i, e := range t.Elems {
+			parts[i] = ToString(e)
+		}
+		return "[" + strings.Join(parts, ",") + "]"
+	case *HostObject:
+		return "[object " + t.Name + "]"
+	default:
+		return fmt.Sprintf("[%s]", TypeName(v))
+	}
+}
+
+// TypeName reports a value's script-level type name.
+func TypeName(v Value) string {
+	switch v.(type) {
+	case nil:
+		return "null"
+	case bool:
+		return "boolean"
+	case float64:
+		return "number"
+	case string:
+		return "string"
+	case *Array:
+		return "array"
+	case *HostObject:
+		return "hostobject"
+	case HostFunc, *scriptFunc:
+		return "function"
+	default:
+		return fmt.Sprintf("%T", v)
+	}
+}
+
+func binaryOp(op string, x, y Value, line int) (Value, error) {
+	switch op {
+	case "+":
+		if xs, ok := x.(string); ok {
+			return xs + ToString(y), nil
+		}
+		if ys, ok := y.(string); ok {
+			return ToString(x) + ys, nil
+		}
+		xn, err := toNumber(x, line)
+		if err != nil {
+			return nil, err
+		}
+		yn, err := toNumber(y, line)
+		if err != nil {
+			return nil, err
+		}
+		return xn + yn, nil
+	case "-", "*", "/", "%":
+		xn, err := toNumber(x, line)
+		if err != nil {
+			return nil, err
+		}
+		yn, err := toNumber(y, line)
+		if err != nil {
+			return nil, err
+		}
+		switch op {
+		case "-":
+			return xn - yn, nil
+		case "*":
+			return xn * yn, nil
+		case "/":
+			return xn / yn, nil
+		default:
+			return math.Mod(xn, yn), nil
+		}
+	case "==", "===":
+		return looseEqual(x, y), nil
+	case "!=", "!==":
+		return !looseEqual(x, y), nil
+	case "<", ">", "<=", ">=":
+		if xs, xok := x.(string); xok {
+			if ys, yok := y.(string); yok {
+				return compareOrdered(op, strings.Compare(xs, ys)), nil
+			}
+		}
+		xn, err := toNumber(x, line)
+		if err != nil {
+			return nil, err
+		}
+		yn, err := toNumber(y, line)
+		if err != nil {
+			return nil, err
+		}
+		switch {
+		case xn < yn:
+			return compareOrdered(op, -1), nil
+		case xn > yn:
+			return compareOrdered(op, 1), nil
+		default:
+			return compareOrdered(op, 0), nil
+		}
+	default:
+		return nil, &RuntimeError{Line: line, Msg: "unknown operator " + op}
+	}
+}
+
+func compareOrdered(op string, cmp int) bool {
+	switch op {
+	case "<":
+		return cmp < 0
+	case ">":
+		return cmp > 0
+	case "<=":
+		return cmp <= 0
+	default:
+		return cmp >= 0
+	}
+}
+
+func looseEqual(x, y Value) bool {
+	if x == nil && y == nil {
+		return true
+	}
+	switch xt := x.(type) {
+	case float64:
+		if yt, ok := y.(float64); ok {
+			return xt == yt
+		}
+	case string:
+		if yt, ok := y.(string); ok {
+			return xt == yt
+		}
+	case bool:
+		if yt, ok := y.(bool); ok {
+			return xt == yt
+		}
+	case *Array:
+		if yt, ok := y.(*Array); ok {
+			return xt == yt // identity
+		}
+	case *HostObject:
+		if yt, ok := y.(*HostObject); ok {
+			return xt == yt
+		}
+	}
+	return false
+}
+
+func memberOf(obj Value, name string, line int) (Value, error) {
+	switch t := obj.(type) {
+	case *HostObject:
+		v, ok := t.Members[name]
+		if !ok {
+			return nil, &RuntimeError{Line: line, Msg: fmt.Sprintf("%s has no member %q", t.Name, name)}
+		}
+		return v, nil
+	case *Array:
+		switch name {
+		case "length":
+			return float64(len(t.Elems)), nil
+		case "push":
+			return HostFunc(func(args []Value) (Value, error) {
+				t.Elems = append(t.Elems, args...)
+				return float64(len(t.Elems)), nil
+			}), nil
+		case "pop":
+			return HostFunc(func([]Value) (Value, error) {
+				if len(t.Elems) == 0 {
+					return nil, nil
+				}
+				v := t.Elems[len(t.Elems)-1]
+				t.Elems = t.Elems[:len(t.Elems)-1]
+				return v, nil
+			}), nil
+		case "join":
+			return HostFunc(func(args []Value) (Value, error) {
+				sep := ","
+				if len(args) > 0 {
+					sep = ToString(args[0])
+				}
+				parts := make([]string, len(t.Elems))
+				for i, e := range t.Elems {
+					parts[i] = ToString(e)
+				}
+				return strings.Join(parts, sep), nil
+			}), nil
+		}
+		return nil, &RuntimeError{Line: line, Msg: fmt.Sprintf("array has no member %q", name)}
+	case string:
+		switch name {
+		case "length":
+			return float64(len(t)), nil
+		case "indexOf":
+			return HostFunc(func(args []Value) (Value, error) {
+				if len(args) < 1 {
+					return float64(-1), nil
+				}
+				return float64(strings.Index(t, ToString(args[0]))), nil
+			}), nil
+		case "substring":
+			return HostFunc(func(args []Value) (Value, error) {
+				start, end := 0, len(t)
+				if len(args) > 0 {
+					n, err := toNumber(args[0], line)
+					if err != nil {
+						return nil, err
+					}
+					start = clampIndex(int(n), len(t))
+				}
+				if len(args) > 1 {
+					n, err := toNumber(args[1], line)
+					if err != nil {
+						return nil, err
+					}
+					end = clampIndex(int(n), len(t))
+				}
+				if start > end {
+					start, end = end, start
+				}
+				return t[start:end], nil
+			}), nil
+		case "toUpperCase":
+			return HostFunc(func([]Value) (Value, error) { return strings.ToUpper(t), nil }), nil
+		case "toLowerCase":
+			return HostFunc(func([]Value) (Value, error) { return strings.ToLower(t), nil }), nil
+		}
+		return nil, &RuntimeError{Line: line, Msg: fmt.Sprintf("string has no member %q", name)}
+	default:
+		return nil, &RuntimeError{Line: line, Msg: fmt.Sprintf("cannot read member %q of %s", name, TypeName(obj))}
+	}
+}
+
+func clampIndex(i, n int) int {
+	if i < 0 {
+		return 0
+	}
+	if i > n {
+		return n
+	}
+	return i
+}
+
+func indexOf(obj, idx Value, line int) (Value, error) {
+	switch t := obj.(type) {
+	case *Array:
+		n, err := toNumber(idx, line)
+		if err != nil {
+			return nil, err
+		}
+		i := int(n)
+		if i < 0 || i >= len(t.Elems) {
+			return nil, &RuntimeError{Line: line, Msg: fmt.Sprintf("index %d out of range [0,%d)", i, len(t.Elems))}
+		}
+		return t.Elems[i], nil
+	case string:
+		n, err := toNumber(idx, line)
+		if err != nil {
+			return nil, err
+		}
+		i := int(n)
+		if i < 0 || i >= len(t) {
+			return nil, &RuntimeError{Line: line, Msg: fmt.Sprintf("string index %d out of range", i)}
+		}
+		return string(t[i]), nil
+	case *HostObject:
+		return memberOf(obj, ToString(idx), line)
+	default:
+		return nil, &RuntimeError{Line: line, Msg: fmt.Sprintf("cannot index %s", TypeName(obj))}
+	}
+}
+
+func (in *Interp) installStdlib() {
+	in.SetGlobal("Math", &HostObject{Name: "Math", Members: map[string]Value{
+		"floor": HostFunc(func(args []Value) (Value, error) { return math.Floor(arg0Num(args)), nil }),
+		"ceil":  HostFunc(func(args []Value) (Value, error) { return math.Ceil(arg0Num(args)), nil }),
+		"abs":   HostFunc(func(args []Value) (Value, error) { return math.Abs(arg0Num(args)), nil }),
+		"max": HostFunc(func(args []Value) (Value, error) {
+			out := math.Inf(-1)
+			for _, a := range args {
+				if n, ok := a.(float64); ok && n > out {
+					out = n
+				}
+			}
+			return out, nil
+		}),
+		"min": HostFunc(func(args []Value) (Value, error) {
+			out := math.Inf(1)
+			for _, a := range args {
+				if n, ok := a.(float64); ok && n < out {
+					out = n
+				}
+			}
+			return out, nil
+		}),
+	}})
+	in.SetGlobal("String", HostFunc(func(args []Value) (Value, error) {
+		if len(args) == 0 {
+			return "", nil
+		}
+		return ToString(args[0]), nil
+	}))
+	in.SetGlobal("Number", HostFunc(func(args []Value) (Value, error) {
+		if len(args) == 0 {
+			return float64(0), nil
+		}
+		return toNumber(args[0], 0)
+	}))
+}
+
+func arg0Num(args []Value) float64 {
+	if len(args) == 0 {
+		return math.NaN()
+	}
+	if n, ok := args[0].(float64); ok {
+		return n
+	}
+	return math.NaN()
+}

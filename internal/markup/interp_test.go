@@ -1,0 +1,469 @@
+package markup
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// run executes source and returns the interpreter for state inspection.
+func run(t *testing.T, src string) *Interp {
+	t.Helper()
+	in := NewInterp()
+	if err := in.RunSource(src); err != nil {
+		t.Fatalf("run %q: %v", src, err)
+	}
+	return in
+}
+
+func globalNum(t *testing.T, in *Interp, name string) float64 {
+	t.Helper()
+	v, ok := in.Global(name)
+	if !ok {
+		t.Fatalf("global %q undefined", name)
+	}
+	n, ok := v.(float64)
+	if !ok {
+		t.Fatalf("global %q = %v (%T), want number", name, v, v)
+	}
+	return n
+}
+
+func TestArithmeticAndPrecedence(t *testing.T) {
+	in := run(t, `var a = 2 + 3 * 4; var b = (2 + 3) * 4; var c = 10 % 3; var d = -a + 1;`)
+	if got := globalNum(t, in, "a"); got != 14 {
+		t.Errorf("a = %v", got)
+	}
+	if got := globalNum(t, in, "b"); got != 20 {
+		t.Errorf("b = %v", got)
+	}
+	if got := globalNum(t, in, "c"); got != 1 {
+		t.Errorf("c = %v", got)
+	}
+	if got := globalNum(t, in, "d"); got != -13 {
+		t.Errorf("d = %v", got)
+	}
+}
+
+func TestStringsAndConcat(t *testing.T) {
+	in := run(t, `var s = "high" + "score"; var n = "n=" + 42; var up = s.toUpperCase(); var len = s.length; var idx = s.indexOf("score"); var sub = s.substring(0, 4);`)
+	if v, _ := in.Global("s"); v != "highscore" {
+		t.Errorf("s = %v", v)
+	}
+	if v, _ := in.Global("n"); v != "n=42" {
+		t.Errorf("n = %v", v)
+	}
+	if v, _ := in.Global("up"); v != "HIGHSCORE" {
+		t.Errorf("up = %v", v)
+	}
+	if got := globalNum(t, in, "len"); got != 9 {
+		t.Errorf("len = %v", got)
+	}
+	if got := globalNum(t, in, "idx"); got != 4 {
+		t.Errorf("idx = %v", got)
+	}
+	if v, _ := in.Global("sub"); v != "high" {
+		t.Errorf("sub = %v", v)
+	}
+}
+
+func TestControlFlow(t *testing.T) {
+	in := run(t, `
+var sum = 0;
+for (var i = 1; i <= 10; i++) { sum += i; }
+var evens = 0;
+var j = 0;
+while (true) {
+  j++;
+  if (j > 20) { break; }
+  if (j % 2 != 0) { continue; }
+  evens++;
+}
+var grade;
+if (sum >= 55) { grade = "A"; } else { grade = "B"; }
+`)
+	if got := globalNum(t, in, "sum"); got != 55 {
+		t.Errorf("sum = %v", got)
+	}
+	if got := globalNum(t, in, "evens"); got != 10 {
+		t.Errorf("evens = %v", got)
+	}
+	if v, _ := in.Global("grade"); v != "A" {
+		t.Errorf("grade = %v", v)
+	}
+}
+
+func TestFunctionsAndRecursion(t *testing.T) {
+	in := run(t, `
+function fib(n) {
+  if (n < 2) { return n; }
+  return fib(n - 1) + fib(n - 2);
+}
+var f10 = fib(10);
+var square = function(x) { return x * x; };
+var s5 = square(5);
+`)
+	if got := globalNum(t, in, "f10"); got != 55 {
+		t.Errorf("fib(10) = %v", got)
+	}
+	if got := globalNum(t, in, "s5"); got != 25 {
+		t.Errorf("square(5) = %v", got)
+	}
+}
+
+func TestClosures(t *testing.T) {
+	in := run(t, `
+function counter() {
+  var n = 0;
+  return function() { n = n + 1; return n; };
+}
+var c = counter();
+c(); c();
+var third = c();
+`)
+	if got := globalNum(t, in, "third"); got != 3 {
+		t.Errorf("third = %v", got)
+	}
+}
+
+func TestArrays(t *testing.T) {
+	in := run(t, `
+var scores = [300, 200, 100];
+scores.push(50);
+var n = scores.length;
+var first = scores[0];
+scores[1] = 250;
+var second = scores[1];
+var joined = scores.join("-");
+var popped = scores.pop();
+`)
+	if got := globalNum(t, in, "n"); got != 4 {
+		t.Errorf("n = %v", got)
+	}
+	if got := globalNum(t, in, "first"); got != 300 {
+		t.Errorf("first = %v", got)
+	}
+	if got := globalNum(t, in, "second"); got != 250 {
+		t.Errorf("second = %v", got)
+	}
+	if v, _ := in.Global("joined"); v != "300-250-100-50" {
+		t.Errorf("joined = %v", v)
+	}
+	if got := globalNum(t, in, "popped"); got != 50 {
+		t.Errorf("popped = %v", got)
+	}
+}
+
+func TestTernaryAndLogic(t *testing.T) {
+	in := run(t, `
+var a = true && "yes";
+var b = false || "fallback";
+var c = 5 > 3 ? "big" : "small";
+var d = !false;
+`)
+	if v, _ := in.Global("a"); v != "yes" {
+		t.Errorf("a = %v", v)
+	}
+	if v, _ := in.Global("b"); v != "fallback" {
+		t.Errorf("b = %v", v)
+	}
+	if v, _ := in.Global("c"); v != "big" {
+		t.Errorf("c = %v", v)
+	}
+	if v, _ := in.Global("d"); v != true {
+		t.Errorf("d = %v", v)
+	}
+}
+
+func TestHostObjects(t *testing.T) {
+	in := NewInterp()
+	var logged []string
+	store := map[string]string{}
+	in.SetGlobal("player", &HostObject{Name: "player", Members: map[string]Value{
+		"log": HostFunc(func(args []Value) (Value, error) {
+			parts := make([]string, len(args))
+			for i, a := range args {
+				parts[i] = ToString(a)
+			}
+			logged = append(logged, strings.Join(parts, " "))
+			return nil, nil
+		}),
+		"version": "1.0",
+	}})
+	in.SetGlobal("storage", &HostObject{Name: "storage", Members: map[string]Value{
+		"set": HostFunc(func(args []Value) (Value, error) {
+			store[ToString(args[0])] = ToString(args[1])
+			return nil, nil
+		}),
+		"get": HostFunc(func(args []Value) (Value, error) {
+			v, ok := store[ToString(args[0])]
+			if !ok {
+				return nil, nil
+			}
+			return v, nil
+		}),
+	}})
+	err := in.RunSource(`
+player.log("booting", player.version);
+storage.set("highscore", 9000);
+var hs = storage.get("highscore");
+player.log("score is", hs);
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(logged) != 2 || logged[0] != "booting 1.0" || logged[1] != "score is 9000" {
+		t.Errorf("logged = %v", logged)
+	}
+	if store["highscore"] != "9000" {
+		t.Errorf("store = %v", store)
+	}
+}
+
+func TestCallFromHost(t *testing.T) {
+	in := run(t, `function onSelect(item) { return "chose:" + item; }`)
+	v, err := in.Call("onSelect", "play")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != "chose:play" {
+		t.Errorf("Call = %v", v)
+	}
+	if _, err := in.Call("missing"); err == nil {
+		t.Error("calling missing function succeeded")
+	}
+}
+
+func TestStepBudgetStopsRunawayScript(t *testing.T) {
+	in := NewInterp()
+	in.StepBudget = 10000
+	err := in.RunSource(`while (true) { var x = 1; }`)
+	if !errors.Is(err, ErrStepBudget) {
+		t.Errorf("err = %v, want ErrStepBudget", err)
+	}
+}
+
+func TestRuntimeErrors(t *testing.T) {
+	cases := []string{
+		`undeclared + 1;`,
+		`x = 5;`, // assignment to undeclared
+		`var a = 1; a();`,
+		`var a = [1]; var b = a[5];`,
+		`var s = null; var m = s.member;`,
+		`var n = 1; n.member;`,
+		`var o = "x" * 2;`,
+	}
+	for _, src := range cases {
+		in := NewInterp()
+		if err := in.RunSource(src); err == nil {
+			t.Errorf("no error for %q", src)
+		}
+	}
+}
+
+func TestSyntaxErrors(t *testing.T) {
+	cases := []string{
+		`var = 5;`,
+		`function () {}`,
+		`if (x { }`,
+		`var a = "unterminated;`,
+		`var a = 'bad\q';`,
+		`5 = x;`,
+		`var a = ;`,
+		`{`,
+		`var a = 1 ++;`,
+	}
+	for _, src := range cases {
+		if _, err := ParseScript(src); err == nil {
+			t.Errorf("no syntax error for %q", src)
+		} else {
+			var se *SyntaxError
+			if !errors.As(err, &se) {
+				t.Errorf("error for %q is %T, want *SyntaxError", src, err)
+			}
+		}
+	}
+}
+
+func TestComments(t *testing.T) {
+	in := run(t, `
+// line comment
+var a = 1; /* block
+   comment */ var b = 2;
+`)
+	if globalNum(t, in, "a") != 1 || globalNum(t, in, "b") != 2 {
+		t.Error("comments broke parsing")
+	}
+}
+
+func TestMathStdlib(t *testing.T) {
+	in := run(t, `
+var f = Math.floor(3.7);
+var c = Math.ceil(3.2);
+var a = Math.abs(-5);
+var mx = Math.max(1, 9, 4);
+var mn = Math.min(1, 9, 4);
+var s = String(42);
+var n = Number("3.5");
+`)
+	checks := map[string]float64{"f": 3, "c": 4, "a": 5, "mx": 9, "mn": 1, "n": 3.5}
+	for name, want := range checks {
+		if got := globalNum(t, in, name); got != want {
+			t.Errorf("%s = %v, want %v", name, got, want)
+		}
+	}
+	if v, _ := in.Global("s"); v != "42" {
+		t.Errorf("s = %v", v)
+	}
+}
+
+func TestUpdateExpressions(t *testing.T) {
+	in := run(t, `
+var i = 5;
+var post = i++;
+var pre = ++i;
+var down = i--;
+`)
+	if got := globalNum(t, in, "post"); got != 5 {
+		t.Errorf("post = %v", got)
+	}
+	if got := globalNum(t, in, "pre"); got != 7 {
+		t.Errorf("pre = %v", got)
+	}
+	if got := globalNum(t, in, "down"); got != 7 {
+		t.Errorf("down = %v", got)
+	}
+	if got := globalNum(t, in, "i"); got != 6 {
+		t.Errorf("i = %v", got)
+	}
+}
+
+func TestCompoundAssignment(t *testing.T) {
+	in := run(t, `var x = 10; x += 5; x -= 3; x *= 2; x /= 4;`)
+	if got := globalNum(t, in, "x"); got != 6 {
+		t.Errorf("x = %v", got)
+	}
+}
+
+func TestToStringFormats(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{nil, "null"},
+		{true, "true"},
+		{false, "false"},
+		{float64(42), "42"},
+		{float64(3.5), "3.5"},
+		{"str", "str"},
+		{&Array{Elems: []Value{float64(1), "a"}}, "[1,a]"},
+	}
+	for _, tc := range cases {
+		if got := ToString(tc.v); got != tc.want {
+			t.Errorf("ToString(%v) = %q, want %q", tc.v, got, tc.want)
+		}
+	}
+}
+
+func TestScopeShadowing(t *testing.T) {
+	in := run(t, `
+var x = "outer";
+var captured;
+{
+  var x2 = "inner";
+  captured = x2;
+}
+function f() { var x = "func"; return x; }
+var fx = f();
+`)
+	if v, _ := in.Global("x"); v != "outer" {
+		t.Errorf("x = %v", v)
+	}
+	if v, _ := in.Global("fx"); v != "func" {
+		t.Errorf("fx = %v", v)
+	}
+	if v, _ := in.Global("captured"); v != "inner" {
+		t.Errorf("captured = %v", v)
+	}
+}
+
+func TestEqualitySemantics(t *testing.T) {
+	in := run(t, `
+var a = 1 == 1;
+var b = "x" == "x";
+var c = 1 == "1";
+var d = null == null;
+var e = [1] == [1];
+var arr = [1]; var f = arr == arr;
+`)
+	expect := map[string]bool{"a": true, "b": true, "c": false, "d": true, "e": false, "f": true}
+	for name, want := range expect {
+		if v, _ := in.Global(name); v != want {
+			t.Errorf("%s = %v, want %v", name, v, want)
+		}
+	}
+}
+
+func TestCallDepthLimit(t *testing.T) {
+	in := NewInterp()
+	err := in.RunSource(`function f() { return f(); } f();`)
+	if !errors.Is(err, ErrCallDepth) {
+		t.Errorf("err = %v, want ErrCallDepth", err)
+	}
+	// Legitimate deep-ish recursion inside the limit still works.
+	in2 := NewInterp()
+	err = in2.RunSource(`
+function down(n) { if (n <= 0) { return 0; } return down(n - 1); }
+var r = down(500);
+`)
+	if err != nil {
+		t.Errorf("bounded recursion failed: %v", err)
+	}
+	// A tighter configured limit trips sooner.
+	in3 := NewInterp()
+	in3.MaxCallDepth = 10
+	err = in3.RunSource(`function down(n) { if (n <= 0) { return 0; } return down(n - 1); } down(50);`)
+	if !errors.Is(err, ErrCallDepth) {
+		t.Errorf("custom limit err = %v", err)
+	}
+}
+
+func TestForLoopVariants(t *testing.T) {
+	in := run(t, `
+var n = 0;
+for (;;) { n++; if (n >= 5) { break; } }
+var m = 0;
+var i = 0;
+for (; i < 3;) { m += i; i++; }
+for (var j = 10; false; j++) { m = 999; }
+`)
+	if got := globalNum(t, in, "n"); got != 5 {
+		t.Errorf("n = %v", got)
+	}
+	if got := globalNum(t, in, "m"); got != 3 {
+		t.Errorf("m = %v", got)
+	}
+}
+
+func TestArrayIndexAssignmentErrors(t *testing.T) {
+	in := NewInterp()
+	if err := in.RunSource(`var a = [1, 2]; a[5] = 9;`); err == nil {
+		t.Error("out-of-range index assignment accepted")
+	}
+	if err := in.RunSource(`var s = "str"; s[0] = "x";`); err == nil {
+		t.Error("string index assignment accepted")
+	}
+}
+
+func TestNestedFunctionsAndHoisting(t *testing.T) {
+	in := run(t, `
+var r = outer(); // callable before its declaration (hoisted)
+function outer() {
+  function inner(x) { return x * 2; }
+  return inner(21);
+}
+`)
+	if got := globalNum(t, in, "r"); got != 42 {
+		t.Errorf("r = %v", got)
+	}
+}

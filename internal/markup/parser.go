@@ -1,0 +1,535 @@
+package markup
+
+import "fmt"
+
+// Recursive-descent parser for the ECMAScript subset.
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+// ParseScript parses source text into an executable Program.
+func ParseScript(src string) (*Program, error) {
+	toks, err := lexAll(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	var body []stmt
+	for !p.at(tokEOF, "") {
+		s, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		body = append(body, s)
+	}
+	return &Program{body: body}, nil
+}
+
+func (p *parser) cur() token { return p.toks[p.pos] }
+
+func (p *parser) at(kind tokenKind, text string) bool {
+	t := p.cur()
+	return t.kind == kind && (text == "" || t.text == text)
+}
+
+func (p *parser) accept(kind tokenKind, text string) bool {
+	if p.at(kind, text) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(kind tokenKind, text string) (token, error) {
+	t := p.cur()
+	if !p.at(kind, text) {
+		want := text
+		if want == "" {
+			want = fmt.Sprintf("token kind %d", kind)
+		}
+		return t, &SyntaxError{Line: t.line, Msg: fmt.Sprintf("expected %q, found %s", want, t)}
+	}
+	p.pos++
+	return t, nil
+}
+
+func (p *parser) errorf(format string, args ...any) error {
+	return &SyntaxError{Line: p.cur().line, Msg: fmt.Sprintf(format, args...)}
+}
+
+// --- statements --------------------------------------------------------
+
+func (p *parser) statement() (stmt, error) {
+	t := p.cur()
+	switch {
+	case p.at(tokKeyword, "var"):
+		return p.varStatement()
+	case p.at(tokKeyword, "function"):
+		return p.funcDeclaration()
+	case p.at(tokKeyword, "if"):
+		return p.ifStatement()
+	case p.at(tokKeyword, "while"):
+		return p.whileStatement()
+	case p.at(tokKeyword, "for"):
+		return p.forStatement()
+	case p.at(tokKeyword, "return"):
+		p.pos++
+		rs := returnStmt{line: t.line}
+		if !p.at(tokPunct, ";") && !p.at(tokPunct, "}") && !p.at(tokEOF, "") {
+			v, err := p.expression()
+			if err != nil {
+				return nil, err
+			}
+			rs.value = v
+		}
+		p.accept(tokPunct, ";")
+		return rs, nil
+	case p.at(tokKeyword, "break"):
+		p.pos++
+		p.accept(tokPunct, ";")
+		return breakStmt{line: t.line}, nil
+	case p.at(tokKeyword, "continue"):
+		p.pos++
+		p.accept(tokPunct, ";")
+		return continueStmt{line: t.line}, nil
+	case p.at(tokPunct, "{"):
+		return p.blockStatement()
+	case p.at(tokPunct, ";"):
+		p.pos++
+		return blockStmt{}, nil
+	default:
+		x, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		p.accept(tokPunct, ";")
+		return exprStmt{x: x}, nil
+	}
+}
+
+func (p *parser) varStatement() (stmt, error) {
+	line := p.cur().line
+	p.pos++ // var
+	name, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	vs := varStmt{name: name.text, line: line}
+	if p.accept(tokPunct, "=") {
+		init, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		vs.init = init
+	}
+	p.accept(tokPunct, ";")
+	return vs, nil
+}
+
+func (p *parser) funcDeclaration() (stmt, error) {
+	line := p.cur().line
+	p.pos++ // function
+	name, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	fn, err := p.funcRest()
+	if err != nil {
+		return nil, err
+	}
+	return funcDecl{name: name.text, fn: fn, line: line}, nil
+}
+
+// funcRest parses "(params) { body }".
+func (p *parser) funcRest() (funcLit, error) {
+	if _, err := p.expect(tokPunct, "("); err != nil {
+		return funcLit{}, err
+	}
+	var params []string
+	for !p.at(tokPunct, ")") {
+		id, err := p.expect(tokIdent, "")
+		if err != nil {
+			return funcLit{}, err
+		}
+		params = append(params, id.text)
+		if !p.accept(tokPunct, ",") {
+			break
+		}
+	}
+	if _, err := p.expect(tokPunct, ")"); err != nil {
+		return funcLit{}, err
+	}
+	body, err := p.blockStatement()
+	if err != nil {
+		return funcLit{}, err
+	}
+	return funcLit{params: params, body: body.(blockStmt).body}, nil
+}
+
+func (p *parser) blockStatement() (stmt, error) {
+	if _, err := p.expect(tokPunct, "{"); err != nil {
+		return nil, err
+	}
+	var body []stmt
+	for !p.at(tokPunct, "}") {
+		if p.at(tokEOF, "") {
+			return nil, p.errorf("unterminated block")
+		}
+		s, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		body = append(body, s)
+	}
+	p.pos++ // }
+	return blockStmt{body: body}, nil
+}
+
+func (p *parser) ifStatement() (stmt, error) {
+	p.pos++ // if
+	if _, err := p.expect(tokPunct, "("); err != nil {
+		return nil, err
+	}
+	cond, err := p.expression()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokPunct, ")"); err != nil {
+		return nil, err
+	}
+	then, err := p.statement()
+	if err != nil {
+		return nil, err
+	}
+	st := ifStmt{cond: cond, then: then}
+	if p.accept(tokKeyword, "else") {
+		els, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		st.els = els
+	}
+	return st, nil
+}
+
+func (p *parser) whileStatement() (stmt, error) {
+	p.pos++ // while
+	if _, err := p.expect(tokPunct, "("); err != nil {
+		return nil, err
+	}
+	cond, err := p.expression()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokPunct, ")"); err != nil {
+		return nil, err
+	}
+	body, err := p.statement()
+	if err != nil {
+		return nil, err
+	}
+	return whileStmt{cond: cond, body: body}, nil
+}
+
+func (p *parser) forStatement() (stmt, error) {
+	p.pos++ // for
+	if _, err := p.expect(tokPunct, "("); err != nil {
+		return nil, err
+	}
+	fs := forStmt{}
+	if !p.at(tokPunct, ";") {
+		if p.at(tokKeyword, "var") {
+			s, err := p.varStatement() // consumes optional ';'
+			if err != nil {
+				return nil, err
+			}
+			fs.init = s
+		} else {
+			x, err := p.expression()
+			if err != nil {
+				return nil, err
+			}
+			fs.init = exprStmt{x: x}
+			if _, err := p.expect(tokPunct, ";"); err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		p.pos++ // ;
+	}
+	if !p.at(tokPunct, ";") {
+		cond, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		fs.cond = cond
+	}
+	if _, err := p.expect(tokPunct, ";"); err != nil {
+		return nil, err
+	}
+	if !p.at(tokPunct, ")") {
+		post, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		fs.post = post
+	}
+	if _, err := p.expect(tokPunct, ")"); err != nil {
+		return nil, err
+	}
+	body, err := p.statement()
+	if err != nil {
+		return nil, err
+	}
+	fs.body = body
+	return fs, nil
+}
+
+// --- expressions --------------------------------------------------------
+
+func (p *parser) expression() (expr, error) {
+	return p.assignment()
+}
+
+func (p *parser) assignment() (expr, error) {
+	left, err := p.conditional()
+	if err != nil {
+		return nil, err
+	}
+	for _, op := range []string{"=", "+=", "-=", "*=", "/="} {
+		if p.at(tokPunct, op) {
+			line := p.cur().line
+			if !isAssignable(left) {
+				return nil, p.errorf("invalid assignment target")
+			}
+			p.pos++
+			value, err := p.assignment()
+			if err != nil {
+				return nil, err
+			}
+			return assignExpr{target: left, op: op, value: value, line: line}, nil
+		}
+	}
+	return left, nil
+}
+
+func isAssignable(e expr) bool {
+	switch e.(type) {
+	case identExpr, memberExpr, indexExpr:
+		return true
+	}
+	return false
+}
+
+func (p *parser) conditional() (expr, error) {
+	cond, err := p.binaryExprPrec(0)
+	if err != nil {
+		return nil, err
+	}
+	if !p.accept(tokPunct, "?") {
+		return cond, nil
+	}
+	then, err := p.assignment()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokPunct, ":"); err != nil {
+		return nil, err
+	}
+	els, err := p.assignment()
+	if err != nil {
+		return nil, err
+	}
+	return condExpr{cond: cond, then: then, els: els}, nil
+}
+
+// binary operator precedence, lowest first.
+var binaryPrec = [][]string{
+	{"||"},
+	{"&&"},
+	{"==", "!=", "===", "!=="},
+	{"<", ">", "<=", ">="},
+	{"+", "-"},
+	{"*", "/", "%"},
+}
+
+func (p *parser) binaryExprPrec(level int) (expr, error) {
+	if level >= len(binaryPrec) {
+		return p.unary()
+	}
+	left, err := p.binaryExprPrec(level + 1)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		matched := false
+		for _, op := range binaryPrec[level] {
+			if p.at(tokPunct, op) {
+				line := p.cur().line
+				p.pos++
+				right, err := p.binaryExprPrec(level + 1)
+				if err != nil {
+					return nil, err
+				}
+				left = binaryExpr{op: op, x: left, y: right, line: line}
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			return left, nil
+		}
+	}
+}
+
+func (p *parser) unary() (expr, error) {
+	t := p.cur()
+	switch {
+	case p.at(tokPunct, "!") || p.at(tokPunct, "-") || p.at(tokPunct, "+"):
+		p.pos++
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return unaryExpr{op: t.text, x: x, line: t.line}, nil
+	case p.at(tokPunct, "++") || p.at(tokPunct, "--"):
+		p.pos++
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		if !isAssignable(x) {
+			return nil, p.errorf("invalid %s target", t.text)
+		}
+		return updateExpr{target: x, op: t.text, line: t.line}, nil
+	}
+	return p.postfix()
+}
+
+func (p *parser) postfix() (expr, error) {
+	x, err := p.callMember()
+	if err != nil {
+		return nil, err
+	}
+	if p.at(tokPunct, "++") || p.at(tokPunct, "--") {
+		t := p.cur()
+		if !isAssignable(x) {
+			return nil, p.errorf("invalid %s target", t.text)
+		}
+		p.pos++
+		return updateExpr{target: x, op: t.text, postfix: true, line: t.line}, nil
+	}
+	return x, nil
+}
+
+func (p *parser) callMember() (expr, error) {
+	x, err := p.primary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.at(tokPunct, "."):
+			line := p.cur().line
+			p.pos++
+			name, err := p.expect(tokIdent, "")
+			if err != nil {
+				return nil, err
+			}
+			x = memberExpr{obj: x, name: name.text, line: line}
+		case p.at(tokPunct, "["):
+			line := p.cur().line
+			p.pos++
+			idx, err := p.expression()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokPunct, "]"); err != nil {
+				return nil, err
+			}
+			x = indexExpr{obj: x, index: idx, line: line}
+		case p.at(tokPunct, "("):
+			line := p.cur().line
+			p.pos++
+			var args []expr
+			for !p.at(tokPunct, ")") {
+				a, err := p.expression()
+				if err != nil {
+					return nil, err
+				}
+				args = append(args, a)
+				if !p.accept(tokPunct, ",") {
+					break
+				}
+			}
+			if _, err := p.expect(tokPunct, ")"); err != nil {
+				return nil, err
+			}
+			x = callExpr{fn: x, args: args, line: line}
+		default:
+			return x, nil
+		}
+	}
+}
+
+func (p *parser) primary() (expr, error) {
+	t := p.cur()
+	switch {
+	case t.kind == tokNumber:
+		p.pos++
+		return numberLit{value: t.num}, nil
+	case t.kind == tokString:
+		p.pos++
+		return stringLit{value: t.text}, nil
+	case p.at(tokKeyword, "true"):
+		p.pos++
+		return boolLit{value: true}, nil
+	case p.at(tokKeyword, "false"):
+		p.pos++
+		return boolLit{value: false}, nil
+	case p.at(tokKeyword, "null"):
+		p.pos++
+		return nullLit{}, nil
+	case p.at(tokKeyword, "function"):
+		p.pos++
+		fn, err := p.funcRest()
+		if err != nil {
+			return nil, err
+		}
+		return fn, nil
+	case t.kind == tokIdent:
+		p.pos++
+		return identExpr{name: t.text, line: t.line}, nil
+	case p.at(tokPunct, "("):
+		p.pos++
+		x, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, ")"); err != nil {
+			return nil, err
+		}
+		return x, nil
+	case p.at(tokPunct, "["):
+		p.pos++
+		var elems []expr
+		for !p.at(tokPunct, "]") {
+			e, err := p.expression()
+			if err != nil {
+				return nil, err
+			}
+			elems = append(elems, e)
+			if !p.accept(tokPunct, ",") {
+				break
+			}
+		}
+		if _, err := p.expect(tokPunct, "]"); err != nil {
+			return nil, err
+		}
+		return arrayLit{elems: elems}, nil
+	default:
+		return nil, p.errorf("unexpected %s", t)
+	}
+}

@@ -1,0 +1,236 @@
+package markup
+
+import (
+	"testing"
+
+	"discsec/internal/xmldom"
+)
+
+func parseEl(t *testing.T, s string) *xmldom.Element {
+	t.Helper()
+	doc, err := xmldom.ParseString(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return doc.Root()
+}
+
+func TestParseLayout(t *testing.T) {
+	el := parseEl(t, `<layout xmlns="urn:discsec:smil">
+  <region id="main" left="0" top="0" width="1920" height="1080"/>
+  <region id="menu" left="100" top="800" width="1720" height="200" z-index="2"/>
+</layout>`)
+	l, err := ParseLayout(el)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(l.Regions) != 2 {
+		t.Fatalf("regions = %d", len(l.Regions))
+	}
+	menu := l.Region("menu")
+	if menu == nil || menu.ZIndex != 2 || menu.Top != 800 {
+		t.Errorf("menu = %+v", menu)
+	}
+	if l.Region("ghost") != nil {
+		t.Error("ghost region found")
+	}
+}
+
+func TestParseLayoutErrors(t *testing.T) {
+	bad := []string{
+		`<notlayout/>`,
+		`<layout><region/></layout>`,
+		`<layout><region id="a"/><region id="a"/></layout>`,
+		`<layout><region id="a" width="x"/></layout>`,
+		`<layout><region id="a" width="-5"/></layout>`,
+	}
+	for _, s := range bad {
+		if _, err := ParseLayout(parseEl(t, s)); err == nil {
+			t.Errorf("accepted: %s", s)
+		}
+	}
+}
+
+func TestLayoutRoundTrip(t *testing.T) {
+	l := &Layout{Regions: []Region{
+		{ID: "a", Left: 1, Top: 2, Width: 3, Height: 4, ZIndex: 5},
+		{ID: "b", Width: 10, Height: 10},
+	}}
+	back, err := ParseLayout(l.Element())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Regions) != 2 || *back.Region("a") != l.Regions[0] {
+		t.Errorf("round trip = %+v", back)
+	}
+}
+
+func TestParseTimingAndSchedule(t *testing.T) {
+	el := parseEl(t, `<timing xmlns="urn:discsec:smil">
+  <seq>
+    <img src="logo.png" region="main" dur="2s"/>
+    <par>
+      <video src="feature.m2ts" region="main" dur="10s"/>
+      <img src="overlay.png" region="menu" dur="3s" begin="1s"/>
+    </par>
+    <img src="credits.png" region="main" dur="1500ms"/>
+  </seq>
+</timing>`)
+	root, err := ParseTiming(el)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := root.Duration(); got != 2000+10000+1500 {
+		t.Errorf("duration = %d", got)
+	}
+	events := root.Schedule()
+	if len(events) != 4 {
+		t.Fatalf("events = %d: %+v", len(events), events)
+	}
+	// logo at 0..2000
+	if events[0].Src != "logo.png" || events[0].StartMS != 0 || events[0].EndMS != 2000 {
+		t.Errorf("event 0 = %+v", events[0])
+	}
+	// feature at 2000..12000, overlay at 3000..6000
+	if events[1].Src != "feature.m2ts" || events[1].StartMS != 2000 || events[1].EndMS != 12000 {
+		t.Errorf("event 1 = %+v", events[1])
+	}
+	if events[2].Src != "overlay.png" || events[2].StartMS != 3000 || events[2].EndMS != 6000 {
+		t.Errorf("event 2 = %+v", events[2])
+	}
+	// credits after the par's max end (12000).
+	if events[3].Src != "credits.png" || events[3].StartMS != 12000 || events[3].EndMS != 13500 {
+		t.Errorf("event 3 = %+v", events[3])
+	}
+}
+
+func TestTimingRoundTrip(t *testing.T) {
+	el := parseEl(t, `<timing xmlns="urn:discsec:smil"><seq><img src="a.png" region="r" dur="2s"/><audio src="b.pcm" dur="500ms"/></seq></timing>`)
+	root, err := ParseTiming(el)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseTiming(root.Element())
+	if err != nil {
+		t.Fatalf("reparse rendered timing: %v\n%s", err, root.Element().String())
+	}
+	if back.Duration() != root.Duration() {
+		t.Errorf("duration changed: %d -> %d", root.Duration(), back.Duration())
+	}
+	if len(back.Schedule()) != len(root.Schedule()) {
+		t.Error("schedule length changed")
+	}
+}
+
+func TestParseTimingErrors(t *testing.T) {
+	bad := []string{
+		`<nottiming/>`,
+		`<timing/>`,
+		`<timing><seq/><seq/></timing>`,
+		`<timing><mystery/></timing>`,
+		`<timing><seq><img dur="wat"/></seq></timing>`,
+		`<timing><seq><img dur="-1s"/></seq></timing>`,
+	}
+	for _, s := range bad {
+		if _, err := ParseTiming(parseEl(t, s)); err == nil {
+			t.Errorf("accepted: %s", s)
+		}
+	}
+}
+
+func TestValidateAgainstLayout(t *testing.T) {
+	l := &Layout{Regions: []Region{{ID: "main", Width: 10, Height: 10}}}
+	good, _ := ParseTiming(parseEl(t, `<timing><seq><img src="x" region="main"/><audio src="s"/></seq></timing>`))
+	if err := good.ValidateAgainstLayout(l); err != nil {
+		t.Errorf("valid timing rejected: %v", err)
+	}
+	badRegion, _ := ParseTiming(parseEl(t, `<timing><seq><img src="x" region="ghost"/></seq></timing>`))
+	if err := badRegion.ValidateAgainstLayout(l); err == nil {
+		t.Error("unknown region accepted")
+	}
+	noRegion, _ := ParseTiming(parseEl(t, `<timing><seq><img src="x"/></seq></timing>`))
+	if err := noRegion.ValidateAgainstLayout(l); err == nil {
+		t.Error("region-less image accepted")
+	}
+}
+
+func TestParseClock(t *testing.T) {
+	cases := []struct {
+		in   string
+		want int64
+	}{
+		{"5s", 5000},
+		{"1.5s", 1500},
+		{"1500ms", 1500},
+		{"2min", 120000},
+		{"1h", 3600000},
+		{"3", 3000},
+	}
+	for _, tc := range cases {
+		got, err := ParseClock(tc.in)
+		if err != nil || got != tc.want {
+			t.Errorf("ParseClock(%q) = %d, %v; want %d", tc.in, got, err, tc.want)
+		}
+	}
+	for _, bad := range []string{"", "abc", "-2s", "5x"} {
+		if _, err := ParseClock(bad); err == nil {
+			t.Errorf("ParseClock(%q) accepted", bad)
+		}
+	}
+}
+
+func TestSeqWithExplicitDur(t *testing.T) {
+	root, err := ParseTiming(parseEl(t, `<timing><seq dur="30s"><img src="a" dur="2s"/></seq></timing>`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := root.Duration(); got != 30000 {
+		t.Errorf("explicit container dur = %d", got)
+	}
+}
+
+func TestTimingRepeat(t *testing.T) {
+	root, err := ParseTiming(parseEl(t, `<timing><seq repeat="3"><img src="a" region="r" dur="2s"/></seq></timing>`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := root.Duration(); got != 6000 {
+		t.Errorf("repeat duration = %d", got)
+	}
+	events := root.Schedule()
+	if len(events) != 3 {
+		t.Fatalf("events = %d", len(events))
+	}
+	if events[1].StartMS != 2000 || events[2].StartMS != 4000 {
+		t.Errorf("repeat schedule = %+v", events)
+	}
+	// Repeat round-trips through markup.
+	back, err := ParseTiming(root.Element())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Duration() != 6000 {
+		t.Errorf("reparsed repeat duration = %d", back.Duration())
+	}
+	// Bad values rejected.
+	if _, err := ParseTiming(parseEl(t, `<timing><seq repeat="0"><img src="a"/></seq></timing>`)); err == nil {
+		t.Error("repeat=0 accepted")
+	}
+	if _, err := ParseTiming(parseEl(t, `<timing><seq repeat="lots"><img src="a"/></seq></timing>`)); err == nil {
+		t.Error("repeat=lots accepted")
+	}
+}
+
+func TestParRepeat(t *testing.T) {
+	root, err := ParseTiming(parseEl(t, `<timing><par repeat="2"><img src="a" region="r" dur="1s"/><img src="b" region="r" dur="3s"/></par></timing>`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := root.Duration(); got != 6000 {
+		t.Errorf("par repeat duration = %d", got)
+	}
+	events := root.Schedule()
+	if len(events) != 4 {
+		t.Fatalf("events = %d", len(events))
+	}
+}

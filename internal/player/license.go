@@ -1,0 +1,112 @@
+package player
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"discsec/internal/rights"
+	"discsec/internal/xmldom"
+	"discsec/internal/xmldsig"
+)
+
+// License handling (the paper's §9 XRML future work, integrated): a disc
+// may carry a signed rights license at LicensePath. The engine verifies
+// the license signature against the player roots before honoring any
+// grant, and exposes an evaluator the playback and export paths consult.
+
+// LicensePath is the image path of the rights license.
+const LicensePath = "LICENSE/license.xml"
+
+// ErrLicenseRequired indicates a rights-gated operation was attempted on
+// a session without a (valid) license.
+var ErrLicenseRequired = errors.New("player: operation requires a rights license")
+
+// LoadLicense reads, verifies, and parses the disc's rights license,
+// caching the evaluator on the session. Returns ErrLicenseRequired when
+// the image carries none.
+func (s *Session) LoadLicense() (*rights.Evaluator, error) {
+	if s.licenseEval != nil {
+		return s.licenseEval, nil
+	}
+	if s.Image == nil || !s.Image.Has(LicensePath) {
+		return nil, ErrLicenseRequired
+	}
+	raw, err := s.Image.Get(LicensePath)
+	if err != nil {
+		return nil, err
+	}
+	doc, err := xmldom.ParseBytes(raw)
+	if err != nil {
+		return nil, fmt.Errorf("player: license: %w", err)
+	}
+	if _, err := xmldsig.VerifyDocument(doc, xmldsig.VerifyOptions{
+		Roots:     s.engine.Roots,
+		KeyByName: s.engine.KeyByName,
+	}); err != nil {
+		return nil, fmt.Errorf("player: license signature: %w", err)
+	}
+	lic, err := rights.Parse(doc)
+	if err != nil {
+		return nil, err
+	}
+	eval := rights.NewEvaluator(lic)
+	s.restoreLicenseUses(lic.ID, eval)
+	s.licenseEval = eval
+	s.licenseID = lic.ID
+	return s.licenseEval, nil
+}
+
+// licenseStateApp is the reserved local-storage namespace holding
+// per-license use counters (so MaxUses survives player restarts when the
+// engine storage is directory-backed).
+const licenseStateApp = "__license"
+
+func (s *Session) restoreLicenseUses(licenseID string, eval *rights.Evaluator) {
+	if s.engine.Storage == nil || licenseID == "" {
+		return
+	}
+	raw, err := s.engine.Storage.Get(licenseStateApp, licenseID)
+	if err != nil {
+		return // no prior state
+	}
+	var snapshot map[int]int
+	if json.Unmarshal(raw, &snapshot) == nil {
+		eval.RestoreUses(snapshot)
+	}
+}
+
+func (s *Session) persistLicenseUses() {
+	if s.engine.Storage == nil || s.licenseEval == nil || s.licenseID == "" {
+		return
+	}
+	raw, err := json.Marshal(s.licenseEval.SnapshotUses())
+	if err != nil {
+		return
+	}
+	s.engine.Storage.Put(licenseStateApp, s.licenseID, raw) //nolint:errcheck // best-effort persistence
+}
+
+// ExerciseRight exercises a usage right for this player device against
+// the disc license, consuming a use. Use counters persist through the
+// engine's local storage.
+func (s *Session) ExerciseRight(deviceID string, right rights.Right, resource string) error {
+	eval, err := s.LoadLicense()
+	if err != nil {
+		return err
+	}
+	if err := eval.Exercise(deviceID, right, resource); err != nil {
+		return err
+	}
+	s.persistLicenseUses()
+	return nil
+}
+
+// PlayTrackLicensed is PlayTrack gated on the disc license: the device
+// must hold (and consumes a use of) the play right for the track.
+func (s *Session) PlayTrackLicensed(deviceID, trackID string) (*PlaybackReport, error) {
+	if err := s.ExerciseRight(deviceID, rights.RightPlay, trackID); err != nil {
+		return nil, err
+	}
+	return s.PlayTrack(trackID)
+}

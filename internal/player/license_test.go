@@ -1,0 +1,147 @@
+package player
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"discsec/internal/disc"
+	"discsec/internal/rights"
+	"discsec/internal/xmldsig"
+)
+
+// licensedImage packages a signed disc plus a signed rights license
+// granting the play right to device-1 twice.
+func licensedImage(t *testing.T, tamper bool) *disc.Image {
+	t.Helper()
+	im := buildAVImage(t, true)
+
+	lic := &rights.License{
+		ID:     "lic-disc",
+		Issuer: creator.Name,
+		Grants: []rights.Grant{
+			{Principal: "device-1", Right: rights.RightPlay, Resource: "t-av", MaxUses: 2},
+			{Principal: "*", Right: rights.RightExtract, Resource: "t-game"},
+		},
+	}
+	doc := lic.Document()
+	if _, err := xmldsig.SignEnveloped(doc, doc.Root(), xmldsig.SignOptions{
+		Key:     creator.Key,
+		KeyInfo: xmldsig.KeyInfoSpec{KeyName: creator.Name, Certificates: creator.Chain},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	raw := doc.Bytes()
+	if tamper {
+		raw = []byte(strings.Replace(string(raw), `maxuses="2"`, `maxuses="999"`, 1))
+	}
+	if err := im.Put(LicensePath, raw); err != nil {
+		t.Fatal(err)
+	}
+	return im
+}
+
+func TestLicensedPlayback(t *testing.T) {
+	im := licensedImage(t, false)
+	sess, err := newEngine().Load(im)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two plays allowed...
+	if _, err := sess.PlayTrackLicensed("device-1", "t-av"); err != nil {
+		t.Fatalf("first play: %v", err)
+	}
+	if _, err := sess.PlayTrackLicensed("device-1", "t-av"); err != nil {
+		t.Fatalf("second play: %v", err)
+	}
+	// ...third is exhausted.
+	if _, err := sess.PlayTrackLicensed("device-1", "t-av"); !errors.Is(err, rights.ErrExhausted) {
+		t.Errorf("third play err = %v", err)
+	}
+	// Another device has no grant.
+	if _, err := sess.PlayTrackLicensed("device-2", "t-av"); !errors.Is(err, rights.ErrNoGrant) {
+		t.Errorf("foreign device err = %v", err)
+	}
+	// Wildcard grant works for any device.
+	if err := sess.ExerciseRight("anything", rights.RightExtract, "t-game"); err != nil {
+		t.Errorf("wildcard extract: %v", err)
+	}
+}
+
+func TestTamperedLicenseRejected(t *testing.T) {
+	im := licensedImage(t, true)
+	sess, err := newEngine().Load(im)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.PlayTrackLicensed("device-1", "t-av"); err == nil {
+		t.Error("tampered license honored")
+	}
+}
+
+func TestMissingLicense(t *testing.T) {
+	im := buildAVImage(t, true)
+	sess, err := newEngine().Load(im)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.PlayTrackLicensed("device-1", "t-av"); !errors.Is(err, ErrLicenseRequired) {
+		t.Errorf("err = %v, want ErrLicenseRequired", err)
+	}
+	// Ungated playback still works (license only gates the licensed
+	// entry point).
+	if _, err := sess.PlayTrack("t-av"); err != nil {
+		t.Errorf("ungated play: %v", err)
+	}
+}
+
+func TestLicenseEvaluatorCached(t *testing.T) {
+	im := licensedImage(t, false)
+	sess, err := newEngine().Load(im)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1, err := sess.LoadLicense()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := sess.LoadLicense()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e1 != e2 {
+		t.Error("evaluator not cached: use counts would reset")
+	}
+}
+
+// License use counts survive player restarts when the engine storage is
+// directory-backed (the CLI scenario: each invocation is a new process).
+func TestLicenseUsePersistence(t *testing.T) {
+	im := licensedImage(t, false)
+	dir := t.TempDir()
+
+	playOnce := func() error {
+		storage, err := disc.OpenLocalStorage(dir, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e := newEngine()
+		e.Storage = storage
+		sess, err := e.Load(im)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, err = sess.PlayTrackLicensed("device-1", "t-av")
+		return err
+	}
+
+	if err := playOnce(); err != nil {
+		t.Fatalf("first play: %v", err)
+	}
+	if err := playOnce(); err != nil {
+		t.Fatalf("second play: %v", err)
+	}
+	if err := playOnce(); !errors.Is(err, rights.ErrExhausted) {
+		t.Errorf("third play across restarts = %v, want ErrExhausted", err)
+	}
+}

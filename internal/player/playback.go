@@ -1,0 +1,96 @@
+package player
+
+import (
+	"errors"
+	"fmt"
+
+	"discsec/internal/core"
+	"discsec/internal/disc"
+)
+
+// Playback of A/V tracks. The reference player does not decode MPEG-2;
+// playback means: resolve the playlist to clip payloads, verify the
+// detached clip signature when the disc carries one (§5.3 track-level
+// signing), validate transport-stream structure, and produce a playback
+// plan — the observable surface a real decoder would consume.
+
+// ClipReport describes one played clip.
+type ClipReport struct {
+	ClipID  string
+	Path    string
+	Bytes   int
+	Packets int
+	// InMS/OutMS are the presented range from the play item.
+	InMS, OutMS int64
+}
+
+// PlaybackReport is the outcome of playing an A/V track.
+type PlaybackReport struct {
+	TrackID string
+	// SignatureVerified reports whether a detached clip signature was
+	// present and validated.
+	SignatureVerified bool
+	SignerCN          string
+	Clips             []ClipReport
+	// TotalMS is the summed presented duration.
+	TotalMS int64
+}
+
+// ErrClipSignatureRequired indicates the engine demands signed clips
+// but the image carries no clip signature.
+var ErrClipSignatureRequired = errors.New("player: image carries no clip signature but the platform requires one")
+
+// PlayTrack plays an A/V track: verifies clip integrity (detached
+// signature at core.ClipSignaturePath when present, mandatory when the
+// engine requires signatures), checks stream structure, and returns the
+// playback plan.
+func (s *Session) PlayTrack(trackID string) (*PlaybackReport, error) {
+	track := s.Cluster.FindTrack(trackID)
+	if track == nil {
+		return nil, fmt.Errorf("player: no track %q", trackID)
+	}
+	if track.Kind != disc.TrackAV || track.Playlist == nil {
+		return nil, fmt.Errorf("player: track %q is not an A/V track", trackID)
+	}
+	if s.Image == nil {
+		return nil, errors.New("player: A/V playback requires a disc image")
+	}
+
+	rep := &PlaybackReport{TrackID: trackID}
+
+	if s.Image.Has(core.ClipSignaturePath) {
+		opener := &core.Opener{
+			Roots:     s.engine.Roots,
+			KeyByName: s.engine.KeyByName,
+		}
+		sigRep, err := opener.VerifyDetached(s.Image, core.ClipSignaturePath)
+		if err != nil {
+			return nil, fmt.Errorf("player: clip signature: %w", err)
+		}
+		rep.SignatureVerified = true
+		rep.SignerCN = sigRep.SignerCN
+	} else if s.engine.RequireSignature {
+		return nil, ErrClipSignatureRequired
+	}
+
+	for _, item := range track.Playlist.Items {
+		path := "CLIPS/" + item.ClipID + ".m2ts"
+		data, err := s.Image.Get(path)
+		if err != nil {
+			return nil, fmt.Errorf("player: playlist references missing clip: %w", err)
+		}
+		if err := disc.ValidateClip(data); err != nil {
+			return nil, fmt.Errorf("player: clip %s: %w", item.ClipID, err)
+		}
+		rep.Clips = append(rep.Clips, ClipReport{
+			ClipID:  item.ClipID,
+			Path:    path,
+			Bytes:   len(data),
+			Packets: len(data) / disc.TSPacketSize,
+			InMS:    item.InMS,
+			OutMS:   item.OutMS,
+		})
+		rep.TotalMS += item.OutMS - item.InMS
+	}
+	return rep, nil
+}

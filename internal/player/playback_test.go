@@ -1,0 +1,118 @@
+package player
+
+import (
+	"errors"
+	"testing"
+
+	"discsec/internal/access"
+	"discsec/internal/core"
+	"discsec/internal/disc"
+)
+
+func buildAVImage(t *testing.T, signClips bool) *disc.Image {
+	t.Helper()
+	p := &core.Protector{Identity: creator}
+	im, err := p.Package(core.PackageSpec{
+		Cluster: gameCluster(),
+		Clips: map[string][]byte{
+			"CLIPS/clip-1.m2ts": disc.GenerateClip(disc.ClipSpec{DurationMS: 300, BitrateKbps: 4000, Seed: 21}),
+		},
+		PermissionRequests: map[string]*access.PermissionRequest{"game-1": gamePermissions()},
+		Sign:               true,
+		SignLevel:          core.LevelCluster,
+		SignClips:          signClips,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return im
+}
+
+func TestPlayTrackWithSignedClips(t *testing.T) {
+	im := buildAVImage(t, true)
+	e := newEngine()
+	sess, err := e.Load(im)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sess.PlayTrack("t-av")
+	if err != nil {
+		t.Fatalf("play: %v", err)
+	}
+	if !rep.SignatureVerified || rep.SignerCN != "Studio" {
+		t.Errorf("signature report = %+v", rep)
+	}
+	if len(rep.Clips) != 1 || rep.Clips[0].Packets == 0 {
+		t.Errorf("clips = %+v", rep.Clips)
+	}
+	if rep.TotalMS != 5000 {
+		t.Errorf("total = %dms", rep.TotalMS)
+	}
+}
+
+func TestPlayTrackUnsignedClipsBarred(t *testing.T) {
+	im := buildAVImage(t, false)
+	e := newEngine() // RequireSignature is true
+	sess, err := e.Load(im)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.PlayTrack("t-av"); !errors.Is(err, ErrClipSignatureRequired) {
+		t.Errorf("err = %v, want ErrClipSignatureRequired", err)
+	}
+	// A lax engine plays them.
+	lax := newEngine()
+	lax.RequireSignature = false
+	sess2, err := lax.Load(im)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess2.PlayTrack("t-av"); err != nil {
+		t.Errorf("lax play: %v", err)
+	}
+}
+
+func TestPlayTrackCorruptedClip(t *testing.T) {
+	im := buildAVImage(t, true)
+	clip, _ := im.Get("CLIPS/clip-1.m2ts")
+	clip[500] ^= 0xFF
+	im.Put("CLIPS/clip-1.m2ts", clip)
+
+	e := newEngine()
+	sess, err := e.Load(im)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.PlayTrack("t-av"); err == nil {
+		t.Error("corrupted clip played")
+	}
+}
+
+func TestPlayTrackMissingClip(t *testing.T) {
+	im := buildAVImage(t, false)
+	im.Remove("CLIPS/clip-1.m2ts")
+	e := newEngine()
+	e.RequireSignature = false
+	sess, err := e.Load(im)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.PlayTrack("t-av"); err == nil {
+		t.Error("missing clip played")
+	}
+}
+
+func TestPlayTrackWrongKind(t *testing.T) {
+	im := buildAVImage(t, true)
+	e := newEngine()
+	sess, err := e.Load(im)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.PlayTrack("t-game"); err == nil {
+		t.Error("application track played as A/V")
+	}
+	if _, err := sess.PlayTrack("ghost"); err == nil {
+		t.Error("unknown track played")
+	}
+}

@@ -1,0 +1,194 @@
+package rights
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"discsec/internal/keymgmt"
+	"discsec/internal/xmldom"
+	"discsec/internal/xmldsig"
+)
+
+func sampleLicense() *License {
+	return &License{
+		ID:     "lic-1",
+		Issuer: "Rights Issuer",
+		Grants: []Grant{
+			{Principal: "*", Right: RightPlay, Resource: "*"},
+			{Principal: "device-42", Right: RightCopy, Resource: "app-1", MaxUses: 2},
+			{
+				Principal: "device-42", Right: RightExport, Resource: "t-av-1",
+				NotBefore: time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC),
+				NotAfter:  time.Date(2026, 12, 31, 0, 0, 0, 0, time.UTC),
+			},
+		},
+	}
+}
+
+func TestLicenseXMLRoundTrip(t *testing.T) {
+	l := sampleLicense()
+	back, err := Parse(l.Document())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.ID != "lic-1" || back.Issuer != "Rights Issuer" || len(back.Grants) != 3 {
+		t.Fatalf("round trip = %+v", back)
+	}
+	if back.Grants[1].MaxUses != 2 {
+		t.Errorf("maxuses = %d", back.Grants[1].MaxUses)
+	}
+	if !back.Grants[2].NotBefore.Equal(l.Grants[2].NotBefore) {
+		t.Errorf("notbefore = %v", back.Grants[2].NotBefore)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		`<wrong xmlns="urn:discsec:rights"/>`,
+		`<license/>`, // wrong namespace
+		`<license xmlns="urn:discsec:rights"><grant right="play" resource="*"/></license>`,
+		`<license xmlns="urn:discsec:rights"><grant principal="p" right="teleport" resource="*"/></license>`,
+		`<license xmlns="urn:discsec:rights"><grant principal="p" right="play" resource="*" maxuses="0"/></license>`,
+		`<license xmlns="urn:discsec:rights"><grant principal="p" right="play" resource="*" notafter="yesterday"/></license>`,
+	}
+	for _, s := range bad {
+		if _, err := ParseString(s); err == nil {
+			t.Errorf("accepted: %s", s)
+		}
+	}
+}
+
+func TestExerciseBasic(t *testing.T) {
+	e := NewEvaluator(sampleLicense())
+	// Anyone can play anything.
+	if err := e.Exercise("random-device", RightPlay, "app-1"); err != nil {
+		t.Errorf("play: %v", err)
+	}
+	// Copy is device- and resource-specific.
+	if err := e.Exercise("device-42", RightCopy, "app-1"); err != nil {
+		t.Errorf("copy: %v", err)
+	}
+	if err := e.Exercise("device-7", RightCopy, "app-1"); !errors.Is(err, ErrNoGrant) {
+		t.Errorf("foreign device copy err = %v", err)
+	}
+	if err := e.Exercise("device-42", RightCopy, "other-app"); !errors.Is(err, ErrNoGrant) {
+		t.Errorf("foreign resource copy err = %v", err)
+	}
+	if err := e.Exercise("device-42", RightModify, "app-1"); !errors.Is(err, ErrNoGrant) {
+		t.Errorf("ungranted right err = %v", err)
+	}
+}
+
+func TestUseCountExhaustion(t *testing.T) {
+	e := NewEvaluator(sampleLicense())
+	if n, ok := e.RemainingUses("device-42", RightCopy, "app-1"); !ok || n != 2 {
+		t.Errorf("remaining = %d, %v", n, ok)
+	}
+	if err := e.Exercise("device-42", RightCopy, "app-1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Exercise("device-42", RightCopy, "app-1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Exercise("device-42", RightCopy, "app-1"); !errors.Is(err, ErrExhausted) {
+		t.Errorf("third copy err = %v", err)
+	}
+	if n, _ := e.RemainingUses("device-42", RightCopy, "app-1"); n != 0 {
+		t.Errorf("remaining after exhaustion = %d", n)
+	}
+	// Unlimited grant reports -1.
+	if n, ok := e.RemainingUses("any", RightPlay, "x"); !ok || n != -1 {
+		t.Errorf("unlimited remaining = %d, %v", n, ok)
+	}
+}
+
+func TestValidityWindow(t *testing.T) {
+	e := NewEvaluator(sampleLicense())
+	e.Now = func() time.Time { return time.Date(2025, 6, 1, 0, 0, 0, 0, time.UTC) }
+	if err := e.Exercise("device-42", RightExport, "t-av-1"); !errors.Is(err, ErrExpired) {
+		t.Errorf("before window err = %v", err)
+	}
+	e.Now = func() time.Time { return time.Date(2026, 6, 1, 0, 0, 0, 0, time.UTC) }
+	if err := e.Exercise("device-42", RightExport, "t-av-1"); err != nil {
+		t.Errorf("inside window: %v", err)
+	}
+	e.Now = func() time.Time { return time.Date(2027, 6, 1, 0, 0, 0, 0, time.UTC) }
+	if err := e.Exercise("device-42", RightExport, "t-av-1"); !errors.Is(err, ErrExpired) {
+		t.Errorf("after window err = %v", err)
+	}
+}
+
+// Licenses are ordinary markup: they sign and verify with the existing
+// XML-DSig stack, and tampering with a grant is detected.
+func TestSignedLicense(t *testing.T) {
+	root, err := keymgmt.NewRootCA("Rights Root", keymgmt.ECDSAP256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	issuer, err := root.IssueIdentity("Rights Issuer", keymgmt.ECDSAP256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := sampleLicense().Document()
+	if _, err := xmldsig.SignEnveloped(doc, doc.Root(), xmldsig.SignOptions{
+		Key:     issuer.Key,
+		KeyInfo: xmldsig.KeyInfoSpec{KeyName: issuer.Name, Certificates: issuer.Chain},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	transmitted := doc.Root().String()
+
+	rx, err := xmldom.ParseString(transmitted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := xmldsig.VerifyDocument(rx, xmldsig.VerifyOptions{Roots: root.Pool()}); err != nil {
+		t.Fatalf("license verify: %v", err)
+	}
+	lic, err := Parse(rx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lic.Issuer != "Rights Issuer" {
+		t.Errorf("issuer = %q", lic.Issuer)
+	}
+
+	// Attacker upgrades maxuses 2 -> 200: verification must fail.
+	tampered := strings.Replace(transmitted, `maxuses="2"`, `maxuses="200"`, 1)
+	if tampered == transmitted {
+		t.Fatal("setup: maxuses not found")
+	}
+	rx2, err := xmldom.ParseString(tampered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := xmldsig.VerifyDocument(rx2, xmldsig.VerifyOptions{Roots: root.Pool()}); err == nil {
+		t.Error("tampered license verified")
+	}
+}
+
+// Parse must tolerate the enveloped signature inside the license
+// element (unknown children are ignored).
+func TestParseIgnoresSignature(t *testing.T) {
+	doc := sampleLicense().Document()
+	root, err := keymgmt.NewRootCA("R", keymgmt.ECDSAP256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	issuer, err := root.IssueIdentity("I", keymgmt.ECDSAP256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := xmldsig.SignEnveloped(doc, doc.Root(), xmldsig.SignOptions{Key: issuer.Key}); err != nil {
+		t.Fatal(err)
+	}
+	lic, err := Parse(doc)
+	if err != nil {
+		t.Fatalf("parse signed license: %v", err)
+	}
+	if len(lic.Grants) != 3 {
+		t.Errorf("grants = %d", len(lic.Grants))
+	}
+}

@@ -1,0 +1,215 @@
+// Package server implements the content-server half of the paper's §1
+// and §5.1 usage model: movie companies and independent vendors host
+// packaged interactive applications (bonus materials, clips, application
+// extensions) that connected players download over broadband and
+// authenticate before execution. Downloads are served over HTTP or TLS
+// (the paper's §7 notes SSL/TLS for transport secrecy; content trust
+// still comes from the XML signatures inside).
+package server
+
+import (
+	"crypto/tls"
+	"crypto/x509"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"discsec/internal/disc"
+)
+
+// ContentServer hosts packaged applications and disc images.
+type ContentServer struct {
+	mu       sync.RWMutex
+	catalog  map[string]*entry
+	download int64
+}
+
+type entry struct {
+	data        []byte
+	contentType string
+}
+
+// NewContentServer creates an empty server.
+func NewContentServer() *ContentServer {
+	return &ContentServer{catalog: make(map[string]*entry)}
+}
+
+// PublishDocument hosts a protected cluster/manifest document under the
+// given name.
+func (cs *ContentServer) PublishDocument(name string, doc []byte) {
+	cs.publish(name, doc, "application/xml")
+}
+
+// PublishImage hosts a packed disc image under the given name.
+func (cs *ContentServer) PublishImage(name string, im *disc.Image) {
+	cs.publish(name, im.Bytes(), "application/octet-stream")
+}
+
+// PublishResource hosts an arbitrary resource (bonus clip, extension).
+func (cs *ContentServer) PublishResource(name string, data []byte, contentType string) {
+	cs.publish(name, data, contentType)
+}
+
+func (cs *ContentServer) publish(name string, data []byte, ct string) {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	cs.catalog[strings.TrimPrefix(name, "/")] = &entry{data: append([]byte(nil), data...), contentType: ct}
+}
+
+// Unpublish removes an item, reporting whether it existed.
+func (cs *ContentServer) Unpublish(name string) bool {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	name = strings.TrimPrefix(name, "/")
+	_, ok := cs.catalog[name]
+	delete(cs.catalog, name)
+	return ok
+}
+
+// Catalog lists published names, sorted.
+func (cs *ContentServer) Catalog() []string {
+	cs.mu.RLock()
+	defer cs.mu.RUnlock()
+	out := make([]string, 0, len(cs.catalog))
+	for n := range cs.catalog {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Downloads reports the number of served downloads.
+func (cs *ContentServer) Downloads() int64 {
+	cs.mu.RLock()
+	defer cs.mu.RUnlock()
+	return cs.download
+}
+
+// ServeHTTP implements http.Handler: GET /<name> returns the published
+// item; GET /catalog returns a text listing.
+func (cs *ContentServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "content server accepts GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	name := strings.TrimPrefix(r.URL.Path, "/")
+	if name == "catalog" {
+		w.Header().Set("Content-Type", "text/plain")
+		for _, n := range cs.Catalog() {
+			fmt.Fprintln(w, n)
+		}
+		return
+	}
+	cs.mu.Lock()
+	e, ok := cs.catalog[name]
+	if ok {
+		cs.download++
+	}
+	cs.mu.Unlock()
+	if !ok {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", e.contentType)
+	w.Write(e.data)
+}
+
+// Serve starts the server on the given address, returning its base URL
+// and a shutdown function.
+func (cs *ContentServer) Serve(addr string) (string, func() error, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: cs, ReadHeaderTimeout: 5 * time.Second}
+	go srv.Serve(ln) //nolint:errcheck // shutdown path returns ErrServerClosed
+	return "http://" + ln.Addr().String(), srv.Close, nil
+}
+
+// ServeTLS starts the server over TLS with the given certificate (the
+// paper's §7: "SSL/TLS mechanisms could be used for mutual
+// authentication and secrecy between server and the player"). Content
+// trust still comes from the XML signatures inside the payloads.
+func (cs *ContentServer) ServeTLS(addr string, cert tls.Certificate) (string, func() error, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{
+		Handler:           cs,
+		ReadHeaderTimeout: 5 * time.Second,
+		TLSConfig:         &tls.Config{Certificates: []tls.Certificate{cert}, MinVersion: tls.VersionTLS12},
+	}
+	tlsLn := tls.NewListener(ln, srv.TLSConfig)
+	go srv.Serve(tlsLn) //nolint:errcheck // shutdown path returns ErrServerClosed
+	return "https://" + ln.Addr().String(), srv.Close, nil
+}
+
+// NewTLSDownloader builds a Downloader whose client trusts the given
+// root pool for server authentication.
+func NewTLSDownloader(roots *x509.CertPool) *Downloader {
+	return &Downloader{HTTPClient: &http.Client{
+		Timeout: 30 * time.Second,
+		Transport: &http.Transport{
+			TLSClientConfig: &tls.Config{RootCAs: roots, MinVersion: tls.VersionTLS12},
+		},
+	}}
+}
+
+// Downloader fetches published content for the player.
+type Downloader struct {
+	// HTTPClient defaults to a client with a 30s timeout.
+	HTTPClient *http.Client
+	// MaxBytes bounds a download; 0 means 64 MiB.
+	MaxBytes int64
+}
+
+// ErrTooLarge indicates the download exceeded MaxBytes.
+var ErrTooLarge = errors.New("server: download exceeds size limit")
+
+func (d *Downloader) client() *http.Client {
+	if d.HTTPClient != nil {
+		return d.HTTPClient
+	}
+	return &http.Client{Timeout: 30 * time.Second}
+}
+
+// Fetch downloads a named item from the base URL.
+func (d *Downloader) Fetch(baseURL, name string) ([]byte, error) {
+	limit := d.MaxBytes
+	if limit <= 0 {
+		limit = 64 << 20
+	}
+	url := strings.TrimSuffix(baseURL, "/") + "/" + strings.TrimPrefix(name, "/")
+	resp, err := d.client().Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("server: GET %s: %s", url, resp.Status)
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, limit+1))
+	if err != nil {
+		return nil, err
+	}
+	if int64(len(body)) > limit {
+		return nil, ErrTooLarge
+	}
+	return body, nil
+}
+
+// FetchImage downloads and unpacks a disc image.
+func (d *Downloader) FetchImage(baseURL, name string) (*disc.Image, error) {
+	b, err := d.Fetch(baseURL, name)
+	if err != nil {
+		return nil, err
+	}
+	return disc.ReadImageBytes(b)
+}

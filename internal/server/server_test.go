@@ -1,0 +1,135 @@
+package server
+
+import (
+	"bytes"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"discsec/internal/disc"
+)
+
+func TestPublishAndFetch(t *testing.T) {
+	cs := NewContentServer()
+	cs.PublishDocument("apps/bonus.xml", []byte("<cluster/>"))
+	cs.PublishResource("clips/extra.m2ts", []byte{1, 2, 3}, "video/mp2t")
+
+	srv := httptest.NewServer(cs)
+	defer srv.Close()
+
+	d := &Downloader{}
+	doc, err := d.Fetch(srv.URL, "apps/bonus.xml")
+	if err != nil || string(doc) != "<cluster/>" {
+		t.Fatalf("fetch doc = %q, %v", doc, err)
+	}
+	clip, err := d.Fetch(srv.URL, "/clips/extra.m2ts")
+	if err != nil || !bytes.Equal(clip, []byte{1, 2, 3}) {
+		t.Fatalf("fetch clip = %v, %v", clip, err)
+	}
+	if _, err := d.Fetch(srv.URL, "missing"); err == nil {
+		t.Error("missing item fetched")
+	}
+	if cs.Downloads() != 2 {
+		t.Errorf("downloads = %d", cs.Downloads())
+	}
+}
+
+func TestCatalogEndpoint(t *testing.T) {
+	cs := NewContentServer()
+	cs.PublishDocument("b.xml", nil)
+	cs.PublishDocument("a.xml", nil)
+	srv := httptest.NewServer(cs)
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/catalog")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	if got := buf.String(); got != "a.xml\nb.xml\n" {
+		t.Errorf("catalog = %q", got)
+	}
+
+	names := cs.Catalog()
+	if len(names) != 2 || names[0] != "a.xml" {
+		t.Errorf("Catalog() = %v", names)
+	}
+}
+
+func TestMethodRestriction(t *testing.T) {
+	cs := NewContentServer()
+	srv := httptest.NewServer(cs)
+	defer srv.Close()
+	resp, err := http.Post(srv.URL+"/x", "text/plain", strings.NewReader("nope"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST status = %d", resp.StatusCode)
+	}
+}
+
+func TestImageRoundTripOverHTTP(t *testing.T) {
+	im := disc.NewImage()
+	im.Put("INDEX/cluster.xml", []byte(`<cluster xmlns="urn:discsec:cluster"/>`))
+	im.Put("CLIPS/c.m2ts", disc.GenerateClip(disc.ClipSpec{DurationMS: 50, BitrateKbps: 1000, Seed: 9}))
+
+	cs := NewContentServer()
+	cs.PublishImage("discs/feature.img", im)
+	srv := httptest.NewServer(cs)
+	defer srv.Close()
+
+	d := &Downloader{}
+	back, err := d.FetchImage(srv.URL, "discs/feature.img")
+	if err != nil {
+		t.Fatalf("fetch image: %v", err)
+	}
+	if len(back.Paths()) != 2 {
+		t.Errorf("paths = %v", back.Paths())
+	}
+	orig, _ := im.Get("CLIPS/c.m2ts")
+	got, _ := back.Get("CLIPS/c.m2ts")
+	if !bytes.Equal(orig, got) {
+		t.Error("clip corrupted over HTTP")
+	}
+}
+
+func TestDownloadSizeLimit(t *testing.T) {
+	cs := NewContentServer()
+	cs.PublishResource("big.bin", bytes.Repeat([]byte{7}, 1000), "application/octet-stream")
+	srv := httptest.NewServer(cs)
+	defer srv.Close()
+
+	d := &Downloader{MaxBytes: 100}
+	if _, err := d.Fetch(srv.URL, "big.bin"); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("err = %v, want ErrTooLarge", err)
+	}
+}
+
+func TestUnpublish(t *testing.T) {
+	cs := NewContentServer()
+	cs.PublishDocument("x", nil)
+	if !cs.Unpublish("x") || cs.Unpublish("x") {
+		t.Error("Unpublish semantics wrong")
+	}
+}
+
+func TestServeListener(t *testing.T) {
+	cs := NewContentServer()
+	cs.PublishDocument("doc.xml", []byte("<d/>"))
+	base, shutdown, err := cs.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown()
+	d := &Downloader{}
+	b, err := d.Fetch(base, "doc.xml")
+	if err != nil || string(b) != "<d/>" {
+		t.Errorf("fetch via Serve = %q, %v", b, err)
+	}
+}

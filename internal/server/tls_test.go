@@ -1,0 +1,56 @@
+package server
+
+import (
+	"strings"
+	"testing"
+
+	"discsec/internal/keymgmt"
+)
+
+func TestServeTLSRoundTrip(t *testing.T) {
+	root, err := keymgmt.NewRootCA("TLS Root", keymgmt.ECDSAP256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cert, err := root.IssueServerCertificate("content.example", []string{"127.0.0.1", "localhost"}, keymgmt.ECDSAP256)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cs := NewContentServer()
+	cs.PublishDocument("apps/bonus.xml", []byte("<cluster/>"))
+	base, shutdown, err := cs.ServeTLS("127.0.0.1:0", cert)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown()
+	if !strings.HasPrefix(base, "https://") {
+		t.Fatalf("base URL = %q", base)
+	}
+
+	// A downloader trusting the root fetches over TLS.
+	d := NewTLSDownloader(root.Pool())
+	b, err := d.Fetch(base, "apps/bonus.xml")
+	if err != nil {
+		t.Fatalf("TLS fetch: %v", err)
+	}
+	if string(b) != "<cluster/>" {
+		t.Errorf("body = %q", b)
+	}
+
+	// A downloader trusting a different root refuses the connection.
+	other, err := keymgmt.NewRootCA("Other Root", keymgmt.ECDSAP256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := NewTLSDownloader(other.Pool())
+	if _, err := bad.Fetch(base, "apps/bonus.xml"); err == nil {
+		t.Error("TLS connection accepted with wrong trust root")
+	}
+
+	// The default downloader (system roots) also refuses.
+	plain := &Downloader{}
+	if _, err := plain.Fetch(base, "apps/bonus.xml"); err == nil {
+		t.Error("TLS connection accepted without the test root")
+	}
+}

@@ -1,0 +1,285 @@
+// Package workload generates deterministic synthetic content for the
+// benchmark harness: manifests of parametric size and shape, clusters
+// with realistic track mixes, high-score state, and raw payloads. Every
+// generator is seeded so experiment runs are reproducible.
+package workload
+
+import (
+	"fmt"
+	"strings"
+
+	"discsec/internal/disc"
+	"discsec/internal/markup"
+	"discsec/internal/xmldom"
+)
+
+// rng is a splitmix64 deterministic generator.
+type rng struct{ state uint64 }
+
+func newRNG(seed uint64) *rng { return &rng{state: seed} }
+
+func (r *rng) next() uint64 {
+	r.state += 0x9E3779B97F4A7C15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+func (r *rng) intn(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return int(r.next() % uint64(n))
+}
+
+// Bytes produces n deterministic pseudo-random bytes.
+func Bytes(n int, seed uint64) []byte {
+	r := newRNG(seed)
+	out := make([]byte, n)
+	for i := 0; i < n; i += 8 {
+		v := r.next()
+		for j := 0; j < 8 && i+j < n; j++ {
+			out[i+j] = byte(v >> (8 * j))
+		}
+	}
+	return out
+}
+
+// ManifestSpec parameterizes synthetic application manifests.
+type ManifestSpec struct {
+	// ID is the manifest identifier.
+	ID string
+	// Regions is the layout region count (min 1).
+	Regions int
+	// MediaItems is the number of timed media items.
+	MediaItems int
+	// ScriptStatements approximates script length in statements.
+	ScriptStatements int
+	// Scripts is the number of scripts the statements are split
+	// across (min 1).
+	Scripts int
+	// HighScoreEntries adds a state submarkup with score entries (the
+	// paper's encrypt-only-the-scores scenario); 0 omits it.
+	HighScoreEntries int
+	// Seed drives all pseudo-random choices.
+	Seed uint64
+}
+
+func (s *ManifestSpec) normalize() {
+	if s.ID == "" {
+		s.ID = "app-bench"
+	}
+	if s.Regions < 1 {
+		s.Regions = 1
+	}
+	if s.MediaItems < 1 {
+		s.MediaItems = 1
+	}
+	if s.Scripts < 1 {
+		s.Scripts = 1
+	}
+	if s.ScriptStatements < 1 {
+		s.ScriptStatements = 1
+	}
+}
+
+// Manifest generates a manifest matching the spec.
+func Manifest(spec ManifestSpec) *disc.Manifest {
+	spec.normalize()
+	r := newRNG(spec.Seed)
+
+	layout := &markup.Layout{}
+	for i := 0; i < spec.Regions; i++ {
+		layout.Regions = append(layout.Regions, markup.Region{
+			ID:     fmt.Sprintf("region-%d", i),
+			Left:   r.intn(1920),
+			Top:    r.intn(1080),
+			Width:  1 + r.intn(1920),
+			Height: 1 + r.intn(1080),
+			ZIndex: r.intn(8),
+		})
+	}
+
+	timing := &markup.TimingNode{Kind: "seq"}
+	for i := 0; i < spec.MediaItems; i++ {
+		kinds := []string{"img", "video", "text"}
+		timing.Children = append(timing.Children, &markup.TimingNode{
+			Kind:   kinds[r.intn(len(kinds))],
+			Src:    fmt.Sprintf("asset-%d.bin", i),
+			Region: fmt.Sprintf("region-%d", r.intn(spec.Regions)),
+			DurMS:  int64(500 + r.intn(10000)),
+		})
+	}
+
+	m := &disc.Manifest{
+		ID: spec.ID,
+		Markup: disc.Markup{SubMarkups: []disc.SubMarkup{
+			{Kind: "layout", Content: layout.Element()},
+			{Kind: "timing", Content: timing.Element()},
+		}},
+	}
+
+	if spec.HighScoreEntries > 0 {
+		m.Markup.SubMarkups = append(m.Markup.SubMarkups, disc.SubMarkup{
+			Kind:    "state",
+			Content: HighScores(spec.HighScoreEntries, spec.Seed),
+		})
+	}
+
+	perScript := spec.ScriptStatements / spec.Scripts
+	if perScript < 1 {
+		perScript = 1
+	}
+	for i := 0; i < spec.Scripts; i++ {
+		m.Code.Scripts = append(m.Code.Scripts, disc.Script{
+			Language: "ecmascript",
+			Source:   Script(perScript, spec.Seed+uint64(i)),
+		})
+	}
+	return m
+}
+
+// Script generates a runnable script of approximately n statements that
+// terminates quickly and exercises arithmetic, strings, and functions.
+func Script(n int, seed uint64) string {
+	r := newRNG(seed)
+	var b strings.Builder
+	b.WriteString("var acc = 0;\nvar label = \"run\";\n")
+	b.WriteString("function mix(a, b) { return a * 31 + b; }\n")
+	for i := 0; i < n; i++ {
+		switch r.intn(4) {
+		case 0:
+			fmt.Fprintf(&b, "acc = mix(acc, %d);\n", r.intn(1000))
+		case 1:
+			fmt.Fprintf(&b, "acc += %d;\n", r.intn(100))
+		case 2:
+			fmt.Fprintf(&b, "label = label + \"%c\";\n", 'a'+rune(r.intn(26)))
+		default:
+			fmt.Fprintf(&b, "if (acc %% 2 == 0) { acc = acc / 2; } else { acc = acc * 3 + 1; }\n")
+		}
+	}
+	return b.String()
+}
+
+// HighScores generates the game-state submarkup content: a highscores
+// element with n entries.
+func HighScores(n int, seed uint64) *xmldom.Element {
+	r := newRNG(seed)
+	el := xmldom.NewElement("state")
+	el.DeclareNamespace("", "urn:discsec:game")
+	hs := el.CreateChild("highscores")
+	for i := 0; i < n; i++ {
+		e := hs.CreateChild("entry")
+		e.SetAttr("player", playerName(r))
+		e.SetAttr("score", fmt.Sprintf("%d", r.intn(1000000)))
+		e.SetAttr("level", fmt.Sprintf("%d", 1+r.intn(99)))
+	}
+	return el
+}
+
+func playerName(r *rng) string {
+	var b [3]byte
+	for i := range b {
+		b[i] = byte('A' + r.intn(26))
+	}
+	return string(b[:])
+}
+
+// ClusterSpec parameterizes synthetic interactive clusters.
+type ClusterSpec struct {
+	// AVTracks and AppTracks set the track mix.
+	AVTracks, AppTracks int
+	// Manifest configures application manifests (ID is suffixed per
+	// track).
+	Manifest ManifestSpec
+	// ClipDurationMS/ClipBitrateKbps size the generated clips.
+	ClipDurationMS  int64
+	ClipBitrateKbps int
+	// Seed drives all randomness.
+	Seed uint64
+}
+
+// Cluster generates a cluster plus its clip payloads keyed by image
+// path.
+func Cluster(spec ClusterSpec) (*disc.InteractiveCluster, map[string][]byte) {
+	if spec.AVTracks < 0 {
+		spec.AVTracks = 0
+	}
+	if spec.AppTracks < 1 {
+		spec.AppTracks = 1
+	}
+	if spec.ClipDurationMS <= 0 {
+		spec.ClipDurationMS = 1000
+	}
+	if spec.ClipBitrateKbps <= 0 {
+		spec.ClipBitrateKbps = 2000
+	}
+
+	c := &disc.InteractiveCluster{Title: "Synthetic Feature"}
+	clips := map[string][]byte{}
+
+	for i := 0; i < spec.AVTracks; i++ {
+		clipID := fmt.Sprintf("clip-%d", i+1)
+		path := "CLIPS/" + clipID + ".m2ts"
+		clips[path] = disc.GenerateClip(disc.ClipSpec{
+			DurationMS:  spec.ClipDurationMS,
+			BitrateKbps: spec.ClipBitrateKbps,
+			Seed:        spec.Seed + uint64(i),
+		})
+		c.Tracks = append(c.Tracks, &disc.Track{
+			ID:   fmt.Sprintf("t-av-%d", i+1),
+			Kind: disc.TrackAV,
+			Playlist: &disc.Playlist{
+				Name:  fmt.Sprintf("playlist-%d", i+1),
+				Items: []disc.PlayItem{{ClipID: clipID, InMS: 0, OutMS: spec.ClipDurationMS}},
+			},
+		})
+	}
+
+	for i := 0; i < spec.AppTracks; i++ {
+		ms := spec.Manifest
+		ms.ID = fmt.Sprintf("%s-%d", defaultString(ms.ID, "app"), i+1)
+		ms.Seed = spec.Seed + 1000 + uint64(i)
+		c.Tracks = append(c.Tracks, &disc.Track{
+			ID:       fmt.Sprintf("t-app-%d", i+1),
+			Kind:     disc.TrackApplication,
+			Manifest: Manifest(ms),
+		})
+	}
+	return c, clips
+}
+
+func defaultString(s, def string) string {
+	if s == "" {
+		return def
+	}
+	return s
+}
+
+// XMLDocument generates a generic XML document of approximately
+// targetBytes serialized size, for canonicalization and signing
+// throughput benchmarks.
+func XMLDocument(targetBytes int, seed uint64) *xmldom.Document {
+	r := newRNG(seed)
+	doc := &xmldom.Document{}
+	root := xmldom.NewElement("payload")
+	root.DeclareNamespace("", "urn:discsec:bench")
+	root.DeclareNamespace("m", "urn:discsec:bench-meta")
+	doc.SetRoot(root)
+
+	size := 0
+	for i := 0; size < targetBytes; i++ {
+		section := root.CreateChild("section")
+		section.SetAttr("n", fmt.Sprintf("%d", i))
+		for j := 0; j < 4 && size < targetBytes; j++ {
+			item := section.CreateChild("item")
+			item.SetAttr("m:k", fmt.Sprintf("v%d", r.intn(100)))
+			text := fmt.Sprintf("data-%d-%d ", r.next()%100000, r.next()%100000)
+			item.AddText(strings.Repeat(text, 1+r.intn(3)))
+			size += 48 + len(text)
+		}
+		size += 24
+	}
+	return doc
+}

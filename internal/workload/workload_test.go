@@ -1,0 +1,142 @@
+package workload
+
+import (
+	"bytes"
+	"testing"
+
+	"discsec/internal/disc"
+	"discsec/internal/markup"
+)
+
+func TestBytesDeterministic(t *testing.T) {
+	a := Bytes(100, 1)
+	b := Bytes(100, 1)
+	c := Bytes(100, 2)
+	if !bytes.Equal(a, b) {
+		t.Error("same seed differs")
+	}
+	if bytes.Equal(a, c) {
+		t.Error("different seeds identical")
+	}
+	if len(Bytes(0, 1)) != 0 || len(Bytes(13, 1)) != 13 {
+		t.Error("length wrong")
+	}
+}
+
+func TestManifestGeneration(t *testing.T) {
+	m := Manifest(ManifestSpec{
+		ID: "bench-app", Regions: 3, MediaItems: 5,
+		ScriptStatements: 20, Scripts: 2, HighScoreEntries: 4, Seed: 7,
+	})
+	if m.ID != "bench-app" {
+		t.Errorf("id = %q", m.ID)
+	}
+	if len(m.Markup.SubMarkups) != 3 {
+		t.Fatalf("submarkups = %d", len(m.Markup.SubMarkups))
+	}
+	// Layout parses and has the requested regions.
+	l, err := markup.ParseLayout(m.Markup.SubMarkups[0].Content)
+	if err != nil {
+		t.Fatalf("layout: %v", err)
+	}
+	if len(l.Regions) != 3 {
+		t.Errorf("regions = %d", len(l.Regions))
+	}
+	// Timing parses, validates against the layout, and schedules.
+	tn, err := markup.ParseTiming(m.Markup.SubMarkups[1].Content)
+	if err != nil {
+		t.Fatalf("timing: %v", err)
+	}
+	if err := tn.ValidateAgainstLayout(l); err != nil {
+		t.Errorf("timing/layout mismatch: %v", err)
+	}
+	if len(tn.Schedule()) != 5 {
+		t.Errorf("schedule = %d events", len(tn.Schedule()))
+	}
+	// High scores present.
+	hs := m.Markup.SubMarkups[2].Content.FirstChildElement("highscores")
+	if hs == nil || len(hs.ChildElements()) != 4 {
+		t.Error("highscores wrong")
+	}
+	if len(m.Code.Scripts) != 2 {
+		t.Errorf("scripts = %d", len(m.Code.Scripts))
+	}
+}
+
+func TestGeneratedScriptsExecute(t *testing.T) {
+	for seed := uint64(0); seed < 5; seed++ {
+		src := Script(50, seed)
+		in := markup.NewInterp()
+		if err := in.RunSource(src); err != nil {
+			t.Errorf("seed %d: generated script failed: %v\n%s", seed, err, src)
+		}
+	}
+}
+
+func TestScriptDeterministic(t *testing.T) {
+	if Script(30, 9) != Script(30, 9) {
+		t.Error("same seed differs")
+	}
+	if Script(30, 9) == Script(30, 10) {
+		t.Error("different seeds identical")
+	}
+}
+
+func TestClusterGeneration(t *testing.T) {
+	c, clips := Cluster(ClusterSpec{
+		AVTracks: 2, AppTracks: 2,
+		Manifest:       ManifestSpec{ScriptStatements: 10},
+		ClipDurationMS: 100, ClipBitrateKbps: 1000,
+		Seed: 11,
+	})
+	if len(c.Tracks) != 4 {
+		t.Fatalf("tracks = %d", len(c.Tracks))
+	}
+	if len(clips) != 2 {
+		t.Fatalf("clips = %d", len(clips))
+	}
+	for path, data := range clips {
+		if err := disc.ValidateClip(data); err != nil {
+			t.Errorf("clip %s invalid: %v", path, err)
+		}
+	}
+	// The cluster round-trips through its XML form.
+	back, err := disc.ParseClusterString(c.Document().String())
+	if err != nil {
+		t.Fatalf("cluster reparse: %v", err)
+	}
+	if len(back.Tracks) != 4 {
+		t.Errorf("reparsed tracks = %d", len(back.Tracks))
+	}
+}
+
+func TestXMLDocumentSizing(t *testing.T) {
+	for _, target := range []int{500, 5000, 50000} {
+		doc := XMLDocument(target, 3)
+		size := len(doc.Bytes())
+		if size < target/2 || size > target*3 {
+			t.Errorf("target %d produced %d bytes", target, size)
+		}
+	}
+	// Deterministic.
+	if !bytes.Equal(XMLDocument(1000, 5).Bytes(), XMLDocument(1000, 5).Bytes()) {
+		t.Error("same seed differs")
+	}
+}
+
+func TestHighScoresShape(t *testing.T) {
+	el := HighScores(10, 1)
+	hs := el.FirstChildElement("highscores")
+	if hs == nil {
+		t.Fatal("no highscores")
+	}
+	entries := hs.ChildElements()
+	if len(entries) != 10 {
+		t.Fatalf("entries = %d", len(entries))
+	}
+	for _, e := range entries {
+		if e.AttrValue("player") == "" || e.AttrValue("score") == "" {
+			t.Errorf("entry missing attrs: %s", e.String())
+		}
+	}
+}

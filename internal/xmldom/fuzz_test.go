@@ -1,0 +1,40 @@
+package xmldom
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzParse exercises the parser against arbitrary input: it must never
+// panic, and any accepted document must serialize to a form the parser
+// accepts again with a stable canonical-ish fixpoint.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		`<r/>`,
+		`<a xmlns="urn:d" xmlns:p="urn:p"><p:b k="v">t</p:b><!-- c --><?pi d?></a>`,
+		`<r>&amp;&lt;&#65;<![CDATA[x]]></r>`,
+		`<a><b></a></b>`,
+		`<!DOCTYPE r><r/>`,
+		`<r a="1" a="2"/>`,
+		"<r>\xff\xfe</r>",
+		`<a:b xmlns:a=""/>`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		doc, err := ParseBytes(data)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		out1 := doc.Root().Bytes()
+		doc2, err := ParseBytes(out1)
+		if err != nil {
+			t.Fatalf("accepted document did not re-parse: %v\ninput: %q\nserialized: %q", err, data, out1)
+		}
+		out2 := doc2.Root().Bytes()
+		if !bytes.Equal(out1, out2) {
+			t.Fatalf("serialization not a fixpoint:\n1: %q\n2: %q", out1, out2)
+		}
+	})
+}

@@ -1,0 +1,137 @@
+package xmldom
+
+// Namespace resolution over the element tree. Namespace declarations are
+// stored as ordinary attributes (xmlns="..." and xmlns:p="..."); the
+// helpers here resolve prefixes by walking toward the document root, per
+// Namespaces in XML 1.0.
+
+// NamespaceURI resolves the element's own namespace from its prefix.
+func (e *Element) NamespaceURI() string {
+	return e.ResolvePrefix(e.Prefix)
+}
+
+// ResolvePrefix resolves a namespace prefix in the context of e, walking
+// ancestor elements. The "xml" and "xmlns" prefixes resolve to their fixed
+// URIs. An unbound prefix (including the default namespace when no
+// xmlns="..." is in scope) resolves to "".
+func (e *Element) ResolvePrefix(prefix string) string {
+	switch prefix {
+	case "xml":
+		return XMLNamespace
+	case "xmlns":
+		return XMLNSNamespace
+	}
+	for cur := e; cur != nil; cur = cur.parent {
+		for _, a := range cur.Attrs {
+			if !a.IsNamespaceDecl() {
+				continue
+			}
+			if a.DeclaredPrefix() == prefix {
+				return a.Value
+			}
+		}
+	}
+	return ""
+}
+
+// AttrNamespaceURI resolves the namespace of an attribute on e. Per the
+// namespaces recommendation, unprefixed attributes are in no namespace.
+func (e *Element) AttrNamespaceURI(a Attr) string {
+	if a.Prefix == "" {
+		return ""
+	}
+	return e.ResolvePrefix(a.Prefix)
+}
+
+// LookupPrefix finds a prefix bound to the given namespace URI in the
+// scope of e, preferring the innermost binding. It reports whether a
+// usable binding was found. A binding is unusable if a nearer declaration
+// rebinds the same prefix to a different URI.
+func (e *Element) LookupPrefix(uri string) (string, bool) {
+	switch uri {
+	case XMLNamespace:
+		return "xml", true
+	case XMLNSNamespace:
+		return "xmlns", true
+	}
+	shadowed := map[string]bool{}
+	for cur := e; cur != nil; cur = cur.parent {
+		for _, a := range cur.Attrs {
+			if !a.IsNamespaceDecl() {
+				continue
+			}
+			p := a.DeclaredPrefix()
+			if a.Value == uri && !shadowed[p] {
+				return p, true
+			}
+			shadowed[p] = true
+		}
+	}
+	return "", false
+}
+
+// InScopeNamespaces returns the namespace bindings visible at e as a map
+// from prefix to URI. The default namespace appears under the "" key only
+// when bound to a non-empty URI. The fixed xml binding is included.
+func (e *Element) InScopeNamespaces() map[string]string {
+	out := map[string]string{"xml": XMLNamespace}
+	seen := map[string]bool{}
+	for cur := e; cur != nil; cur = cur.parent {
+		for _, a := range cur.Attrs {
+			if !a.IsNamespaceDecl() {
+				continue
+			}
+			p := a.DeclaredPrefix()
+			if seen[p] {
+				continue
+			}
+			seen[p] = true
+			if a.Value != "" {
+				out[p] = a.Value
+			}
+		}
+	}
+	return out
+}
+
+// DeclareNamespace adds a namespace declaration on e binding prefix to
+// uri. An empty prefix declares the default namespace. Returns e.
+func (e *Element) DeclareNamespace(prefix, uri string) *Element {
+	if prefix == "" {
+		return e.SetAttr("xmlns", uri)
+	}
+	return e.SetAttr("xmlns:"+prefix, uri)
+}
+
+// EnsurePrefix returns a prefix bound to uri at e, declaring preferred on
+// e if no usable binding exists. If preferred is already bound to a
+// different URI in scope, a numbered variant is used instead.
+func (e *Element) EnsurePrefix(uri, preferred string) string {
+	if p, ok := e.LookupPrefix(uri); ok {
+		return p
+	}
+	in := e.InScopeNamespaces()
+	candidate := preferred
+	for i := 2; ; i++ {
+		if bound, taken := in[candidate]; !taken || bound == uri {
+			break
+		}
+		candidate = preferred + "-" + itoa(i)
+	}
+	e.DeclareNamespace(candidate, uri)
+	return candidate
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,234 @@
+package xmldom
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Lightweight path queries and Id-based dereferencing. The path language
+// is a small subset of XPath abbreviated syntax sufficient for the
+// security stack and the disc content model:
+//
+//	a/b/c        child steps by local name (namespace-agnostic)
+//	a/*/c        wildcard step
+//	a//c         descendant-or-self step
+//	a[n]         1-based positional predicate
+//	a[@k]        attribute-presence predicate
+//	a[@k='v']    attribute-value predicate
+//
+// Steps match on local names only; the callers in this repository resolve
+// namespaces explicitly where they matter.
+
+type pathStep struct {
+	name       string // local name or "*"
+	descend    bool   // true for the // axis
+	pos        int    // 1-based position, 0 when unused
+	attrKey    string
+	attrVal    string
+	hasAttrVal bool
+}
+
+func parsePath(path string) ([]pathStep, error) {
+	if path == "" {
+		return nil, fmt.Errorf("xmldom: empty path")
+	}
+	var steps []pathStep
+	descendNext := false
+	for i, raw := range strings.Split(path, "/") {
+		if raw == "" {
+			if i == 0 {
+				// Leading "/" is tolerated (absolute path).
+				continue
+			}
+			descendNext = true
+			continue
+		}
+		st := pathStep{descend: descendNext}
+		descendNext = false
+		name := raw
+		if i := strings.IndexByte(raw, '['); i >= 0 {
+			if !strings.HasSuffix(raw, "]") {
+				return nil, fmt.Errorf("xmldom: malformed predicate in step %q", raw)
+			}
+			pred := raw[i+1 : len(raw)-1]
+			name = raw[:i]
+			if err := parsePredicate(pred, &st); err != nil {
+				return nil, err
+			}
+		}
+		if name == "" {
+			return nil, fmt.Errorf("xmldom: empty step in path %q", path)
+		}
+		st.name = name
+		steps = append(steps, st)
+	}
+	if len(steps) == 0 {
+		return nil, fmt.Errorf("xmldom: path %q has no steps", path)
+	}
+	return steps, nil
+}
+
+func parsePredicate(pred string, st *pathStep) error {
+	if pred == "" {
+		return fmt.Errorf("xmldom: empty predicate")
+	}
+	if pred[0] == '@' {
+		body := pred[1:]
+		if eq := strings.IndexByte(body, '='); eq >= 0 {
+			val := body[eq+1:]
+			if len(val) < 2 || (val[0] != '\'' && val[0] != '"') || val[len(val)-1] != val[0] {
+				return fmt.Errorf("xmldom: malformed attribute value in predicate %q", pred)
+			}
+			st.attrKey = body[:eq]
+			st.attrVal = val[1 : len(val)-1]
+			st.hasAttrVal = true
+			return nil
+		}
+		st.attrKey = body
+		return nil
+	}
+	n := 0
+	for i := 0; i < len(pred); i++ {
+		c := pred[i]
+		if c < '0' || c > '9' {
+			return fmt.Errorf("xmldom: unsupported predicate %q", pred)
+		}
+		n = n*10 + int(c-'0')
+	}
+	if n < 1 {
+		return fmt.Errorf("xmldom: positional predicate must be >= 1")
+	}
+	st.pos = n
+	return nil
+}
+
+func (st pathStep) matches(e *Element) bool {
+	if st.name != "*" && e.Local != st.name {
+		return false
+	}
+	if st.attrKey != "" {
+		v, ok := e.Attr(st.attrKey)
+		if !ok {
+			return false
+		}
+		if st.hasAttrVal && v != st.attrVal {
+			return false
+		}
+	}
+	return true
+}
+
+// FindAll returns all elements under e (children and, for // steps,
+// descendants) matching the path. The first step applies to e's children.
+func (e *Element) FindAll(path string) ([]*Element, error) {
+	steps, err := parsePath(path)
+	if err != nil {
+		return nil, err
+	}
+	current := []*Element{e}
+	for _, st := range steps {
+		var next []*Element
+		for _, ctx := range current {
+			var pool []*Element
+			if st.descend {
+				pool = append(pool, ctx)
+				pool = append(pool, ctx.Descendants()...)
+			} else {
+				pool = ctx.ChildElements()
+			}
+			hits := 0
+			for _, cand := range pool {
+				if !st.matches(cand) {
+					continue
+				}
+				hits++
+				if st.pos != 0 && hits != st.pos {
+					continue
+				}
+				next = append(next, cand)
+			}
+		}
+		current = dedupeElements(next)
+		if len(current) == 0 {
+			return nil, nil
+		}
+	}
+	return current, nil
+}
+
+// Find returns the first element matching the path, or nil if none does.
+func (e *Element) Find(path string) (*Element, error) {
+	all, err := e.FindAll(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(all) == 0 {
+		return nil, nil
+	}
+	return all[0], nil
+}
+
+// MustFind is Find that panics on a malformed path and returns nil when
+// no element matches. Intended for static paths in this repository.
+func (e *Element) MustFind(path string) *Element {
+	el, err := e.Find(path)
+	if err != nil {
+		panic(err)
+	}
+	return el
+}
+
+func dedupeElements(in []*Element) []*Element {
+	if len(in) < 2 {
+		return in
+	}
+	seen := make(map[*Element]struct{}, len(in))
+	out := in[:0]
+	for _, e := range in {
+		if _, dup := seen[e]; dup {
+			continue
+		}
+		seen[e] = struct{}{}
+		out = append(out, e)
+	}
+	return out
+}
+
+// IDAttributeNames lists attribute local names treated as element
+// identifiers for fragment dereferencing, in priority order. This mirrors
+// the attributes used by XML-DSig ("Id"), XML-Enc ("Id") and common
+// document vocabularies.
+var IDAttributeNames = []string{"Id", "ID", "id", "xml:id"}
+
+// ElementByID searches the subtree rooted at e (inclusive) for an element
+// carrying an identifier attribute equal to id. Returns nil when not
+// found.
+func (e *Element) ElementByID(id string) *Element {
+	var found *Element
+	e.Walk(func(n Node) bool {
+		if found != nil {
+			return false
+		}
+		el, ok := n.(*Element)
+		if !ok {
+			return true
+		}
+		for _, name := range IDAttributeNames {
+			if v, ok := el.Attr(name); ok && v == id {
+				found = el
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// ElementByID resolves an identifier over the whole document.
+func (d *Document) ElementByID(id string) *Element {
+	root := d.Root()
+	if root == nil {
+		return nil
+	}
+	return root.ElementByID(id)
+}

@@ -1,0 +1,200 @@
+package xmldom
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Serialization. Output preserves the lexical content of the tree
+// (prefixes, attribute order, comments, PIs). Character escaping follows
+// XML 1.0: text escapes & < > (> for robustness against "]]>" sequences),
+// attribute values escape & < " plus tab/CR/LF as character references so
+// round-trips survive attribute-value normalization.
+
+// WriteTo serializes the document, prefixed by an XML declaration.
+func (d *Document) WriteTo(w io.Writer) (int64, error) {
+	cw := &countWriter{w: w}
+	if _, err := io.WriteString(cw, xmlDecl); err != nil {
+		return cw.n, err
+	}
+	for _, c := range d.Children {
+		if err := writeNode(cw, c); err != nil {
+			return cw.n, err
+		}
+	}
+	if _, err := io.WriteString(cw, "\n"); err != nil {
+		return cw.n, err
+	}
+	return cw.n, nil
+}
+
+const xmlDecl = "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n"
+
+// Bytes serializes the document to a byte slice.
+func (d *Document) Bytes() []byte {
+	var buf bytes.Buffer
+	d.WriteTo(&buf) //nolint:errcheck // bytes.Buffer cannot fail
+	return buf.Bytes()
+}
+
+// String serializes the document.
+func (d *Document) String() string {
+	return string(d.Bytes())
+}
+
+// WriteTo serializes the element subtree without an XML declaration.
+func (e *Element) WriteTo(w io.Writer) (int64, error) {
+	cw := &countWriter{w: w}
+	err := writeNode(cw, e)
+	return cw.n, err
+}
+
+// Bytes serializes the element subtree.
+func (e *Element) Bytes() []byte {
+	var buf bytes.Buffer
+	writeNode(&buf, e) //nolint:errcheck // bytes.Buffer cannot fail
+	return buf.Bytes()
+}
+
+// String serializes the element subtree.
+func (e *Element) String() string {
+	return string(e.Bytes())
+}
+
+type countWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+func writeNode(w io.Writer, n Node) error {
+	switch t := n.(type) {
+	case *Element:
+		return writeElement(w, t)
+	case *Text:
+		return writeEscapedText(w, t.Data)
+	case *Comment:
+		if strings.Contains(t.Data, "--") {
+			return fmt.Errorf("xmldom: comment contains \"--\": %.40q", t.Data)
+		}
+		_, err := fmt.Fprintf(w, "<!--%s-->", t.Data)
+		return err
+	case *ProcInst:
+		if strings.Contains(t.Data, "?>") {
+			return fmt.Errorf("xmldom: processing instruction contains \"?>\": %.40q", t.Data)
+		}
+		if t.Data == "" {
+			_, err := fmt.Fprintf(w, "<?%s?>", t.Target)
+			return err
+		}
+		_, err := fmt.Fprintf(w, "<?%s %s?>", t.Target, t.Data)
+		return err
+	case *Document:
+		for _, c := range t.Children {
+			if err := writeNode(w, c); err != nil {
+				return err
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("xmldom: cannot serialize %T", n)
+	}
+}
+
+func writeElement(w io.Writer, e *Element) error {
+	if _, err := io.WriteString(w, "<"+e.Name()); err != nil {
+		return err
+	}
+	for _, a := range e.Attrs {
+		if _, err := io.WriteString(w, " "+a.Name()+"=\""); err != nil {
+			return err
+		}
+		if err := writeEscapedAttr(w, a.Value); err != nil {
+			return err
+		}
+		if _, err := io.WriteString(w, "\""); err != nil {
+			return err
+		}
+	}
+	if len(e.Children) == 0 {
+		_, err := io.WriteString(w, "/>")
+		return err
+	}
+	if _, err := io.WriteString(w, ">"); err != nil {
+		return err
+	}
+	for _, c := range e.Children {
+		if err := writeNode(w, c); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "</"+e.Name()+">")
+	return err
+}
+
+func writeEscapedText(w io.Writer, s string) error {
+	last := 0
+	for i := 0; i < len(s); i++ {
+		var rep string
+		switch s[i] {
+		case '&':
+			rep = "&amp;"
+		case '<':
+			rep = "&lt;"
+		case '>':
+			rep = "&gt;"
+		case '\r':
+			rep = "&#xD;"
+		default:
+			continue
+		}
+		if _, err := io.WriteString(w, s[last:i]); err != nil {
+			return err
+		}
+		if _, err := io.WriteString(w, rep); err != nil {
+			return err
+		}
+		last = i + 1
+	}
+	_, err := io.WriteString(w, s[last:])
+	return err
+}
+
+func writeEscapedAttr(w io.Writer, s string) error {
+	last := 0
+	for i := 0; i < len(s); i++ {
+		var rep string
+		switch s[i] {
+		case '&':
+			rep = "&amp;"
+		case '<':
+			rep = "&lt;"
+		case '"':
+			rep = "&quot;"
+		case '\t':
+			rep = "&#x9;"
+		case '\n':
+			rep = "&#xA;"
+		case '\r':
+			rep = "&#xD;"
+		default:
+			continue
+		}
+		if _, err := io.WriteString(w, s[last:i]); err != nil {
+			return err
+		}
+		if _, err := io.WriteString(w, rep); err != nil {
+			return err
+		}
+		last = i + 1
+	}
+	_, err := io.WriteString(w, s[last:])
+	return err
+}

@@ -1,0 +1,219 @@
+package xmldsig
+
+import (
+	"encoding/base64"
+	"strings"
+	"testing"
+
+	"discsec/internal/xmldom"
+	"discsec/internal/xmlsecuri"
+)
+
+// Tests exercising code paths otherwise only reached from other
+// packages: inclusive-prefix signing, the base64 and c14n-over-octets
+// transforms, decryption-exception parsing.
+
+func TestSignWithInclusivePrefixes(t *testing.T) {
+	// The signed region uses a prefix declared on an ancestor that is
+	// NOT visibly utilized inside the region (it appears only in an
+	// attribute VALUE, where exclusive c14n cannot see it). The
+	// InclusiveNamespaces PrefixList pins it into the canonical form,
+	// so rebinding the prefix on the ancestor breaks the signature.
+	doc := parseDoc(t, `<root xmlns:q="urn:q"><payload Id="p" type="q:thing">data</payload></root>`)
+	refs := []ReferenceSpec{{
+		URI:               "#p",
+		Transforms:        []string{xmlsecuri.ExcC14N},
+		InclusivePrefixes: []string{"q"},
+	}}
+	if _, err := SignWithReferences(doc, doc.Root(), refs, SignOptions{
+		Key:     testRSAKey,
+		KeyInfo: KeyInfoSpec{IncludeKeyValue: true},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	serialized := doc.Root().String()
+	if !strings.Contains(serialized, `PrefixList="q"`) {
+		t.Fatalf("PrefixList not emitted: %s", serialized)
+	}
+
+	// Clean verify.
+	if _, err := VerifyDocument(parseDoc(t, serialized), VerifyOptions{}); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+
+	// Rebinding q on the ancestor changes the pinned declaration:
+	// verification must fail. (Without the PrefixList this attack
+	// would be invisible to exclusive c14n.)
+	rebound := strings.Replace(serialized, `xmlns:q="urn:q"`, `xmlns:q="urn:evil"`, 1)
+	if _, err := VerifyDocument(parseDoc(t, rebound), VerifyOptions{}); err == nil {
+		t.Error("prefix rebinding went undetected despite InclusiveNamespaces")
+	}
+}
+
+func TestBase64Transform(t *testing.T) {
+	// A reference to an element whose text is base64-encoded binary,
+	// with the base64 transform decoding before digesting: the digest
+	// covers the BINARY, so re-encodings of the same bytes verify.
+	payload := []byte{0xDE, 0xAD, 0xBE, 0xEF, 0x00, 0x01}
+	doc := parseDoc(t, `<pkg><blob Id="b">`+base64.StdEncoding.EncodeToString(payload)+`</blob></pkg>`)
+	refs := []ReferenceSpec{{
+		URI:        "#b",
+		Transforms: []string{xmlsecuri.TransformBase64},
+	}}
+	if _, err := SignWithReferences(doc, doc.Root(), refs, SignOptions{
+		Key:     testRSAKey,
+		KeyInfo: KeyInfoSpec{IncludeKeyValue: true},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Re-wrap the base64 text with whitespace (same binary): still
+	// verifies, because the transform normalizes to octets.
+	serialized := doc.Root().String()
+	enc := base64.StdEncoding.EncodeToString(payload)
+	wrapped := enc[:4] + "\n" + enc[4:]
+	rewrapped := strings.Replace(serialized, enc, wrapped, 1)
+	if _, err := VerifyDocument(parseDoc(t, rewrapped), VerifyOptions{}); err != nil {
+		t.Errorf("re-wrapped base64 failed: %v", err)
+	}
+
+	// Different binary fails.
+	other := base64.StdEncoding.EncodeToString([]byte{9, 9, 9, 9, 9, 9})
+	swapped := strings.Replace(serialized, enc, other, 1)
+	if _, err := VerifyDocument(parseDoc(t, swapped), VerifyOptions{}); err == nil {
+		t.Error("different binary accepted")
+	}
+}
+
+func TestC14NTransformOverOctets(t *testing.T) {
+	// External XML resource digested through a c14n transform: two
+	// syntactic variants of the resource verify identically.
+	variantA := []byte(`<menu a="1" b="2"><item/></menu>`)
+	variantB := []byte(`<menu b="2" a="1" ><item></item></menu>`)
+	content := variantA
+	resolver := ExternalResolverFunc(func(string) ([]byte, error) { return content, nil })
+
+	refs := []ReferenceSpec{{
+		URI:        "disc://menu.xml",
+		Transforms: []string{xmlsecuri.C14N10},
+	}}
+	sigDoc, err := SignDetached(refs, resolver, SignOptions{
+		Key:     testRSAKey,
+		KeyInfo: KeyInfoSpec{IncludeKeyValue: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rx := parseDoc(t, sigDoc.Root().String())
+
+	// Variant B is syntactically different but canonically equal.
+	content = variantB
+	if _, err := VerifyDocument(rx, VerifyOptions{Resolver: resolver}); err != nil {
+		t.Errorf("canonical variant rejected: %v", err)
+	}
+	// Semantically different content fails.
+	content = []byte(`<menu a="1" b="3"><item/></menu>`)
+	if _, err := VerifyDocument(rx, VerifyOptions{Resolver: resolver}); err == nil {
+		t.Error("semantically different content accepted")
+	}
+}
+
+func TestDecryptionExceptionsParsing(t *testing.T) {
+	doc := parseDoc(t, `<m Id="top"><a/></m>`)
+	refs := []ReferenceSpec{{
+		URI:               "#top",
+		Transforms:        []string{xmlsecuri.TransformEnveloped, xmlsecuri.TransformDecryptXML, xmlsecuri.ExcC14N},
+		DecryptExceptURIs: []string{"#e1", "#e2"},
+	}}
+	sig, err := SignWithReferences(doc, doc.Root(), refs, SignOptions{Key: testRSAKey})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecryptionExceptions(sig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != "#e1" || got[1] != "#e2" {
+		t.Errorf("exceptions = %v", got)
+	}
+	// Survives serialization.
+	rx := parseDoc(t, doc.Root().String())
+	got2, err := DecryptionExceptions(FindSignature(rx))
+	if err != nil || len(got2) != 2 {
+		t.Errorf("reparsed exceptions = %v, %v", got2, err)
+	}
+	// Signature without SignedInfo errors.
+	if _, err := DecryptionExceptions(xmldom.NewElement("ds:Signature")); err == nil {
+		t.Error("bare signature accepted")
+	}
+}
+
+func TestSplitPrefixList(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"a b c", []string{"a", "b", "c"}},
+		{"  a\t b \n", []string{"a", "b"}},
+		{"", nil},
+		{"single", []string{"single"}},
+	}
+	for _, tc := range cases {
+		got := splitPrefixList(tc.in)
+		if len(got) != len(tc.want) {
+			t.Errorf("splitPrefixList(%q) = %v", tc.in, got)
+			continue
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Errorf("splitPrefixList(%q) = %v", tc.in, got)
+			}
+		}
+	}
+}
+
+func TestParseKeyInfoMalformed(t *testing.T) {
+	bad := []string{
+		`<ds:KeyInfo xmlns:ds="http://www.w3.org/2000/09/xmldsig#"><ds:KeyValue><ds:RSAKeyValue><ds:Modulus>!</ds:Modulus><ds:Exponent>AQAB</ds:Exponent></ds:RSAKeyValue></ds:KeyValue></ds:KeyInfo>`,
+		`<ds:KeyInfo xmlns:ds="http://www.w3.org/2000/09/xmldsig#"><ds:KeyValue><ds:RSAKeyValue><ds:Modulus>AQAB</ds:Modulus></ds:RSAKeyValue></ds:KeyValue></ds:KeyInfo>`,
+		`<ds:KeyInfo xmlns:ds="http://www.w3.org/2000/09/xmldsig#"><ds:KeyValue><ds:RSAKeyValue><ds:Modulus>AQAB</ds:Modulus><ds:Exponent>AA==</ds:Exponent></ds:RSAKeyValue></ds:KeyValue></ds:KeyInfo>`,
+		`<ds:KeyInfo xmlns:ds="http://www.w3.org/2000/09/xmldsig#"><ds:X509Data><ds:X509Certificate>AAAA</ds:X509Certificate></ds:X509Data></ds:KeyInfo>`,
+		`<ds:KeyInfo xmlns:ds="http://www.w3.org/2000/09/xmldsig#"><ds:X509Data><ds:X509Certificate>not base64!!</ds:X509Certificate></ds:X509Data></ds:KeyInfo>`,
+	}
+	for i, s := range bad {
+		doc := parseDoc(t, s)
+		if _, err := ParseKeyInfo(doc.Root()); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+// Golden regression pin: the canonical form feeding digests and the
+// HMAC construction are fully deterministic, so these frozen values
+// detect any accidental change to canonicalization, digesting, or
+// signature serialization between versions. If a deliberate
+// canonicalization fix changes them, update the constants and note the
+// compatibility break.
+func TestGoldenHMACSignature(t *testing.T) {
+	doc := parseDoc(t, `<manifest xmlns="urn:disc:manifest" Id="golden"><markup><layout region="main"/></markup><code><script language="ecmascript">var x = 1;</script></code></manifest>`)
+	key := []byte("golden-regression-hmac-key-2026!")
+	if _, err := SignEnveloped(doc, nil, SignOptions{
+		HMACKey:         key,
+		SignatureMethod: xmlsecuri.SigHMACSHA256,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	sig := FindSignature(doc)
+	dv, _ := sig.Find("SignedInfo/Reference/DigestValue")
+	sv, _ := sig.Find("SignatureValue")
+	const (
+		wantDigest = "K9nf8+Ggcdbi9VG7r/SAYfWCNPQB8iEbSo4F16V5r3s="
+		wantSig    = "DrghCenFlyEn1wLRXWUy8YYRAaq8HIL5ipEjKJyZc0I="
+	)
+	if dv.Text() != wantDigest {
+		t.Errorf("DigestValue = %q, want %q (canonical form changed!)", dv.Text(), wantDigest)
+	}
+	if sv.Text() != wantSig {
+		t.Errorf("SignatureValue = %q, want %q (canonical form changed!)", sv.Text(), wantSig)
+	}
+}

@@ -1,0 +1,161 @@
+package xmldsig
+
+import (
+	"crypto"
+	"crypto/rsa"
+	"crypto/x509"
+	"encoding/base64"
+	"errors"
+	"fmt"
+	"math/big"
+
+	"discsec/internal/xmldom"
+	"discsec/internal/xmlsecuri"
+)
+
+// KeyInfoSpec describes the ds:KeyInfo content a signer embeds so a
+// verifier can locate or reconstruct the validation key (paper §5.5:
+// certificate-based authentication inside the signature markup).
+type KeyInfoSpec struct {
+	// KeyName emits a ds:KeyName hint.
+	KeyName string
+	// IncludeKeyValue emits the public key as a ds:KeyValue
+	// (RSAKeyValue). Only RSA keys are supported as bare key values;
+	// other key types should travel in certificates.
+	IncludeKeyValue bool
+	// Certificates are DER-encoded X.509 certificates to embed in
+	// ds:X509Data, leaf first.
+	Certificates [][]byte
+}
+
+func (s KeyInfoSpec) empty() bool {
+	return s.KeyName == "" && !s.IncludeKeyValue && len(s.Certificates) == 0
+}
+
+// buildKeyInfo constructs the ds:KeyInfo element, or nil when the spec is
+// empty.
+func buildKeyInfo(prefix string, spec KeyInfoSpec, pub crypto.PublicKey) (*xmldom.Element, error) {
+	if spec.empty() {
+		return nil, nil
+	}
+	ki := xmldom.NewElement(prefix + ":KeyInfo")
+	if spec.KeyName != "" {
+		ki.CreateChild(prefix + ":KeyName").SetText(spec.KeyName)
+	}
+	if spec.IncludeKeyValue {
+		if pub == nil {
+			return nil, errors.New("xmldsig: IncludeKeyValue set but no public key available")
+		}
+		kv := ki.CreateChild(prefix + ":KeyValue")
+		switch k := pub.(type) {
+		case *rsa.PublicKey:
+			rkv := kv.CreateChild(prefix + ":RSAKeyValue")
+			rkv.CreateChild(prefix + ":Modulus").SetText(base64.StdEncoding.EncodeToString(k.N.Bytes()))
+			rkv.CreateChild(prefix + ":Exponent").SetText(base64.StdEncoding.EncodeToString(big.NewInt(int64(k.E)).Bytes()))
+		default:
+			return nil, fmt.Errorf("xmldsig: KeyValue unsupported for key type %T (embed a certificate instead)", pub)
+		}
+	}
+	if len(spec.Certificates) > 0 {
+		xd := ki.CreateChild(prefix + ":X509Data")
+		for _, der := range spec.Certificates {
+			xd.CreateChild(prefix + ":X509Certificate").SetText(base64.StdEncoding.EncodeToString(der))
+		}
+	}
+	return ki, nil
+}
+
+// ParsedKeyInfo is the verifier-side view of a ds:KeyInfo element.
+type ParsedKeyInfo struct {
+	KeyName      string
+	KeyValue     crypto.PublicKey
+	Certificates []*x509.Certificate
+}
+
+// ParseKeyInfo extracts key material hints from a ds:KeyInfo element. A
+// nil element yields an empty result.
+func ParseKeyInfo(ki *xmldom.Element) (*ParsedKeyInfo, error) {
+	out := &ParsedKeyInfo{}
+	if ki == nil {
+		return out, nil
+	}
+	if kn := ki.FirstChildNamed(xmlsecuri.DSigNamespace, "KeyName"); kn != nil {
+		out.KeyName = kn.Text()
+	}
+	if kv := ki.FirstChildNamed(xmlsecuri.DSigNamespace, "KeyValue"); kv != nil {
+		if rkv := kv.FirstChildNamed(xmlsecuri.DSigNamespace, "RSAKeyValue"); rkv != nil {
+			pub, err := parseRSAKeyValue(rkv)
+			if err != nil {
+				return nil, err
+			}
+			out.KeyValue = pub
+		}
+	}
+	for _, xd := range ki.ChildElementsNamed(xmlsecuri.DSigNamespace, "X509Data") {
+		for _, xc := range xd.ChildElementsNamed(xmlsecuri.DSigNamespace, "X509Certificate") {
+			der, err := decodeBase64Text(xc.Text())
+			if err != nil {
+				return nil, fmt.Errorf("xmldsig: X509Certificate: %w", err)
+			}
+			cert, err := x509.ParseCertificate(der)
+			if err != nil {
+				return nil, fmt.Errorf("xmldsig: X509Certificate: %w", err)
+			}
+			out.Certificates = append(out.Certificates, cert)
+		}
+	}
+	return out, nil
+}
+
+// LeafPublicKey returns the strongest key hint available: the first
+// certificate's subject key, else the bare KeyValue, else nil.
+func (p *ParsedKeyInfo) LeafPublicKey() crypto.PublicKey {
+	if len(p.Certificates) > 0 {
+		return p.Certificates[0].PublicKey
+	}
+	return p.KeyValue
+}
+
+func parseRSAKeyValue(rkv *xmldom.Element) (*rsa.PublicKey, error) {
+	modEl := rkv.FirstChildNamed(xmlsecuri.DSigNamespace, "Modulus")
+	expEl := rkv.FirstChildNamed(xmlsecuri.DSigNamespace, "Exponent")
+	if modEl == nil || expEl == nil {
+		return nil, errors.New("xmldsig: RSAKeyValue missing Modulus or Exponent")
+	}
+	mod, err := decodeBase64Text(modEl.Text())
+	if err != nil {
+		return nil, fmt.Errorf("xmldsig: RSAKeyValue Modulus: %w", err)
+	}
+	exp, err := decodeBase64Text(expEl.Text())
+	if err != nil {
+		return nil, fmt.Errorf("xmldsig: RSAKeyValue Exponent: %w", err)
+	}
+	e := new(big.Int).SetBytes(exp)
+	if !e.IsInt64() || e.Int64() <= 1 || e.Int64() > 1<<32 {
+		return nil, errors.New("xmldsig: RSAKeyValue exponent out of range")
+	}
+	return &rsa.PublicKey{N: new(big.Int).SetBytes(mod), E: int(e.Int64())}, nil
+}
+
+// publicKeyOf extracts the public half of a signing key for KeyInfo
+// emission.
+func publicKeyOf(key crypto.Signer) crypto.PublicKey {
+	if key == nil {
+		return nil
+	}
+	return key.Public()
+}
+
+// decodeBase64Text decodes base64 content tolerating embedded whitespace
+// (XML content is frequently wrapped).
+func decodeBase64Text(s string) ([]byte, error) {
+	compact := make([]byte, 0, len(s))
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case ' ', '\t', '\n', '\r':
+		default:
+			compact = append(compact, s[i])
+		}
+	}
+	return base64.StdEncoding.DecodeString(string(compact))
+}

@@ -1,0 +1,154 @@
+package xmldsig
+
+import (
+	"errors"
+	"testing"
+
+	"discsec/internal/xmldom"
+)
+
+func manifestFixture(t *testing.T) (map[string][]byte, ExternalResolver) {
+	t.Helper()
+	files := map[string][]byte{
+		"disc://BONUS/clip-a.m2ts": []byte("bonus clip a"),
+		"disc://BONUS/clip-b.m2ts": []byte("bonus clip b"),
+		"disc://BONUS/menu.xml":    []byte("<menu/>"),
+	}
+	resolver := ExternalResolverFunc(func(uri string) ([]byte, error) {
+		b, ok := files[uri]
+		if !ok {
+			return nil, errors.New("not found: " + uri)
+		}
+		return b, nil
+	})
+	return files, resolver
+}
+
+func signedManifest(t *testing.T, resolver ExternalResolver) *xmldom.Document {
+	t.Helper()
+	refs := []ReferenceSpec{
+		{URI: "disc://BONUS/clip-a.m2ts"},
+		{URI: "disc://BONUS/clip-b.m2ts"},
+		{URI: "disc://BONUS/menu.xml"},
+	}
+	doc, err := SignManifest(refs, "bonus-manifest", resolver, SignOptions{
+		Key:     testRSAKey,
+		KeyInfo: KeyInfoSpec{IncludeKeyValue: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return doc
+}
+
+func TestManifestSignAndValidate(t *testing.T) {
+	_, resolver := manifestFixture(t)
+	doc := signedManifest(t, resolver)
+
+	// Round trip through serialization.
+	rx := parseDoc(t, doc.Root().String())
+	sig := FindSignature(rx)
+
+	// Core validation: covers the manifest element itself.
+	if _, err := Verify(rx, sig, VerifyOptions{Resolver: resolver}); err != nil {
+		t.Fatalf("core validation: %v", err)
+	}
+
+	// Per-resource validation.
+	results, err := ValidateManifests(rx, sig, VerifyOptions{Resolver: resolver})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("results = %d", len(results))
+	}
+	for _, r := range results {
+		if !r.Valid {
+			t.Errorf("%s invalid: %v", r.URI, r.Err)
+		}
+	}
+}
+
+func TestManifestPartialDamageReportedIndividually(t *testing.T) {
+	files, resolver := manifestFixture(t)
+	doc := signedManifest(t, resolver)
+	rx := parseDoc(t, doc.Root().String())
+	sig := FindSignature(rx)
+
+	// Damage ONE resource.
+	files["disc://BONUS/clip-b.m2ts"] = []byte("corrupted")
+
+	// Core validation still passes: the manifest element is intact.
+	if _, err := Verify(rx, sig, VerifyOptions{Resolver: resolver}); err != nil {
+		t.Fatalf("core validation should not depend on manifest contents: %v", err)
+	}
+
+	results, err := ValidateManifests(rx, sig, VerifyOptions{Resolver: resolver})
+	if err != nil {
+		t.Fatal(err)
+	}
+	valid := 0
+	var broken string
+	for _, r := range results {
+		if r.Valid {
+			valid++
+		} else {
+			broken = r.URI
+		}
+	}
+	if valid != 2 || broken != "disc://BONUS/clip-b.m2ts" {
+		t.Errorf("results = %+v", results)
+	}
+}
+
+func TestManifestElementTamperFailsCore(t *testing.T) {
+	_, resolver := manifestFixture(t)
+	doc := signedManifest(t, resolver)
+	// Attacker edits a DigestValue inside the manifest (to hide a
+	// swapped resource): the SignedInfo reference over the manifest
+	// breaks.
+	man, _ := doc.Root().Find("//Manifest/Reference/DigestValue")
+	if man == nil {
+		t.Fatal("no manifest digest found")
+	}
+	man.SetText("AAAA" + man.Text()[4:])
+	rx := parseDoc(t, doc.Root().String())
+	sig := FindSignature(rx)
+	if _, err := Verify(rx, sig, VerifyOptions{Resolver: resolver}); err == nil {
+		t.Error("tampered manifest passed core validation")
+	}
+}
+
+func TestManifestMissingResource(t *testing.T) {
+	files, resolver := manifestFixture(t)
+	doc := signedManifest(t, resolver)
+	rx := parseDoc(t, doc.Root().String())
+	sig := FindSignature(rx)
+	delete(files, "disc://BONUS/menu.xml")
+	results, err := ValidateManifests(rx, sig, VerifyOptions{Resolver: resolver})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, r := range results {
+		if r.URI == "disc://BONUS/menu.xml" {
+			found = true
+			if r.Valid || r.Err == nil {
+				t.Errorf("missing resource reported as %+v", r)
+			}
+		}
+	}
+	if !found {
+		t.Error("missing resource not in results")
+	}
+}
+
+func TestSignManifestValidation(t *testing.T) {
+	_, resolver := manifestFixture(t)
+	if _, err := SignManifest(nil, "m", resolver, SignOptions{Key: testRSAKey}); err == nil {
+		t.Error("empty reference list accepted")
+	}
+	if _, err := SignManifest([]ReferenceSpec{{URI: "disc://nope"}}, "m", resolver, SignOptions{Key: testRSAKey}); err == nil {
+		t.Error("unresolvable reference accepted at signing time")
+	}
+}

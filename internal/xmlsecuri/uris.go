@@ -1,0 +1,78 @@
+// Package xmlsecuri defines the algorithm and namespace identifiers of
+// the W3C XML security recommendations shared by the XML Signature and
+// XML Encryption implementations.
+//
+// The 2005-era identifiers the paper's prototype used (SHA-1,
+// RSA-PKCS#1 v1.5, Triple-DES-era CBC modes) are present for fidelity;
+// modern identifiers (SHA-256/512, RSA-PSS-like usage via OAEP for key
+// transport, AES-GCM) are the defaults used by the public API.
+package xmlsecuri
+
+// Namespace URIs.
+const (
+	DSigNamespace    = "http://www.w3.org/2000/09/xmldsig#"
+	EncNamespace     = "http://www.w3.org/2001/04/xmlenc#"
+	Enc11Namespace   = "http://www.w3.org/2009/xmlenc11#"
+	XKMSNamespace    = "http://www.w3.org/2002/03/xkms#"
+	DecryptNamespace = "http://www.w3.org/2002/07/decrypt#"
+)
+
+// Canonicalization method identifiers.
+const (
+	C14N10              = "http://www.w3.org/TR/2001/REC-xml-c14n-20010315"
+	C14N10WithComments  = "http://www.w3.org/TR/2001/REC-xml-c14n-20010315#WithComments"
+	ExcC14N             = "http://www.w3.org/2001/10/xml-exc-c14n#"
+	ExcC14NWithComments = "http://www.w3.org/2001/10/xml-exc-c14n#WithComments"
+)
+
+// Transform identifiers.
+const (
+	TransformEnveloped  = "http://www.w3.org/2000/09/xmldsig#enveloped-signature"
+	TransformBase64     = "http://www.w3.org/2000/09/xmldsig#base64"
+	TransformDecryptXML = "http://www.w3.org/2002/07/decrypt#XML"
+	TransformDecryptBin = "http://www.w3.org/2002/07/decrypt#Binary"
+	TransformXPath      = "http://www.w3.org/TR/1999/REC-xpath-19991116"
+)
+
+// Digest method identifiers.
+const (
+	DigestSHA1   = "http://www.w3.org/2000/09/xmldsig#sha1"
+	DigestSHA256 = "http://www.w3.org/2001/04/xmlenc#sha256"
+	DigestSHA512 = "http://www.w3.org/2001/04/xmlenc#sha512"
+)
+
+// Signature method identifiers.
+const (
+	SigRSASHA1      = "http://www.w3.org/2000/09/xmldsig#rsa-sha1"
+	SigRSASHA256    = "http://www.w3.org/2001/04/xmldsig-more#rsa-sha256"
+	SigRSASHA512    = "http://www.w3.org/2001/04/xmldsig-more#rsa-sha512"
+	SigRSAPSSSHA256 = "http://www.w3.org/2007/05/xmldsig-more#sha256-rsa-MGF1"
+	SigECDSASHA256  = "http://www.w3.org/2001/04/xmldsig-more#ecdsa-sha256"
+	SigHMACSHA1     = "http://www.w3.org/2000/09/xmldsig#hmac-sha1"
+	SigHMACSHA256   = "http://www.w3.org/2001/04/xmldsig-more#hmac-sha256"
+)
+
+// Block encryption identifiers.
+const (
+	EncAES128CBC = "http://www.w3.org/2001/04/xmlenc#aes128-cbc"
+	EncAES192CBC = "http://www.w3.org/2001/04/xmlenc#aes192-cbc"
+	EncAES256CBC = "http://www.w3.org/2001/04/xmlenc#aes256-cbc"
+	EncAES128GCM = "http://www.w3.org/2009/xmlenc11#aes128-gcm"
+	EncAES256GCM = "http://www.w3.org/2009/xmlenc11#aes256-gcm"
+)
+
+// Key transport and key wrap identifiers.
+const (
+	KeyTransportRSA15   = "http://www.w3.org/2001/04/xmlenc#rsa-1_5"
+	KeyTransportRSAOAEP = "http://www.w3.org/2001/04/xmlenc#rsa-oaep-mgf1p"
+	KeyWrapAES128       = "http://www.w3.org/2001/04/xmlenc#kw-aes128"
+	KeyWrapAES192       = "http://www.w3.org/2001/04/xmlenc#kw-aes192"
+	KeyWrapAES256       = "http://www.w3.org/2001/04/xmlenc#kw-aes256"
+)
+
+// EncryptedData Type attribute values.
+const (
+	EncTypeElement      = "http://www.w3.org/2001/04/xmlenc#Element"
+	EncTypeContent      = "http://www.w3.org/2001/04/xmlenc#Content"
+	EncTypeEncryptedKey = "http://www.w3.org/2001/04/xmlenc#EncryptedKey"
+)
