@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race bench tools examples cover clean
+.PHONY: all build test test-race lint race check bench tools examples cover clean
 
 all: build test
 
@@ -15,6 +15,19 @@ test:
 
 test-race:
 	$(GO) test -race ./...
+
+# Static analysis: go vet plus the project-specific discvet suite
+# (constant-time comparisons, no math/rand key material, %w wrapping,
+# single-XML-parser rule, lock hygiene). See internal/analysis.
+lint:
+	$(GO) vet ./...
+	$(GO) run ./cmd/discvet ./...
+
+race:
+	$(GO) test -race ./...
+
+# The full gate CI runs on every change.
+check: build lint race
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -1,0 +1,34 @@
+package discsec
+
+import (
+	"testing"
+
+	"discsec/internal/analysis"
+)
+
+// TestDiscvet runs the project's static-analysis suite over the whole
+// module, so `go test ./...` enforces the security invariants
+// (constant-time comparisons, no math/rand key material, %w wrapping,
+// the single-XML-parser rule, lock hygiene) on every change. The same
+// suite is available standalone as `go run ./cmd/discvet ./...` and
+// `make lint`.
+func TestDiscvet(t *testing.T) {
+	loader, err := analysis.NewLoader(".")
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	pkgs, err := loader.Load("./...")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("no packages loaded")
+	}
+	diags := analysis.Run(pkgs, analysis.Analyzers())
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+	if len(diags) > 0 {
+		t.Logf("discvet found %d issue(s); fix them or add a justified //discvet:ignore <rule> comment", len(diags))
+	}
+}

@@ -1,0 +1,9 @@
+#!/bin/sh
+# CI gate: every PR must build cleanly, pass go vet and the discvet
+# static-analysis suite (see internal/analysis), and pass the full
+# test suite under the race detector.
+set -eux
+
+go build ./...
+make lint
+go test -race ./...

@@ -1,0 +1,83 @@
+// Command discvet runs the project's static-analysis suite
+// (internal/analysis) over the module and exits nonzero on findings.
+//
+// Usage:
+//
+//	discvet [-rules cryptocompare,weakrand] [-list] [packages]
+//
+// Packages default to ./... relative to the enclosing module root.
+// Findings print as file:line:col: [rule] message. Suppress a finding
+// with a justified comment on the offending line or the line above:
+//
+//	//discvet:ignore cryptocompare public value, not secret-dependent
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"discsec/internal/analysis"
+)
+
+func main() {
+	rules := flag.String("rules", "", "comma-separated subset of rules to run (default: all)")
+	list := flag.Bool("list", false, "list registered rules and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: discvet [-rules r1,r2] [-list] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range analysis.Analyzers() {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	selected := analysis.Analyzers()
+	if *rules != "" {
+		selected = selected[:0]
+		for _, name := range strings.Split(*rules, ",") {
+			name = strings.TrimSpace(name)
+			a := analysis.ByName(name)
+			if a == nil {
+				fmt.Fprintf(os.Stderr, "discvet: unknown rule %q (try -list)\n", name)
+				os.Exit(2)
+			}
+			selected = append(selected, a)
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "discvet:", err)
+		os.Exit(2)
+	}
+	loader, err := analysis.NewLoader(cwd)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "discvet:", err)
+		os.Exit(2)
+	}
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "discvet:", err)
+		os.Exit(2)
+	}
+
+	diags := analysis.Run(pkgs, selected)
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "discvet: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
+		os.Exit(1)
+	}
+}

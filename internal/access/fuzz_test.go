@@ -1,6 +1,9 @@
 package access
 
-import "testing"
+import (
+	"strings"
+	"testing"
+)
 
 // FuzzParsePolicySet checks the policy decoder against arbitrary input:
 // no panics, and accepted policies round-trip behaviourally through
@@ -8,6 +11,16 @@ import "testing"
 func FuzzParsePolicySet(f *testing.F) {
 	f.Add(`<policyset combining="deny-overrides"><policy combining="first-applicable"><rule effect="permit"><condition><compare category="subject" attribute="verified" op="equals" value="true"/></condition></rule></policy></policyset>`)
 	f.Add(`<policyset><target><match category="action" attribute="name" op="prefix" value="x"/></target></policyset>`)
+	// Entity-like attribute values must survive the round-trip as data.
+	f.Add(`<policyset><policy><rule effect="deny"><condition><compare category="subject" attribute="name" op="equals" value="&amp;notanentity; &lt;x&gt; &#38;"/></condition></rule></policy></policyset>`)
+	// Deeply nested condition combinators probe evaluator recursion.
+	f.Add(`<policyset><policy><rule effect="permit"><condition>` +
+		strings.Repeat(`<not><and>`, 24) +
+		`<present category="subject" attribute="verified"/>` +
+		strings.Repeat(`</and></not>`, 24) +
+		`</condition></rule></policy></policyset>`)
+	// Doctype declarations must stay rejected (XXE surface).
+	f.Add(`<!DOCTYPE policyset [<!ENTITY e "x">]><policyset><target/></policyset>`)
 	f.Fuzz(func(t *testing.T, s string) {
 		ps, err := ParsePolicySetString(s)
 		if err != nil {

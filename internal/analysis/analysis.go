@@ -1,0 +1,140 @@
+// Package analysis is discvet: a project-specific static-analysis
+// framework for the XML-security stack, built only on the standard
+// library (go/ast, go/parser, go/token, go/types).
+//
+// The framework has three parts: a loader that parses and type-checks
+// the module's packages (driver.go), a suppression layer that honours
+// `//discvet:ignore <rule>` comments (suppress.go), and a registry of
+// project-specific analyzers. Each analyzer enforces one invariant the
+// paper's Verifier/Decryptor threat model depends on:
+//
+//   - cryptocompare: digest/MAC/signature/secret comparisons in the
+//     crypto packages must go through crypto/subtle (or hmac.Equal),
+//     never bytes.Equal, ==, or reflect.DeepEqual.
+//   - weakrand: math/rand must never produce key material, IVs,
+//     nonces, or session tokens.
+//   - errwrap: fmt.Errorf with an error argument must wrap with %w so
+//     sentinel checks (errors.Is/As) keep working across layers.
+//   - xmlparse: untrusted XML is decoded only by the hardened parser
+//     in internal/xmldom; direct encoding/xml use elsewhere reopens
+//     XXE/wrapping attack surface.
+//   - locksafety: no lock-by-value copies, and no return while a
+//     sync.Mutex/RWMutex is held by a defer-less Lock.
+//
+// Diagnostics carry file:line:col positions. A finding can be
+// suppressed with a justified comment on the same line or the line
+// directly above:
+//
+//	//discvet:ignore cryptocompare public value, not secret-dependent
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Analyzer is one named rule. Run inspects a single package via its
+// Pass and reports findings through pass.Reportf.
+type Analyzer struct {
+	// Name identifies the rule in output and in ignore directives.
+	Name string
+	// Doc is a one-line description shown by `discvet -rules`.
+	Doc string
+	// Run executes the rule against one package.
+	Run func(*Pass)
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Path is the package import path (e.g. discsec/internal/disc).
+	Path  string
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Rule:    p.Analyzer.Name,
+		Pos:     p.Fset.Position(pos),
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one finding with a resolved source position.
+type Diagnostic struct {
+	Rule    string
+	Pos     token.Position
+	Message string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: [%s] %s", d.Pos, d.Rule, d.Message)
+}
+
+// Analyzers returns the full registry, in stable order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		CryptoCompare,
+		WeakRand,
+		ErrWrap,
+		XMLParse,
+		LockSafety,
+	}
+}
+
+// ByName resolves a registered analyzer, or nil.
+func ByName(name string) *Analyzer {
+	for _, a := range Analyzers() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// Run executes the analyzers over the packages and returns the
+// surviving diagnostics: suppressed findings are dropped, and ignore
+// directives naming unknown rules are themselves reported. The result
+// is sorted by position then rule.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		var pkgDiags []Diagnostic
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Path:     pkg.Path,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				diags:    &pkgDiags,
+			}
+			a.Run(pass)
+		}
+		diags = append(diags, applySuppressions(pkg, pkgDiags)...)
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Rule < b.Rule
+	})
+	return diags
+}

@@ -1,0 +1,96 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// cryptoComparePackages are the internal/<name> packages in which
+// every digest/MAC/signature comparison must be constant-time. These
+// are the packages on the Verifier/Decryptor path: an early-exit
+// comparison there leaks how many leading bytes of a forged digest
+// were right, which is exactly the oracle a wrapping or splicing
+// attacker wants.
+var cryptoComparePackages = []string{"xmldsig", "xmlenc", "keymgmt", "omadcf", "disc", "core"}
+
+// cryptoCompareVocab marks identifier words that name secret-derived
+// values. An identifier matches if any camelCase/underscore word
+// equals an entry ("clipDigest", "want_sum", "sigBytes").
+var cryptoCompareVocab = map[string]bool{
+	"digest": true, "mac": true, "hmac": true, "sig": true,
+	"signature": true, "secret": true, "sum": true, "checksum": true,
+	"hash": true, "token": true,
+}
+
+// CryptoCompare reports variable-time comparisons (bytes.Equal, ==,
+// !=, reflect.DeepEqual) of digest/MAC/signature/secret-named values
+// in the crypto packages. Use crypto/subtle.ConstantTimeCompare or
+// hmac.Equal instead.
+var CryptoCompare = &Analyzer{
+	Name: "cryptocompare",
+	Doc:  "digest/MAC/signature comparisons must use crypto/subtle, not bytes.Equal or ==",
+	Run:  runCryptoCompare,
+}
+
+func runCryptoCompare(pass *Pass) {
+	if !pathHasInternalPkg(pass.Path, cryptoComparePackages...) {
+		return
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.CallExpr:
+				fn := calleeFunc(pass.Info, x)
+				var name string
+				switch {
+				case isPkgFunc(fn, "bytes", "Equal"):
+					name = "bytes.Equal"
+				case isPkgFunc(fn, "reflect", "DeepEqual"):
+					name = "reflect.DeepEqual"
+				default:
+					return true
+				}
+				for _, arg := range x.Args {
+					if exprNameMatches(arg, cryptoCompareVocab) {
+						pass.Reportf(x.Pos(),
+							"%s on secret-derived value is not constant-time; use crypto/subtle.ConstantTimeCompare (or hmac.Equal)",
+							name)
+						break
+					}
+				}
+			case *ast.BinaryExpr:
+				if x.Op != token.EQL && x.Op != token.NEQ {
+					return true
+				}
+				if isNilLiteral(x.X) || isNilLiteral(x.Y) {
+					return true
+				}
+				// Comparing against a compile-time constant (an
+				// algorithm URI, an empty-string presence check, a
+				// format tag) is not the secret-vs-attacker-input
+				// pattern constant-time comparison defends.
+				if pass.Info.Types[x.X].Value != nil || pass.Info.Types[x.Y].Value != nil {
+					return true
+				}
+				for _, side := range []ast.Expr{x.X, x.Y} {
+					if !exprNameMatches(side, cryptoCompareVocab) {
+						continue
+					}
+					if !isBytesLike(pass.Info.Types[side].Type) {
+						continue
+					}
+					pass.Reportf(x.Pos(),
+						"%s on secret-derived value is not constant-time; use crypto/subtle.ConstantTimeCompare (or hmac.Equal)",
+						x.Op)
+					break
+				}
+			}
+			return true
+		})
+	}
+}
+
+func isNilLiteral(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == "nil"
+}

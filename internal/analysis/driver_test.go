@@ -1,0 +1,193 @@
+package analysis
+
+import (
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// sharedLoader memoizes one Loader (and therefore one type-checked
+// stdlib) across all fixture tests.
+var sharedLoader = sync.OnceValues(func() (*Loader, error) {
+	return NewLoader(".")
+})
+
+func loadFixture(t *testing.T, dir, importPath string) *Package {
+	t.Helper()
+	l, err := sharedLoader()
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	pkg, err := l.LoadDir(filepath.Join("testdata", "src", dir), importPath)
+	if err != nil {
+		t.Fatalf("LoadDir(%s): %v", dir, err)
+	}
+	return pkg
+}
+
+// wantDiags parses `// want rule1 rule2` markers from the fixture's
+// comments into a line -> rules map.
+func wantDiags(pkg *Package) map[int][]string {
+	want := map[int][]string{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				line := pkg.Fset.Position(c.Pos()).Line
+				want[line] = append(want[line], strings.Fields(rest)...)
+			}
+		}
+	}
+	return want
+}
+
+// checkFixture runs the analyzers over the fixture package and
+// compares the resulting (line, rule) pairs against the `// want`
+// markers.
+func checkFixture(t *testing.T, pkg *Package, analyzers ...*Analyzer) {
+	t.Helper()
+	got := map[int][]string{}
+	for _, d := range Run([]*Package{pkg}, analyzers) {
+		got[d.Pos.Line] = append(got[d.Pos.Line], d.Rule)
+	}
+	want := wantDiags(pkg)
+	for line, rules := range want {
+		if strings.Join(got[line], " ") != strings.Join(rules, " ") {
+			t.Errorf("line %d: got diagnostics %v, want %v", line, got[line], rules)
+		}
+	}
+	for line, rules := range got {
+		if len(want[line]) == 0 {
+			t.Errorf("line %d: unexpected diagnostics %v", line, rules)
+		}
+	}
+}
+
+func TestCryptoCompareFixture(t *testing.T) {
+	pkg := loadFixture(t, "cryptocompare", "discsec/internal/disc/ccfixture")
+	checkFixture(t, pkg, CryptoCompare)
+}
+
+func TestCryptoCompareOutsideCryptoPackages(t *testing.T) {
+	// The same violating code loaded as a non-crypto package must be
+	// clean: the rule is scoped to the Verifier/Decryptor path.
+	pkg := loadFixture(t, "cryptocompare", "discsec/internal/player/ccfixture")
+	if diags := Run([]*Package{pkg}, []*Analyzer{CryptoCompare}); len(diags) != 0 {
+		t.Errorf("got %d diagnostics outside crypto packages, want 0: %v", len(diags), diags)
+	}
+}
+
+func TestWeakRandSensitivePackage(t *testing.T) {
+	pkg := loadFixture(t, "weakrand_pkg", "discsec/internal/keymgmt/wrfixture")
+	checkFixture(t, pkg, WeakRand)
+}
+
+func TestWeakRandAssignments(t *testing.T) {
+	pkg := loadFixture(t, "weakrand_assign", "discsec/internal/markup/wrfixture")
+	checkFixture(t, pkg, WeakRand)
+}
+
+func TestErrWrapFixture(t *testing.T) {
+	pkg := loadFixture(t, "errwrap", "discsec/internal/ewfixture")
+	checkFixture(t, pkg, ErrWrap)
+}
+
+func TestXMLParseFixture(t *testing.T) {
+	pkg := loadFixture(t, "xmlparse", "discsec/internal/server/xpfixture")
+	checkFixture(t, pkg, XMLParse)
+}
+
+func TestXMLParseAllowedInXMLDOM(t *testing.T) {
+	pkg := loadFixture(t, "xmlparse", "discsec/internal/xmldom/xpfixture")
+	if diags := Run([]*Package{pkg}, []*Analyzer{XMLParse}); len(diags) != 0 {
+		t.Errorf("got %d diagnostics under internal/xmldom, want 0: %v", len(diags), diags)
+	}
+}
+
+func TestLockSafetyFixture(t *testing.T) {
+	pkg := loadFixture(t, "locksafety", "discsec/internal/lsfixture")
+	checkFixture(t, pkg, LockSafety)
+}
+
+func TestSuppression(t *testing.T) {
+	pkg := loadFixture(t, "suppress", "discsec/internal/disc/supfixture")
+	diags := Run([]*Package{pkg}, []*Analyzer{CryptoCompare})
+
+	for _, d := range diags {
+		if d.Rule == "cryptocompare" {
+			t.Errorf("suppressed finding leaked through: %v", d)
+		}
+	}
+	var unknown, missing int
+	for _, d := range diags {
+		if d.Rule != "discvet" {
+			continue
+		}
+		switch {
+		case strings.Contains(d.Message, strconv.Quote("nosuchrule")):
+			unknown++
+		case strings.Contains(d.Message, "missing a rule name"):
+			missing++
+		default:
+			t.Errorf("unexpected discvet diagnostic: %v", d)
+		}
+	}
+	if unknown != 1 {
+		t.Errorf("got %d unknown-rule diagnostics, want 1 (diags: %v)", unknown, diags)
+	}
+	if missing != 1 {
+		t.Errorf("got %d missing-rule-name diagnostics, want 1 (diags: %v)", missing, diags)
+	}
+}
+
+func TestLoadModulePackages(t *testing.T) {
+	l, err := sharedLoader()
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	pkgs, err := l.Load("./internal/analysis", "./internal/xmldom")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(pkgs) != 2 {
+		t.Fatalf("got %d packages, want 2", len(pkgs))
+	}
+	if pkgs[0].Path != "discsec/internal/analysis" || pkgs[1].Path != "discsec/internal/xmldom" {
+		t.Errorf("unexpected package paths: %s, %s", pkgs[0].Path, pkgs[1].Path)
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, a := range Analyzers() {
+		if ByName(a.Name) != a {
+			t.Errorf("ByName(%q) did not round-trip", a.Name)
+		}
+	}
+	if ByName("nosuchrule") != nil {
+		t.Errorf("ByName(nosuchrule) = non-nil")
+	}
+}
+
+func TestSplitWords(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string
+	}{
+		{"clipDigest", "clip digest"},
+		{"HMACKey", "hmac key"},
+		{"want_sum", "want sum"},
+		{"DSigNamespace", "d sig namespace"},
+		{"sha256Sum", "sha sum"},
+		{"design", "design"},
+	}
+	for _, c := range cases {
+		if got := strings.Join(splitWords(c.in), " "); got != c.want {
+			t.Errorf("splitWords(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,53 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// ErrWrap reports fmt.Errorf calls that format an error argument
+// without a %w verb. Unwrapped errors break errors.Is/errors.As
+// across the stack's layers — callers match sentinel errors like
+// xmldsig.ErrNoSignature through several wrapping hops, and a single
+// %v in the chain silently severs it.
+var ErrWrap = &Analyzer{
+	Name: "errwrap",
+	Doc:  "fmt.Errorf with an error argument must wrap it with %w",
+	Run:  runErrWrap,
+}
+
+func runErrWrap(pass *Pass) {
+	errIface := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) < 2 {
+				return true
+			}
+			if !isPkgFunc(calleeFunc(pass.Info, call), "fmt", "Errorf") {
+				return true
+			}
+			lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit)
+			if !ok || lit.Kind != token.STRING {
+				return true
+			}
+			format, err := strconv.Unquote(lit.Value)
+			if err != nil || strings.Contains(format, "%w") {
+				return true
+			}
+			for _, arg := range call.Args[1:] {
+				t := pass.Info.Types[arg].Type
+				if t == nil || !types.Implements(t, errIface) {
+					continue
+				}
+				pass.Reportf(call.Pos(),
+					"fmt.Errorf formats an error without %%w; wrap it so errors.Is/As keep working")
+				break
+			}
+			return true
+		})
+	}
+}

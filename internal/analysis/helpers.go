@@ -1,0 +1,160 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+	"unicode"
+)
+
+// splitWords breaks an identifier into lower-cased words on camelCase
+// humps, underscores, and digit boundaries: "clipDigestHMAC" ->
+// [clip digest hmac], "want_sum" -> [want sum].
+func splitWords(name string) []string {
+	var words []string
+	var cur []rune
+	flush := func() {
+		if len(cur) > 0 {
+			words = append(words, strings.ToLower(string(cur)))
+			cur = nil
+		}
+	}
+	runes := []rune(name)
+	for i, r := range runes {
+		switch {
+		case r == '_' || unicode.IsDigit(r):
+			flush()
+		case unicode.IsUpper(r):
+			// New word at lower->Upper and at the last upper of an
+			// acronym run followed by a lower ("HMACKey" -> hmac key).
+			prevLower := i > 0 && unicode.IsLower(runes[i-1])
+			nextLower := i+1 < len(runes) && unicode.IsLower(runes[i+1])
+			if prevLower || (len(cur) > 0 && nextLower) {
+				flush()
+			}
+			cur = append(cur, r)
+		default:
+			cur = append(cur, r)
+		}
+	}
+	flush()
+	return words
+}
+
+// nameMatches reports whether any word of the identifier is in the
+// vocabulary set.
+func nameMatches(name string, vocab map[string]bool) bool {
+	for _, w := range splitWords(name) {
+		if vocab[w] {
+			return true
+		}
+	}
+	return false
+}
+
+// exprNameMatches reports whether the expression, unwrapped of parens
+// and derefs, is an identifier / selector / index whose terminal name
+// matches the vocabulary.
+func exprNameMatches(e ast.Expr, vocab map[string]bool) bool {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			if nameMatches(x.Sel.Name, vocab) {
+				return true
+			}
+			e = x.X
+		case *ast.Ident:
+			return nameMatches(x.Name, vocab)
+		default:
+			return false
+		}
+	}
+}
+
+// calleeFunc resolves a call's callee to its types.Func, or nil for
+// indirect calls, conversions, and builtins.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fn
+	case *ast.SelectorExpr:
+		id = fn.Sel
+	default:
+		return nil
+	}
+	f, _ := info.Uses[id].(*types.Func)
+	return f
+}
+
+// isPkgFunc reports whether fn is the package-level function
+// pkgPath.name.
+func isPkgFunc(fn *types.Func, pkgPath, name string) bool {
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == pkgPath && fn.Name() == name
+}
+
+// isBytesLike reports whether t is a string, []byte, or [N]byte — the
+// shapes a digest/MAC comparison takes.
+func isBytesLike(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		return u.Info()&types.IsString != 0
+	case *types.Slice:
+		return isByteElem(u.Elem())
+	case *types.Array:
+		return isByteElem(u.Elem())
+	}
+	return false
+}
+
+func isByteElem(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Byte
+}
+
+// pathHasInternalPkg reports whether the import path contains the
+// segment pair internal/<name> for any of the given names.
+func pathHasInternalPkg(path string, names ...string) bool {
+	segs := strings.Split(path, "/")
+	for i := 0; i+1 < len(segs); i++ {
+		if segs[i] != "internal" {
+			continue
+		}
+		for _, n := range names {
+			if segs[i+1] == n {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// exprKey renders a stable string for simple receiver expressions so
+// Lock/Unlock pairs can be matched up (s.mu, (*p).mu, arr[i].mu).
+func exprKey(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return exprKey(x.X) + "." + x.Sel.Name
+	case *ast.ParenExpr:
+		return exprKey(x.X)
+	case *ast.StarExpr:
+		return "*" + exprKey(x.X)
+	case *ast.IndexExpr:
+		return exprKey(x.X) + "[]"
+	default:
+		return "?"
+	}
+}

@@ -1,0 +1,186 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// LockSafety reports two lock-handling bugs that deadlock or corrupt
+// the caches on the hot serving path:
+//
+//   - a function parameter or receiver whose (non-pointer) type
+//     contains a sync.Mutex/RWMutex, i.e. a lock copied by value, and
+//   - a return statement executed while a mutex is still held by a
+//     Lock/RLock that was not immediately paired with a deferred
+//     unlock.
+//
+// The held-lock check is a linear, block-local scan: it follows
+// nested if/for/switch bodies but does not build a full CFG, which is
+// exactly enough for the straight-line Lock();...;return patterns the
+// codebase uses.
+var LockSafety = &Analyzer{
+	Name: "locksafety",
+	Doc:  "no lock-by-value copies; no return while a defer-less Lock is held",
+	Run:  runLockSafety,
+}
+
+func runLockSafety(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			fd, ok := n.(*ast.FuncDecl)
+			if !ok {
+				return true
+			}
+			checkLockCopies(pass, fd)
+			if fd.Body != nil {
+				checkHeldReturns(pass, fd.Body.List, map[string]token.Pos{})
+			}
+			return true
+		})
+	}
+}
+
+// checkLockCopies flags by-value receivers and parameters whose type
+// contains a mutex.
+func checkLockCopies(pass *Pass, fd *ast.FuncDecl) {
+	var fields []*ast.Field
+	if fd.Recv != nil {
+		fields = append(fields, fd.Recv.List...)
+	}
+	if fd.Type.Params != nil {
+		fields = append(fields, fd.Type.Params.List...)
+	}
+	for _, field := range fields {
+		t := pass.Info.Types[field.Type].Type
+		if t == nil || !containsLock(t, map[types.Type]bool{}) {
+			continue
+		}
+		pass.Reportf(field.Pos(),
+			"%s passed by value copies its sync.Mutex; pass a pointer", types.TypeString(t, types.RelativeTo(pass.Pkg)))
+	}
+}
+
+// containsLock reports whether a value of type t embeds a
+// sync.Mutex/RWMutex (directly, in a struct field, or in an array
+// element). Pointers do not propagate: sharing a lock through a
+// pointer is the correct pattern.
+func containsLock(t types.Type, seen map[types.Type]bool) bool {
+	if seen[t] {
+		return false
+	}
+	seen[t] = true
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil && obj.Pkg().Path() == "sync" &&
+			(obj.Name() == "Mutex" || obj.Name() == "RWMutex") {
+			return true
+		}
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if containsLock(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	case *types.Array:
+		return containsLock(u.Elem(), seen)
+	}
+	return false
+}
+
+// checkHeldReturns walks a statement list tracking which mutexes are
+// held by a defer-less Lock, reporting any return reached while one
+// is still held. Nested blocks get a copy of the held set so sibling
+// branches stay independent.
+func checkHeldReturns(pass *Pass, stmts []ast.Stmt, held map[string]token.Pos) {
+	for i, stmt := range stmts {
+		switch s := stmt.(type) {
+		case *ast.ExprStmt:
+			recv, op, ok := lockCall(pass.Info, s.X)
+			if !ok {
+				continue
+			}
+			switch op {
+			case "Lock", "RLock":
+				if i+1 < len(stmts) && deferredUnlock(pass.Info, stmts[i+1], recv) {
+					continue
+				}
+				held[recv] = s.Pos()
+			case "Unlock", "RUnlock":
+				delete(held, recv)
+			}
+		case *ast.DeferStmt:
+			if recv, op, ok := lockCall(pass.Info, s.Call); ok && (op == "Unlock" || op == "RUnlock") {
+				delete(held, recv)
+			}
+		case *ast.ReturnStmt:
+			for recv, pos := range held {
+				pass.Reportf(s.Pos(),
+					"return while %s is locked (Lock at %s has no deferred unlock)",
+					recv, pass.Fset.Position(pos))
+			}
+		case *ast.IfStmt:
+			checkHeldReturns(pass, s.Body.List, cloneHeld(held))
+			if els, ok := s.Else.(*ast.BlockStmt); ok {
+				checkHeldReturns(pass, els.List, cloneHeld(held))
+			}
+		case *ast.ForStmt:
+			checkHeldReturns(pass, s.Body.List, cloneHeld(held))
+		case *ast.RangeStmt:
+			checkHeldReturns(pass, s.Body.List, cloneHeld(held))
+		case *ast.BlockStmt:
+			checkHeldReturns(pass, s.List, cloneHeld(held))
+		case *ast.SwitchStmt:
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					checkHeldReturns(pass, cc.Body, cloneHeld(held))
+				}
+			}
+		}
+	}
+}
+
+func cloneHeld(held map[string]token.Pos) map[string]token.Pos {
+	out := make(map[string]token.Pos, len(held))
+	for k, v := range held {
+		out[k] = v
+	}
+	return out
+}
+
+// lockCall matches a call expression of the form recv.Lock / RLock /
+// Unlock / RUnlock where the method belongs to sync.Mutex or
+// sync.RWMutex (including promoted methods of embedded mutexes), and
+// returns a stable key for the receiver expression.
+func lockCall(info *types.Info, e ast.Expr) (recv, op string, ok bool) {
+	call, isCall := ast.Unparen(e).(*ast.CallExpr)
+	if !isCall {
+		return "", "", false
+	}
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	fn, isFn := info.Uses[sel.Sel].(*types.Func)
+	if !isFn || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", "", false
+	}
+	switch fn.Name() {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+		return exprKey(sel.X), fn.Name(), true
+	}
+	return "", "", false
+}
+
+// deferredUnlock reports whether stmt is `defer recv.Unlock()` (or
+// RUnlock) for the same receiver key.
+func deferredUnlock(info *types.Info, stmt ast.Stmt, wantRecv string) bool {
+	d, ok := stmt.(*ast.DeferStmt)
+	if !ok {
+		return false
+	}
+	recv, op, ok := lockCall(info, d.Call)
+	return ok && recv == wantRecv && (op == "Unlock" || op == "RUnlock")
+}

@@ -1,0 +1,79 @@
+package analysis
+
+import (
+	"go/token"
+	"strconv"
+	"strings"
+)
+
+// ignoreDirective is one parsed //discvet:ignore comment.
+type ignoreDirective struct {
+	rule   string // rule being suppressed
+	reason string // optional justification text
+	pos    token.Position
+}
+
+const ignorePrefix = "//discvet:ignore"
+
+// parseIgnores extracts every //discvet:ignore directive in the
+// package's files.
+func parseIgnores(pkg *Package) []ignoreDirective {
+	var dirs []ignoreDirective
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, ignorePrefix)
+				if !ok {
+					continue
+				}
+				d := ignoreDirective{pos: pkg.Fset.Position(c.Pos())}
+				fields := strings.Fields(rest)
+				if len(fields) > 0 {
+					d.rule = fields[0]
+					d.reason = strings.Join(fields[1:], " ")
+				}
+				dirs = append(dirs, d)
+			}
+		}
+	}
+	return dirs
+}
+
+// applySuppressions drops diagnostics covered by an ignore directive
+// for their rule on the same line or the line directly above, and
+// reports malformed directives: a missing rule name, or a rule name
+// that matches no registered analyzer. diags must all belong to pkg.
+func applySuppressions(pkg *Package, diags []Diagnostic) []Diagnostic {
+	dirs := parseIgnores(pkg)
+	var out []Diagnostic
+	for _, d := range diags {
+		suppressed := false
+		for _, ig := range dirs {
+			if ig.rule == d.Rule && ig.pos.Filename == d.Pos.Filename &&
+				(ig.pos.Line == d.Pos.Line || ig.pos.Line == d.Pos.Line-1) {
+				suppressed = true
+				break
+			}
+		}
+		if !suppressed {
+			out = append(out, d)
+		}
+	}
+	for _, ig := range dirs {
+		switch {
+		case ig.rule == "":
+			out = append(out, Diagnostic{
+				Rule:    "discvet",
+				Pos:     ig.pos,
+				Message: "ignore directive is missing a rule name",
+			})
+		case ByName(ig.rule) == nil:
+			out = append(out, Diagnostic{
+				Rule:    "discvet",
+				Pos:     ig.pos,
+				Message: "ignore directive names unknown rule " + strconv.Quote(ig.rule),
+			})
+		}
+	}
+	return out
+}

@@ -1,0 +1,48 @@
+// Fixture for the cryptocompare analyzer. Loaded by driver_test.go as
+// a package under internal/disc (flagged) and under internal/player
+// (clean: the rule only applies to the crypto packages).
+package fixture
+
+import (
+	"bytes"
+	"crypto/hmac"
+	"crypto/sha256"
+	"crypto/subtle"
+	"reflect"
+)
+
+const trustedAlg = "urn:discsec:alg:hmac-sha256"
+
+func verifyDigest(body, digest []byte) bool {
+	sum := sha256.Sum256(body)
+	return bytes.Equal(sum[:], digest) // want cryptocompare
+}
+
+func verifyMACDeep(mac, want []byte) bool {
+	return reflect.DeepEqual(mac, want) // want cryptocompare
+}
+
+func compareTokens(token, want string) bool {
+	return token == want // want cryptocompare
+}
+
+func compareSums(sum, want [sha256.Size]byte) bool {
+	return sum != want // want cryptocompare
+}
+
+func okSubtle(digest, want []byte) bool {
+	return subtle.ConstantTimeCompare(digest, want) == 1
+}
+
+func okHMAC(mac, want []byte) bool {
+	return hmac.Equal(mac, want)
+}
+
+func okPublic(alg string, sig []byte) bool {
+	// Constant and nil comparisons are public checks, not oracles.
+	return alg == trustedAlg && sig != nil
+}
+
+func okUnrelated(name string, count int) bool {
+	return name == "index.xml" || count == 0
+}

@@ -1,0 +1,34 @@
+// Fixture for the errwrap analyzer: fmt.Errorf with an error
+// argument must use %w.
+package fixture
+
+import (
+	"errors"
+	"fmt"
+)
+
+var errBase = errors.New("base")
+
+func wrapBad(err error) error {
+	return fmt.Errorf("open cluster: %v", err) // want errwrap
+}
+
+func wrapBadMixed(name string, err error) error {
+	return fmt.Errorf("clip %q: %s", name, err) // want errwrap
+}
+
+func wrapGood(err error) error {
+	return fmt.Errorf("open cluster: %w", err)
+}
+
+func wrapGoodWithDetail(err error) error {
+	return fmt.Errorf("%w: after %d retries", err, 3)
+}
+
+func noErrorArgs(n int) error {
+	return fmt.Errorf("bad count: %d", n)
+}
+
+func sentinelPlusDetail(v int) error {
+	return fmt.Errorf("%w: detail %v", errBase, v)
+}

@@ -1,0 +1,65 @@
+// Fixture for the locksafety analyzer: lock-by-value copies and
+// returns while a defer-less Lock is held.
+package fixture
+
+import "sync"
+
+type Store struct {
+	mu    sync.Mutex
+	items map[string][]byte
+}
+
+func (s Store) Len() int { // want locksafety
+	return len(s.items)
+}
+
+func snapshot(s Store) int { // want locksafety
+	return len(s.items)
+}
+
+func byPointer(s *Store) int {
+	return len(s.items)
+}
+
+func (s *Store) Get(k string) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, ok := s.items[k]
+	return v, ok
+}
+
+func (s *Store) GetLeaky(k string) ([]byte, bool) {
+	s.mu.Lock()
+	v, ok := s.items[k]
+	if !ok {
+		return nil, false // want locksafety
+	}
+	s.mu.Unlock()
+	return v, true
+}
+
+func (s *Store) Put(k string, v []byte) {
+	s.mu.Lock()
+	s.items[k] = v
+	s.mu.Unlock()
+}
+
+type Registry struct {
+	sync.RWMutex
+	n int
+}
+
+func (r *Registry) Count() int {
+	r.RLock()
+	if r.n < 0 {
+		return 0 // want locksafety
+	}
+	r.RUnlock()
+	return r.n
+}
+
+func (r *Registry) CountSafe() int {
+	r.RLock()
+	defer r.RUnlock()
+	return r.n
+}

@@ -1,0 +1,22 @@
+// Fixture for the suppression mechanism. Loaded as a package under
+// internal/disc so cryptocompare applies; every violation below is
+// suppressed, and the directives with a bad or missing rule name must
+// themselves be reported (asserted directly in driver_test.go).
+package fixture
+
+import "bytes"
+
+func checkAbove(digest, want []byte) bool {
+	//discvet:ignore cryptocompare fixture: public demo value, constant-time not required
+	return bytes.Equal(digest, want)
+}
+
+func checkSameLine(digest, want []byte) bool {
+	return bytes.Equal(digest, want) //discvet:ignore cryptocompare fixture: same-line justification
+}
+
+//discvet:ignore nosuchrule this rule does not exist and must be reported
+func unknownRule() {}
+
+//discvet:ignore
+func missingRule() {}

@@ -1,0 +1,27 @@
+// Fixture for the weakrand analyzer, loaded as a package under
+// internal/markup (outside the sensitive list): math/rand is allowed
+// for jitter and shuffling, but not to mint key-material-named values.
+package fixture
+
+import "math/rand"
+
+func retryDelay(r *rand.Rand) int {
+	delay := r.Intn(250)
+	return delay
+}
+
+func mintToken(r *rand.Rand) uint64 {
+	token := r.Uint64() // want weakrand
+	return token
+}
+
+func deriveKey(r *rand.Rand) []byte {
+	var key []byte
+	key = append(key, byte(r.Intn(256))) // want weakrand
+	return key
+}
+
+func pickNonce(r *rand.Rand) uint64 {
+	var nonce = r.Uint64() // want weakrand
+	return nonce
+}

@@ -1,0 +1,20 @@
+// Fixture for the weakrand analyzer, loaded as a package under
+// internal/keymgmt: any math/rand import there is a finding.
+package fixture
+
+import (
+	crand "crypto/rand"
+	"math/rand" // want weakrand
+)
+
+func sessionKey() ([]byte, error) {
+	key := make([]byte, 32)
+	if _, err := crand.Read(key); err != nil {
+		return nil, err
+	}
+	return key, nil
+}
+
+func jitter() int {
+	return rand.Intn(250)
+}

@@ -1,0 +1,11 @@
+// Fixture for the xmlparse analyzer. Loaded by driver_test.go as a
+// package under internal/server (flagged) and under internal/xmldom
+// (clean: the hardened parser itself may use encoding/xml).
+package fixture
+
+import "encoding/xml" // want xmlparse
+
+func decode(data []byte) error {
+	var v struct{ XMLName xml.Name }
+	return xml.Unmarshal(data, &v)
+}

@@ -1,0 +1,110 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+)
+
+// weakRandPackages are the internal/<name> packages in which any
+// math/rand use at all is an error: they mint key material, IVs,
+// nonces, or session/license tokens, and a guessable PRNG there
+// collapses the whole protection scheme.
+var weakRandPackages = []string{
+	"xmldsig", "xmlenc", "keymgmt", "omadcf", "disc", "core",
+	"access", "rights", "server",
+}
+
+// weakRandVocab marks identifier words that name key material. In
+// packages outside weakRandPackages, a math/rand-derived value
+// assigned to such a name is still reported.
+var weakRandVocab = map[string]bool{
+	"key": true, "iv": true, "nonce": true, "token": true,
+	"secret": true, "salt": true,
+}
+
+// WeakRand forbids math/rand where cryptographic material is
+// produced: any import in the security-sensitive packages, and any
+// assignment of a math/rand-derived value to a key/iv/nonce/token
+// name elsewhere. crypto/rand is the only acceptable source.
+var WeakRand = &Analyzer{
+	Name: "weakrand",
+	Doc:  "key material, IVs, nonces, and tokens must come from crypto/rand, never math/rand",
+	Run:  runWeakRand,
+}
+
+func runWeakRand(pass *Pass) {
+	sensitive := pathHasInternalPkg(pass.Path, weakRandPackages...)
+	for _, f := range pass.Files {
+		imported := false
+		for _, imp := range f.Imports {
+			p, err := strconv.Unquote(imp.Path.Value)
+			if err != nil || (p != "math/rand" && p != "math/rand/v2") {
+				continue
+			}
+			imported = true
+			if sensitive {
+				pass.Reportf(imp.Pos(),
+					"%s imported in security-sensitive package %s; key material, IVs, nonces, and tokens must use crypto/rand",
+					p, pass.Path)
+			}
+		}
+		if sensitive || !imported {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.AssignStmt:
+				for i, lhs := range st.Lhs {
+					rhs := st.Rhs[0]
+					if len(st.Rhs) == len(st.Lhs) {
+						rhs = st.Rhs[i]
+					}
+					reportWeakAssign(pass, lhs, rhs)
+				}
+			case *ast.ValueSpec:
+				for i, name := range st.Names {
+					if i < len(st.Values) {
+						reportWeakAssign(pass, name, st.Values[i])
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+func reportWeakAssign(pass *Pass, lhs, rhs ast.Expr) {
+	if !exprNameMatches(lhs, weakRandVocab) || !usesMathRand(pass.Info, rhs) {
+		return
+	}
+	pass.Reportf(lhs.Pos(),
+		"%s derived from math/rand; key material, IVs, nonces, and tokens must use crypto/rand",
+		exprKey(lhs))
+}
+
+// usesMathRand reports whether the expression references anything
+// from math/rand or math/rand/v2.
+func usesMathRand(info *types.Info, e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || found {
+			return !found
+		}
+		obj := info.Uses[id]
+		if obj == nil || obj.Pkg() == nil {
+			return true
+		}
+		if p := obj.Pkg().Path(); p == "math/rand" || p == "math/rand/v2" {
+			found = true
+		}
+		if pn, ok := obj.(*types.PkgName); ok {
+			if p := pn.Imported().Path(); p == "math/rand" || p == "math/rand/v2" {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

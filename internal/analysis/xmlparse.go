@@ -1,0 +1,34 @@
+package analysis
+
+import (
+	"strconv"
+	"strings"
+)
+
+// XMLParse enforces the single-parser rule: only internal/xmldom may
+// import encoding/xml. The hardened DOM parser rejects DOCTYPE
+// declarations, bounds nesting depth and token counts, and produces
+// the node identity model the signature wrapping defences depend on.
+// A stray xml.Unmarshal elsewhere bypasses all of that and reopens
+// the XXE and wrapping regressions the paper's Verifier assumes away.
+var XMLParse = &Analyzer{
+	Name: "xmlparse",
+	Doc:  "only internal/xmldom may import encoding/xml; untrusted XML goes through the hardened parser",
+	Run:  runXMLParse,
+}
+
+func runXMLParse(pass *Pass) {
+	if seg := "/internal/xmldom"; strings.HasSuffix(pass.Path, seg) || strings.Contains(pass.Path, seg+"/") {
+		return
+	}
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			p, err := strconv.Unquote(imp.Path.Value)
+			if err != nil || p != "encoding/xml" {
+				continue
+			}
+			pass.Reportf(imp.Pos(),
+				"encoding/xml imported outside internal/xmldom; parse untrusted XML with the hardened internal/xmldom parser (doctype rejection, depth/token limits)")
+		}
+	}
+}

@@ -2,6 +2,7 @@ package c14n
 
 import (
 	"bytes"
+	"strings"
 	"testing"
 
 	"discsec/internal/xmldom"
@@ -17,7 +18,15 @@ func FuzzCanonicalize(f *testing.F) {
 		`<a xml:lang="en"><b xml:space="preserve"> <c/> </b></a>`,
 		`<r at="a&#x9;b&#xA;c&#xD;">t&#xD;</r>`,
 		`<a xmlns:x="urn:1"><b xmlns:x="urn:1"><x:c/></b></a>`,
+		// Entity-like text: predefined references, a numeric reference,
+		// and text that merely looks like an entity once decoded.
+		`<r a="&amp;notanentity;">&lt;evil&gt; &#38;amp; &amp;#x26;</r>`,
+		// Doctype declarations must stay rejected (XXE surface).
+		`<!DOCTYPE r [<!ENTITY x "y">]><r>&x;</r>`,
 	}
+	// Deep nesting probes the depth limit and namespace-scope stack.
+	seeds = append(seeds,
+		strings.Repeat(`<e xmlns:p="urn:p">`, 48)+`<p:leaf/>`+strings.Repeat(`</e>`, 48))
 	for _, s := range seeds {
 		f.Add([]byte(s))
 	}

@@ -1,6 +1,9 @@
 package disc
 
-import "testing"
+import (
+	"strings"
+	"testing"
+)
 
 // FuzzParseCluster checks the content-hierarchy decoder against
 // arbitrary input: no panics, and accepted clusters round-trip through
@@ -9,6 +12,14 @@ func FuzzParseCluster(f *testing.F) {
 	f.Add(`<cluster xmlns="urn:discsec:cluster" title="t"><track Id="a" kind="av"><playlist><playitem clip="c" in="0" out="5"/></playlist></track></cluster>`)
 	f.Add(`<cluster xmlns="urn:discsec:cluster"><track Id="b" kind="application"><manifest Id="m"><markup><submarkup kind="layout"><x/></submarkup></markup><code><script language="ecmascript">var v=1;</script></code></manifest></track></cluster>`)
 	f.Add(`<cluster/>`)
+	// Entity-like titles and script text must survive as plain data.
+	f.Add(`<cluster xmlns="urn:discsec:cluster" title="&amp;notanentity; &lt;evil&gt; &#38;"><track Id="a" kind="application"><manifest Id="m"><code><script language="ecmascript">var s = "&amp;x;";</script></code></manifest></track></cluster>`)
+	// Deeply nested submarkup payloads probe the DOM depth limits.
+	f.Add(`<cluster xmlns="urn:discsec:cluster"><track Id="d" kind="application"><manifest Id="m"><markup><submarkup kind="layout">` +
+		strings.Repeat(`<div>`, 64) + `<leaf/>` + strings.Repeat(`</div>`, 64) +
+		`</submarkup></markup></manifest></track></cluster>`)
+	// Doctype declarations must stay rejected (XXE surface).
+	f.Add(`<!DOCTYPE cluster [<!ENTITY x "y">]><cluster xmlns="urn:discsec:cluster"/>`)
 	f.Fuzz(func(t *testing.T, s string) {
 		c, err := ParseClusterString(s)
 		if err != nil {

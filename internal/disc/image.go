@@ -3,6 +3,7 @@ package disc
 import (
 	"bytes"
 	"crypto/sha256"
+	"crypto/subtle"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -198,7 +199,7 @@ func ReadImageBytes(all []byte) (*Image, error) {
 	}
 	body, digest := all[:len(all)-sha256.Size], all[len(all)-sha256.Size:]
 	sum := sha256.Sum256(body)
-	if !bytes.Equal(sum[:], digest) {
+	if subtle.ConstantTimeCompare(sum[:], digest) != 1 {
 		return nil, fmt.Errorf("%w: integrity digest mismatch", errCorruptImage)
 	}
 	if !bytes.HasPrefix(body, imageMagic) {

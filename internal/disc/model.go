@@ -230,10 +230,10 @@ func parseTrack(el *xmldom.Element) (*Track, error) {
 		for _, itEl := range plEl.ChildElementsNamed(ClusterNamespace, "playitem") {
 			item := PlayItem{ClipID: itEl.AttrValue("clip")}
 			if _, err := fmt.Sscanf(itEl.AttrValue("in"), "%d", &item.InMS); err != nil {
-				return nil, fmt.Errorf("disc: playitem in: %v", err)
+				return nil, fmt.Errorf("disc: playitem in: %w", err)
 			}
 			if _, err := fmt.Sscanf(itEl.AttrValue("out"), "%d", &item.OutMS); err != nil {
-				return nil, fmt.Errorf("disc: playitem out: %v", err)
+				return nil, fmt.Errorf("disc: playitem out: %w", err)
 			}
 			pl.Items = append(pl.Items, item)
 		}

@@ -1,6 +1,9 @@
 package markup
 
-import "testing"
+import (
+	"strings"
+	"testing"
+)
 
 // FuzzScript checks the script front end and interpreter against
 // arbitrary source: no panics, and the step budget bounds execution.
@@ -14,7 +17,13 @@ func FuzzScript(f *testing.F) {
 		`for (var i = 0; i < 3; i++) { continue; }`,
 		`(((((`,
 		`var "str" = ;`,
+		// Entity-like text in string literals must stay inert data.
+		`var s = "&lt;tag&gt; &amp;&#38; &notanentity;";`,
 	}
+	// Deeply nested expressions and blocks probe parser recursion.
+	seeds = append(seeds,
+		strings.Repeat(`(`, 200)+`1`+strings.Repeat(`)`, 200),
+		strings.Repeat(`if (true) { `, 64)+`var x = 0;`+strings.Repeat(` }`, 64))
 	for _, s := range seeds {
 		f.Add(s)
 	}

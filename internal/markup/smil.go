@@ -321,7 +321,7 @@ func intAttr(el *xmldom.Element, name string, def int) (int, error) {
 	}
 	n, err := strconv.Atoi(v)
 	if err != nil {
-		return 0, fmt.Errorf("markup: attribute %s=%q: %v", name, v, err)
+		return 0, fmt.Errorf("markup: attribute %s=%q: %w", name, v, err)
 	}
 	return n, nil
 }

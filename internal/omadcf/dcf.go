@@ -121,6 +121,7 @@ func Unprotect(container []byte, opts ProtectOptions) ([]byte, error) {
 		return nil, fmt.Errorf("%w: bad content box", ErrCorrupt)
 	}
 	styp, sig, trailing, err := readBox(afterContent)
+	//discvet:ignore cryptocompare boxSig is a public 4-byte container tag, not secret material
 	if err != nil || styp != boxSig || len(trailing) != 0 {
 		return nil, fmt.Errorf("%w: bad signature box", ErrCorrupt)
 	}

@@ -150,7 +150,7 @@ func timeAttr(el *xmldom.Element, name string) (time.Time, error) {
 	}
 	t, err := time.Parse(time.RFC3339, v)
 	if err != nil {
-		return time.Time{}, fmt.Errorf("rights: bad %s %q: %v", name, v, err)
+		return time.Time{}, fmt.Errorf("rights: bad %s %q: %w", name, v, err)
 	}
 	return t, nil
 }
