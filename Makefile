@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race lint race check bench tools examples cover clean
+.PHONY: all build test test-race lint race faults check bench tools examples cover clean
 
 all: build test
 
@@ -26,8 +26,18 @@ lint:
 race:
 	$(GO) test -race ./...
 
+# Fault-matrix gate: the deterministic fault-injection suites
+# (internal/faults schedules driving resets, timeouts, stalls,
+# truncation, corruption, 5xx bursts, and XKMS outages through the
+# downloader, trust client, and end-to-end player pipeline), always
+# under the race detector.
+faults:
+	$(GO) test -race -run 'Fault|Resilience|Retry|Resume|Degraded|Shed|Cancel' \
+		./internal/faults/ ./internal/resilience/ ./internal/server/ \
+		./internal/keymgmt/ ./internal/player/
+
 # The full gate CI runs on every change.
-check: build lint race
+check: build lint race faults
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

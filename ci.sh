@@ -7,3 +7,4 @@ set -eux
 go build ./...
 make lint
 go test -race ./...
+make faults

@@ -20,6 +20,10 @@
 //     XXE/wrapping attack surface.
 //   - locksafety: no lock-by-value copies, and no return while a
 //     sync.Mutex/RWMutex is held by a defer-less Lock.
+//   - httpclient: the networked packages (server, keymgmt, player)
+//     must never use http.DefaultClient or a zero-Timeout
+//     http.Client; every remote call needs a deadline so failures
+//     enter the resilience retry/degrade path.
 //
 // Diagnostics carry file:line:col positions. A finding can be
 // suppressed with a justified comment on the same line or the line
@@ -88,6 +92,7 @@ func Analyzers() []*Analyzer {
 		ErrWrap,
 		XMLParse,
 		LockSafety,
+		HTTPClient,
 	}
 }
 

@@ -109,6 +109,21 @@ func TestXMLParseAllowedInXMLDOM(t *testing.T) {
 	}
 }
 
+func TestHTTPClientFixture(t *testing.T) {
+	pkg := loadFixture(t, "httpclient", "discsec/internal/server/hcfixture")
+	checkFixture(t, pkg, HTTPClient)
+}
+
+func TestHTTPClientOutsideNetworkedPackages(t *testing.T) {
+	// The same deadline-less code loaded outside the networked
+	// packages must be clean: the rule is scoped to where a hung
+	// connection stalls the player.
+	pkg := loadFixture(t, "httpclient", "discsec/internal/disc/hcfixture")
+	if diags := Run([]*Package{pkg}, []*Analyzer{HTTPClient}); len(diags) != 0 {
+		t.Errorf("got %d diagnostics outside networked packages, want 0: %v", len(diags), diags)
+	}
+}
+
 func TestLockSafetyFixture(t *testing.T) {
 	pkg := loadFixture(t, "locksafety", "discsec/internal/lsfixture")
 	checkFixture(t, pkg, LockSafety)

@@ -1,0 +1,28 @@
+// Fixture for the httpclient analyzer. Loaded by driver_test.go as a
+// package under internal/server (flagged) and under internal/disc
+// (clean: the rule is scoped to the networked packages).
+package fixture
+
+import (
+	"net/http"
+	"time"
+)
+
+func deadlineless() {
+	_ = http.DefaultClient // want httpclient
+	resp, err := http.Get("http://content.example/app.xml") // want httpclient
+	if err == nil {
+		resp.Body.Close()
+	}
+	_ = &http.Client{Transport: http.DefaultTransport} // want httpclient
+	_ = http.Client{}                                  // want httpclient
+}
+
+func bounded() {
+	c := &http.Client{Timeout: 10 * time.Second}
+	resp, err := c.Get("http://content.example/app.xml")
+	if err == nil {
+		resp.Body.Close()
+	}
+	_ = http.Client{Timeout: 5 * time.Second, Transport: http.DefaultTransport}
+}

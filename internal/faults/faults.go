@@ -1,0 +1,370 @@
+// Package faults is a deterministic fault-injection layer for the
+// stack's network paths. Nothing in the production pipeline depends on
+// it; tests compose it under the Downloader and the XKMS client to
+// provoke exactly the failures the paper's §5.1/§7 usage model meets
+// in the wild — connection resets, timeouts, stalled and slow reads,
+// truncated bodies, flipped bytes, and scripted 5xx bursts with
+// Retry-After — and prove the verify→decrypt pipeline either recovers
+// or fails closed.
+//
+// Faults are driven by a Schedule: a scripted sequence consumed one
+// fault per intercepted request (or accepted connection). Schedules
+// are either written out literally or generated from a seed, so every
+// test run replays the identical failure pattern.
+package faults
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"strconv"
+	"sync"
+	"syscall"
+	"time"
+)
+
+// Kind enumerates the injectable fault modes.
+type Kind int
+
+// Fault modes.
+const (
+	// None passes the request through untouched.
+	None Kind = iota
+	// Reset simulates a TCP connection reset (ECONNRESET).
+	Reset
+	// Timeout fails the request with a net.Error whose Timeout() is
+	// true, as a timed-out dial or read would.
+	Timeout
+	// Stall delays the response body's first read by Delay (a slow or
+	// hung peer). If the request context expires first, the read
+	// fails with the context error.
+	Stall
+	// Truncate cuts the response body after Bytes bytes and then
+	// fails the read with io.ErrUnexpectedEOF, keeping the original
+	// Content-Length (an interrupted transfer).
+	Truncate
+	// Corrupt flips one bit of the response body at offset
+	// Bytes mod len(body), preserving length (on-the-wire damage
+	// that only content verification can catch).
+	Corrupt
+	// Status replaces the response with an HTTP error status
+	// (Code, default 503) and an optional Retry-After header.
+	Status
+)
+
+func (k Kind) String() string {
+	switch k {
+	case None:
+		return "none"
+	case Reset:
+		return "reset"
+	case Timeout:
+		return "timeout"
+	case Stall:
+		return "stall"
+	case Truncate:
+		return "truncate"
+	case Corrupt:
+		return "corrupt"
+	case Status:
+		return "status"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Fault is one scheduled failure.
+type Fault struct {
+	Kind Kind
+	// Bytes is the truncation length (Truncate) or corruption offset
+	// (Corrupt).
+	Bytes int64
+	// Delay is the stall duration (Stall).
+	Delay time.Duration
+	// Code is the injected HTTP status (Status); 0 means 503.
+	Code int
+	// RetryAfter, when positive, is advertised in a Retry-After
+	// header on an injected Status response (rounded up to whole
+	// seconds, the header's coarsest form).
+	RetryAfter time.Duration
+}
+
+// Schedule is a concurrency-safe scripted fault sequence. Each
+// intercepted operation consumes the next fault; once the script is
+// exhausted every subsequent operation passes through clean.
+type Schedule struct {
+	mu     sync.Mutex
+	faults []Fault
+	next   int
+}
+
+// NewSchedule scripts an explicit fault sequence.
+func NewSchedule(faults ...Fault) *Schedule {
+	return &Schedule{faults: append([]Fault(nil), faults...)}
+}
+
+// Seeded generates a reproducible n-fault schedule drawn from the
+// given kinds (all kinds except None when empty). The same seed
+// always yields the same script, so a failing fuzz-style run can be
+// replayed exactly.
+func Seeded(seed int64, n int, kinds ...Kind) *Schedule {
+	if len(kinds) == 0 {
+		kinds = []Kind{Reset, Timeout, Stall, Truncate, Corrupt, Status}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	faults := make([]Fault, n)
+	for i := range faults {
+		f := Fault{Kind: kinds[rng.Intn(len(kinds))]}
+		switch f.Kind {
+		case Truncate, Corrupt:
+			f.Bytes = int64(rng.Intn(256))
+		case Stall:
+			f.Delay = time.Duration(1+rng.Intn(20)) * time.Millisecond
+		case Status:
+			f.Code = []int{500, 502, 503, 504}[rng.Intn(4)]
+			if f.Code == 503 {
+				f.RetryAfter = time.Second
+			}
+		}
+		faults[i] = f
+	}
+	return &Schedule{faults: faults}
+}
+
+// Take consumes and returns the next scheduled fault ({Kind: None}
+// once exhausted).
+func (s *Schedule) Take() Fault {
+	if s == nil {
+		return Fault{}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.next >= len(s.faults) {
+		return Fault{}
+	}
+	f := s.faults[s.next]
+	s.next++
+	return f
+}
+
+// Remaining reports how many scripted faults have not fired yet.
+func (s *Schedule) Remaining() int {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.faults) - s.next
+}
+
+// Reset rewinds the schedule to its start.
+func (s *Schedule) Reset() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.next = 0
+}
+
+// timeoutError satisfies net.Error with Timeout() true, matching how
+// a real dial/read deadline surfaces to http.Client callers.
+type timeoutError struct{}
+
+func (timeoutError) Error() string   { return "faults: injected timeout" }
+func (timeoutError) Timeout() bool   { return true }
+func (timeoutError) Temporary() bool { return true }
+
+// Transport is a composable http.RoundTripper that injects scheduled
+// faults into matching requests and delegates the rest to Base.
+type Transport struct {
+	// Base handles the real exchange; nil means http.DefaultTransport.
+	Base http.RoundTripper
+	// Schedule supplies the fault script; a nil schedule passes
+	// everything through.
+	Schedule *Schedule
+	// Match limits injection to selected requests; nil matches all.
+	Match func(*http.Request) bool
+}
+
+func (t *Transport) base() http.RoundTripper {
+	if t.Base != nil {
+		return t.Base
+	}
+	return http.DefaultTransport
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	if t.Match != nil && !t.Match(req) {
+		return t.base().RoundTrip(req)
+	}
+	f := t.Schedule.Take()
+	switch f.Kind {
+	case Reset:
+		return nil, &net.OpError{Op: "read", Net: "tcp", Err: syscall.ECONNRESET}
+	case Timeout:
+		return nil, timeoutError{}
+	case Status:
+		code := f.Code
+		if code == 0 {
+			code = http.StatusServiceUnavailable
+		}
+		body := fmt.Sprintf("faults: injected %d %s", code, http.StatusText(code))
+		resp := &http.Response{
+			StatusCode:    code,
+			Status:        fmt.Sprintf("%d %s", code, http.StatusText(code)),
+			Proto:         "HTTP/1.1",
+			ProtoMajor:    1,
+			ProtoMinor:    1,
+			Header:        make(http.Header),
+			Body:          io.NopCloser(bytes.NewReader([]byte(body))),
+			ContentLength: int64(len(body)),
+			Request:       req,
+		}
+		if f.RetryAfter > 0 {
+			secs := int64((f.RetryAfter + time.Second - 1) / time.Second)
+			resp.Header.Set("Retry-After", strconv.FormatInt(secs, 10))
+		}
+		return resp, nil
+	}
+
+	resp, err := t.base().RoundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	switch f.Kind {
+	case Stall:
+		resp.Body = &stallBody{ReadCloser: resp.Body, delay: f.Delay, done: req.Context().Done(), ctxErr: req.Context().Err}
+	case Truncate:
+		resp.Body = &truncateBody{ReadCloser: resp.Body, remaining: f.Bytes}
+	case Corrupt:
+		data, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if rerr != nil {
+			return nil, rerr
+		}
+		if len(data) > 0 {
+			data[int(f.Bytes)%len(data)] ^= 0x01
+		}
+		resp.Body = io.NopCloser(bytes.NewReader(data))
+		resp.ContentLength = int64(len(data))
+	}
+	return resp, nil
+}
+
+// stallBody delays the first read, aborting early if the request
+// context ends (which is how a client timeout observes a hung peer).
+type stallBody struct {
+	io.ReadCloser
+	delay   time.Duration
+	done    <-chan struct{}
+	ctxErr  func() error
+	stalled bool
+}
+
+func (b *stallBody) Read(p []byte) (int, error) {
+	if !b.stalled {
+		b.stalled = true
+		timer := time.NewTimer(b.delay)
+		defer timer.Stop()
+		select {
+		case <-b.done:
+			return 0, b.ctxErr()
+		case <-timer.C:
+		}
+	}
+	return b.ReadCloser.Read(p)
+}
+
+// truncateBody cuts the stream after the scheduled byte count and
+// reports io.ErrUnexpectedEOF, like a connection dropped mid-body.
+type truncateBody struct {
+	io.ReadCloser
+	remaining int64
+}
+
+func (b *truncateBody) Read(p []byte) (int, error) {
+	if b.remaining <= 0 {
+		return 0, io.ErrUnexpectedEOF
+	}
+	if int64(len(p)) > b.remaining {
+		p = p[:b.remaining]
+	}
+	n, err := b.ReadCloser.Read(p)
+	b.remaining -= int64(n)
+	if err == io.EOF || (err == nil && b.remaining <= 0) {
+		return n, io.ErrUnexpectedEOF
+	}
+	return n, err
+}
+
+// Listener wraps a net.Listener, applying one scheduled fault to each
+// accepted connection. It exercises the server-side path the
+// Transport cannot: a peer that drops, stalls, or truncates at the
+// socket layer.
+type Listener struct {
+	net.Listener
+	// Schedule supplies per-connection faults; nil passes through.
+	Schedule *Schedule
+}
+
+// Accept implements net.Listener.
+func (l *Listener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	f := l.Schedule.Take()
+	if f.Kind == None {
+		return c, nil
+	}
+	return &faultConn{Conn: c, fault: f}, nil
+}
+
+// faultConn applies a single fault to one connection: Reset closes
+// and errors on first use, Stall delays the first read, Truncate
+// closes after the scheduled number of bytes has been written.
+type faultConn struct {
+	net.Conn
+	fault   Fault
+	written int64
+	stalled bool
+}
+
+func (c *faultConn) Read(p []byte) (int, error) {
+	switch c.fault.Kind {
+	case Reset:
+		c.Conn.Close()
+		return 0, &net.OpError{Op: "read", Net: "tcp", Err: syscall.ECONNRESET}
+	case Stall:
+		if !c.stalled {
+			c.stalled = true
+			time.Sleep(c.fault.Delay)
+		}
+	}
+	return c.Conn.Read(p)
+}
+
+func (c *faultConn) Write(p []byte) (int, error) {
+	switch c.fault.Kind {
+	case Reset:
+		c.Conn.Close()
+		return 0, &net.OpError{Op: "write", Net: "tcp", Err: syscall.ECONNRESET}
+	case Truncate:
+		if c.written >= c.fault.Bytes {
+			c.Conn.Close()
+			return 0, &net.OpError{Op: "write", Net: "tcp", Err: syscall.EPIPE}
+		}
+		if int64(len(p)) > c.fault.Bytes-c.written {
+			p = p[:c.fault.Bytes-c.written]
+		}
+	}
+	n, err := c.Conn.Write(p)
+	c.written += int64(n)
+	if err == nil && c.fault.Kind == Truncate && c.written >= c.fault.Bytes {
+		c.Conn.Close()
+		return n, &net.OpError{Op: "write", Net: "tcp", Err: syscall.EPIPE}
+	}
+	return n, err
+}

@@ -1,0 +1,271 @@
+package faults
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"syscall"
+	"testing"
+	"time"
+)
+
+var payload = bytes.Repeat([]byte("optical-disc-application."), 40) // 1000 bytes
+
+func originServer() *httptest.Server {
+	return httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write(payload)
+	}))
+}
+
+func clientWith(s *Schedule) *http.Client {
+	return &http.Client{Timeout: 5 * time.Second, Transport: &Transport{Schedule: s}}
+}
+
+func TestScheduleScripted(t *testing.T) {
+	s := NewSchedule(Fault{Kind: Reset}, Fault{Kind: Timeout})
+	if got := s.Take().Kind; got != Reset {
+		t.Errorf("first = %v", got)
+	}
+	if got := s.Take().Kind; got != Timeout {
+		t.Errorf("second = %v", got)
+	}
+	for i := 0; i < 3; i++ {
+		if got := s.Take().Kind; got != None {
+			t.Errorf("exhausted schedule returned %v", got)
+		}
+	}
+	s.Reset()
+	if got := s.Take().Kind; got != Reset {
+		t.Errorf("after Reset = %v", got)
+	}
+	var nilSchedule *Schedule
+	if nilSchedule.Take().Kind != None || nilSchedule.Remaining() != 0 {
+		t.Error("nil schedule must pass through")
+	}
+}
+
+func TestSeededReproducible(t *testing.T) {
+	a, b := Seeded(42, 32), Seeded(42, 32)
+	for i := 0; i < 32; i++ {
+		fa, fb := a.Take(), b.Take()
+		if fa != fb {
+			t.Fatalf("fault %d diverged: %+v vs %+v", i, fa, fb)
+		}
+	}
+	c, d := Seeded(1, 32), Seeded(2, 32)
+	same := true
+	for i := 0; i < 32; i++ {
+		if c.Take() != d.Take() {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical schedules")
+	}
+}
+
+func TestTransportReset(t *testing.T) {
+	srv := originServer()
+	defer srv.Close()
+	hc := clientWith(NewSchedule(Fault{Kind: Reset}))
+	if _, err := hc.Get(srv.URL); !errors.Is(err, syscall.ECONNRESET) {
+		t.Errorf("err = %v, want ECONNRESET", err)
+	}
+	// Schedule exhausted: next request passes through.
+	resp, err := hc.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if b, _ := io.ReadAll(resp.Body); !bytes.Equal(b, payload) {
+		t.Error("clean request corrupted")
+	}
+}
+
+func TestTransportTimeout(t *testing.T) {
+	srv := originServer()
+	defer srv.Close()
+	hc := clientWith(NewSchedule(Fault{Kind: Timeout}))
+	_, err := hc.Get(srv.URL)
+	var ne net.Error
+	if !errors.As(err, &ne) || !ne.Timeout() {
+		t.Errorf("err = %v, want net.Error timeout", err)
+	}
+}
+
+func TestTransportStatusWithRetryAfter(t *testing.T) {
+	srv := originServer()
+	defer srv.Close()
+	hc := clientWith(NewSchedule(Fault{Kind: Status, Code: 503, RetryAfter: 2 * time.Second}))
+	resp, err := hc.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 503 {
+		t.Errorf("status = %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "2" {
+		t.Errorf("Retry-After = %q", got)
+	}
+}
+
+func TestTransportTruncate(t *testing.T) {
+	srv := originServer()
+	defer srv.Close()
+	hc := clientWith(NewSchedule(Fault{Kind: Truncate, Bytes: 100}))
+	resp, err := hc.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Errorf("read err = %v, want ErrUnexpectedEOF", err)
+	}
+	if len(b) != 100 || !bytes.Equal(b, payload[:100]) {
+		t.Errorf("got %d bytes, want the first 100", len(b))
+	}
+}
+
+func TestTransportCorrupt(t *testing.T) {
+	srv := originServer()
+	defer srv.Close()
+	hc := clientWith(NewSchedule(Fault{Kind: Corrupt, Bytes: 17}))
+	resp, err := hc.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b) != len(payload) {
+		t.Fatalf("corruption changed length: %d != %d", len(b), len(payload))
+	}
+	diff := 0
+	for i := range b {
+		if b[i] != payload[i] {
+			diff++
+		}
+	}
+	if diff != 1 || b[17] == payload[17] {
+		t.Errorf("want exactly one flipped byte at 17, got %d diffs", diff)
+	}
+}
+
+func TestTransportStallHonorsContext(t *testing.T) {
+	srv := originServer()
+	defer srv.Close()
+	hc := clientWith(NewSchedule(Fault{Kind: Stall, Delay: time.Minute}))
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, srv.URL, nil)
+	start := time.Now()
+	resp, err := hc.Do(req)
+	if err == nil {
+		_, err = io.ReadAll(resp.Body)
+		resp.Body.Close()
+	}
+	if err == nil {
+		t.Fatal("stalled read succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("stall ignored context: took %v", elapsed)
+	}
+}
+
+func TestTransportStallDelaysThenDelivers(t *testing.T) {
+	srv := originServer()
+	defer srv.Close()
+	hc := clientWith(NewSchedule(Fault{Kind: Stall, Delay: 30 * time.Millisecond}))
+	start := time.Now()
+	resp, err := hc.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil || !bytes.Equal(b, payload) {
+		t.Fatalf("read = %d bytes, %v", len(b), err)
+	}
+	if elapsed := time.Since(start); elapsed < 30*time.Millisecond {
+		t.Errorf("stall too short: %v", elapsed)
+	}
+}
+
+func TestTransportMatchScopesInjection(t *testing.T) {
+	srv := originServer()
+	defer srv.Close()
+	sched := NewSchedule(Fault{Kind: Reset})
+	hc := &http.Client{Timeout: 5 * time.Second, Transport: &Transport{
+		Schedule: sched,
+		Match:    func(r *http.Request) bool { return r.URL.Path == "/target" },
+	}}
+	if resp, err := hc.Get(srv.URL + "/other"); err != nil {
+		t.Fatalf("non-matching request failed: %v", err)
+	} else {
+		resp.Body.Close()
+	}
+	if sched.Remaining() != 1 {
+		t.Error("non-matching request consumed a fault")
+	}
+	if _, err := hc.Get(srv.URL + "/target"); !errors.Is(err, syscall.ECONNRESET) {
+		t.Errorf("matching request err = %v", err)
+	}
+}
+
+func TestListenerReset(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl := &Listener{Listener: ln, Schedule: NewSchedule(Fault{Kind: Reset})}
+	srv := &http.Server{Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write(payload)
+	})}
+	go srv.Serve(fl) //nolint:errcheck
+	defer srv.Close()
+
+	// Each request uses a fresh connection so the per-connection
+	// fault schedule lines up with the request sequence.
+	hc := &http.Client{Timeout: 5 * time.Second, Transport: &http.Transport{DisableKeepAlives: true}}
+	if _, err := hc.Get("http://" + ln.Addr().String()); err == nil {
+		t.Error("reset connection served a response")
+	}
+	resp, err := hc.Get("http://" + ln.Addr().String())
+	if err != nil {
+		t.Fatalf("clean follow-up failed: %v", err)
+	}
+	defer resp.Body.Close()
+	if b, _ := io.ReadAll(resp.Body); !bytes.Equal(b, payload) {
+		t.Error("clean follow-up corrupted")
+	}
+}
+
+func TestListenerTruncate(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl := &Listener{Listener: ln, Schedule: NewSchedule(Fault{Kind: Truncate, Bytes: 64})}
+	srv := &http.Server{Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write(payload)
+	})}
+	go srv.Serve(fl) //nolint:errcheck
+	defer srv.Close()
+
+	hc := &http.Client{Timeout: 5 * time.Second, Transport: &http.Transport{DisableKeepAlives: true}}
+	resp, err := hc.Get("http://" + ln.Addr().String())
+	if err == nil {
+		defer resp.Body.Close()
+		if _, rerr := io.ReadAll(resp.Body); rerr == nil {
+			t.Error("truncated connection delivered a complete body")
+		}
+	}
+}

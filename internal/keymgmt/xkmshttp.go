@@ -2,6 +2,7 @@ package keymgmt
 
 import (
 	"bytes"
+	"context"
 	"crypto"
 	"crypto/x509"
 	"encoding/base64"
@@ -9,7 +10,12 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
 
+	"discsec/internal/resilience"
 	"discsec/internal/xmldom"
 	"discsec/internal/xmlsecuri"
 )
@@ -158,40 +164,162 @@ func locateResult(kb *KeyBinding) []byte {
 	return doc.Bytes()
 }
 
-// Client talks to an XKMS-style endpoint.
+// Degraded-trust errors.
+var (
+	// ErrDegraded marks a key binding served from the bounded-staleness
+	// cache because the trust service was unreachable. The player may
+	// proceed (graceful degradation per the paper's §7 connected-player
+	// model) but must surface the weakened trust decision.
+	ErrDegraded = errors.New("keymgmt: degraded trust: key binding served from stale cache")
+)
+
+// Client talks to an XKMS-style endpoint. Locate and Validate (the
+// idempotent XKMS operations) are retried under Retry; Register,
+// Revoke, and Reissue are never blindly retried — a lost response
+// must not duplicate a state-changing registration. When the service
+// is unreachable, Locate can fall back to a previously fetched
+// KeyBinding no older than MaxStale, reporting the degradation.
 type Client struct {
 	// BaseURL is the endpoint URL.
 	BaseURL string
-	// HTTPClient defaults to http.DefaultClient.
+	// HTTPClient defaults to a shared client with a 15s timeout
+	// (never http.DefaultClient, which has none).
 	HTTPClient *http.Client
+	// Retry governs Locate/Validate retries; nil uses the resilience
+	// defaults.
+	Retry *resilience.Policy
+	// MaxStale bounds the cached-KeyBinding fallback age; 0 disables
+	// the fallback entirely (strict mode: unreachable service fails
+	// closed).
+	MaxStale time.Duration
+	// OnDegraded, if set, observes each degraded trust decision: the
+	// binding name served stale and the outage error that forced it.
+	OnDegraded func(name string, cause error)
+
+	// nowFunc overrides the clock in tests.
+	nowFunc func() time.Time
+
+	degraded atomic.Bool
+	cacheMu  sync.Mutex
+	cache    map[string]cachedBinding
 }
 
-func (c *Client) post(doc *xmldom.Document) (*xmldom.Element, error) {
-	hc := c.HTTPClient
-	if hc == nil {
-		hc = http.DefaultClient
+type cachedBinding struct {
+	kb KeyBinding
+	at time.Time
+}
+
+// defaultXKMSClient bounds every request a zero-config Client makes;
+// key resolution sits on the player's startup path and must never
+// hang forever on a dead trust service.
+var defaultXKMSClient = &http.Client{Timeout: 15 * time.Second}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
 	}
-	resp, err := hc.Post(c.BaseURL, "application/xml", bytes.NewReader(doc.Bytes()))
+	return defaultXKMSClient
+}
+
+func (c *Client) retry() *resilience.Policy {
+	if c.Retry != nil {
+		return c.Retry
+	}
+	return &resilience.Policy{}
+}
+
+func (c *Client) now() time.Time {
+	if c.nowFunc != nil {
+		return c.nowFunc()
+	}
+	return time.Now()
+}
+
+// Degraded reports whether the client's most recent trust resolution
+// was served from the stale-binding cache instead of the live
+// service.
+func (c *Client) Degraded() bool { return c.degraded.Load() }
+
+func (c *Client) storeCached(kb *KeyBinding) {
+	c.cacheMu.Lock()
+	defer c.cacheMu.Unlock()
+	if c.cache == nil {
+		c.cache = make(map[string]cachedBinding)
+	}
+	c.cache[kb.Name] = cachedBinding{kb: *kb, at: c.now()}
+}
+
+// cachedFresh returns a copy of the cached binding for name when it
+// is within the MaxStale bound.
+func (c *Client) cachedFresh(name string) (*KeyBinding, bool) {
+	if c.MaxStale <= 0 {
+		return nil, false
+	}
+	c.cacheMu.Lock()
+	defer c.cacheMu.Unlock()
+	e, ok := c.cache[name]
+	if !ok || c.now().Sub(e.at) > c.MaxStale {
+		return nil, false
+	}
+	kb := e.kb
+	return &kb, true
+}
+
+// degrade records and reports a stale-cache trust decision.
+func (c *Client) degrade(name string, cause error) {
+	c.degraded.Store(true)
+	if c.OnDegraded != nil {
+		c.OnDegraded(name, cause)
+	}
+}
+
+func (c *Client) post(ctx context.Context, doc *xmldom.Document) (*xmldom.Element, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL, bytes.NewReader(doc.Bytes()))
 	if err != nil {
-		return nil, err
+		return nil, resilience.Terminal(fmt.Errorf("keymgmt: building request: %w", err))
+	}
+	req.Header.Set("Content-Type", "application/xml")
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("keymgmt: POST %s: %w", c.BaseURL, err)
 	}
 	defer resp.Body.Close()
 	body, err := io.ReadAll(io.LimitReader(resp.Body, 4<<20))
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("keymgmt: reading result: %w", err)
 	}
 	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("keymgmt: endpoint returned %s: %s", resp.Status, bytes.TrimSpace(body))
+		rerr := fmt.Errorf("keymgmt: endpoint returned %s: %s", resp.Status, bytes.TrimSpace(body))
+		if resp.StatusCode >= 500 || resp.StatusCode == http.StatusTooManyRequests {
+			return nil, resilience.WithRetryAfter(resilience.Transient(rerr),
+				parseRetryAfterHeader(resp.Header.Get("Retry-After")))
+		}
+		return nil, resilience.Terminal(rerr)
 	}
 	rd, err := xmldom.ParseBytes(body)
 	if err != nil {
-		return nil, fmt.Errorf("keymgmt: malformed result: %w", err)
+		return nil, resilience.Terminal(fmt.Errorf("keymgmt: malformed result: %w", err))
 	}
 	root := rd.Root()
 	if major := root.AttrValue("ResultMajor"); major != resultSuccess {
-		return nil, fmt.Errorf("keymgmt: %s: %s", major, root.AttrValue("ResultMinor"))
+		// The service answered and refused: retrying cannot change a
+		// Sender-class result.
+		return nil, resilience.Terminal(fmt.Errorf("keymgmt: %s: %s", major, root.AttrValue("ResultMinor")))
 	}
 	return root, nil
+}
+
+// parseRetryAfterHeader reads a delay-seconds Retry-After value; 0
+// means absent or unusable.
+func parseRetryAfterHeader(h string) time.Duration {
+	if h == "" {
+		return 0
+	}
+	secs, err := strconv.ParseInt(h, 10, 64)
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
 }
 
 func newRequest(local string, name string) *xmldom.Document {
@@ -205,23 +333,57 @@ func newRequest(local string, name string) *xmldom.Document {
 	return doc
 }
 
-// Locate fetches the key binding registered under name.
+// Locate fetches the key binding registered under name. It is
+// LocateContext without cancellation.
 func (c *Client) Locate(name string) (*KeyBinding, error) {
-	root, err := c.post(newRequest("LocateRequest", name))
+	return c.LocateContext(context.Background(), name)
+}
+
+// LocateContext fetches the key binding registered under name,
+// retrying transient failures (Locate is idempotent). If the service
+// stays unreachable and a cached binding no older than MaxStale
+// exists, that binding is served instead and the degradation is
+// recorded and reported through OnDegraded/Degraded.
+func (c *Client) LocateContext(ctx context.Context, name string) (*KeyBinding, error) {
+	var kb *KeyBinding
+	err := c.retry().Do(ctx, func(ctx context.Context) error {
+		got, lerr := c.locateOnce(ctx, name)
+		if lerr != nil {
+			return lerr
+		}
+		kb = got
+		return nil
+	})
+	if err == nil {
+		c.storeCached(kb)
+		c.degraded.Store(false)
+		return kb, nil
+	}
+	if resilience.IsTransient(err) {
+		if cached, ok := c.cachedFresh(name); ok {
+			c.degrade(name, err)
+			return cached, nil
+		}
+	}
+	return nil, err
+}
+
+func (c *Client) locateOnce(ctx context.Context, name string) (*KeyBinding, error) {
+	root, err := c.post(ctx, newRequest("LocateRequest", name))
 	if err != nil {
 		return nil, err
 	}
 	kbEl := root.FirstChildElement("KeyBinding")
 	if kbEl == nil {
-		return nil, errors.New("keymgmt: LocateResult missing KeyBinding")
+		return nil, resilience.Terminal(errors.New("keymgmt: LocateResult missing KeyBinding"))
 	}
 	der, err := base64.StdEncoding.DecodeString(childText(kbEl, "X509Certificate"))
 	if err != nil {
-		return nil, fmt.Errorf("keymgmt: LocateResult certificate: %w", err)
+		return nil, resilience.Terminal(fmt.Errorf("keymgmt: LocateResult certificate: %w", err))
 	}
 	cert, err := x509.ParseCertificate(der)
 	if err != nil {
-		return nil, err
+		return nil, resilience.Terminal(fmt.Errorf("keymgmt: LocateResult certificate: %w", err))
 	}
 	return &KeyBinding{
 		Name:        kbEl.AttrValue("Name"),
@@ -230,54 +392,115 @@ func (c *Client) Locate(name string) (*KeyBinding, error) {
 	}, nil
 }
 
-// Validate asks the service for the trust status of the named binding.
+// Validate asks the service for the trust status of the named
+// binding. It is ValidateContext without cancellation.
 func (c *Client) Validate(name string) (BindingStatus, string, error) {
-	root, err := c.post(newRequest("ValidateRequest", name))
+	return c.ValidateContext(context.Background(), name)
+}
+
+// ValidateContext asks the service for the trust status of the named
+// binding, retrying transient failures (Validate is idempotent).
+// There is no cached fallback here: Validate *is* the freshness
+// check, so an unreachable service yields Indeterminate plus the
+// transport error, and the degradation policy belongs to the caller
+// (see PublicKeyByNameContext).
+func (c *Client) ValidateContext(ctx context.Context, name string) (BindingStatus, string, error) {
+	var status BindingStatus
+	var reason string
+	err := c.retry().Do(ctx, func(ctx context.Context) error {
+		root, perr := c.post(ctx, newRequest("ValidateRequest", name))
+		if perr != nil {
+			return perr
+		}
+		status, reason = BindingStatus(childText(root, "Status")), childText(root, "Reason")
+		return nil
+	})
 	if err != nil {
 		return StatusIndeterminate, "", err
 	}
-	return BindingStatus(childText(root, "Status")), childText(root, "Reason"), nil
+	return status, reason, nil
 }
 
 // Register binds name to cert under the given authenticator secret.
+// Register is not idempotent and is never blindly retried: a lost
+// response must not double-register or collide with itself.
 func (c *Client) Register(name string, cert *x509.Certificate, authenticator string) error {
+	return c.RegisterContext(context.Background(), name, cert, authenticator)
+}
+
+// RegisterContext is Register with cancellation (single attempt).
+func (c *Client) RegisterContext(ctx context.Context, name string, cert *x509.Certificate, authenticator string) error {
 	doc := newRequest("RegisterRequest", name)
 	doc.Root().CreateChild(xkmsPrefix + ":Authenticator").SetText(authenticator)
 	doc.Root().CreateChild(xkmsPrefix + ":X509Certificate").SetText(base64.StdEncoding.EncodeToString(cert.Raw))
-	_, err := c.post(doc)
-	return err
+	_, err := c.post(ctx, doc)
+	return resilience.Classify(err)
 }
 
-// Revoke invalidates the named binding.
+// Revoke invalidates the named binding (single attempt; see Register
+// for why state-changing operations are never blindly retried).
 func (c *Client) Revoke(name, authenticator string) error {
+	return c.RevokeContext(context.Background(), name, authenticator)
+}
+
+// RevokeContext is Revoke with cancellation (single attempt).
+func (c *Client) RevokeContext(ctx context.Context, name, authenticator string) error {
 	doc := newRequest("RevokeRequest", name)
 	doc.Root().CreateChild(xkmsPrefix + ":Authenticator").SetText(authenticator)
-	_, err := c.post(doc)
-	return err
+	_, err := c.post(ctx, doc)
+	return resilience.Classify(err)
 }
 
 // PublicKeyByName resolves a KeyName to a public key over the wire,
-// refusing bindings the service does not report Valid.
+// refusing bindings the service does not report Valid. It is
+// PublicKeyByNameContext without cancellation.
 func (c *Client) PublicKeyByName(name string) (crypto.PublicKey, error) {
-	status, reason, err := c.Validate(name)
+	return c.PublicKeyByNameContext(context.Background(), name)
+}
+
+// PublicKeyByNameContext resolves a KeyName to a public key. When the
+// trust service is unreachable (transient failure after retries) and
+// a cached, unrevoked binding within MaxStale exists, the cached key
+// is served and the weakened trust decision is recorded (Degraded
+// reports true, OnDegraded fires). Revoked or invalid bindings never
+// degrade: an answer from the service always wins.
+func (c *Client) PublicKeyByNameContext(ctx context.Context, name string) (crypto.PublicKey, error) {
+	status, reason, err := c.ValidateContext(ctx, name)
 	if err != nil {
+		if resilience.IsTransient(err) {
+			if cached, ok := c.cachedFresh(name); ok && !cached.Revoked {
+				c.degrade(name, err)
+				return cached.Certificate.PublicKey, nil
+			}
+		}
 		return nil, err
 	}
 	if status != StatusValid {
-		return nil, fmt.Errorf("keymgmt: binding %q is %s: %s", name, status, reason)
+		return nil, resilience.Terminal(fmt.Errorf("keymgmt: binding %q is %s: %s", name, status, reason))
 	}
-	kb, err := c.Locate(name)
+	kb, err := c.LocateContext(ctx, name)
 	if err != nil {
 		return nil, err
 	}
+	if kb.Revoked {
+		return nil, resilience.Terminal(fmt.Errorf("keymgmt: binding %q is revoked", name))
+	}
+	c.degraded.Store(false)
 	return kb.Certificate.PublicKey, nil
 }
 
-// Reissue replaces the certificate under the named binding.
+// Reissue replaces the certificate under the named binding (single
+// attempt; see Register for why state-changing operations are never
+// blindly retried).
 func (c *Client) Reissue(name string, cert *x509.Certificate, authenticator string) error {
+	return c.ReissueContext(context.Background(), name, cert, authenticator)
+}
+
+// ReissueContext is Reissue with cancellation (single attempt).
+func (c *Client) ReissueContext(ctx context.Context, name string, cert *x509.Certificate, authenticator string) error {
 	doc := newRequest("ReissueRequest", name)
 	doc.Root().CreateChild(xkmsPrefix + ":Authenticator").SetText(authenticator)
 	doc.Root().CreateChild(xkmsPrefix + ":X509Certificate").SetText(base64.StdEncoding.EncodeToString(cert.Raw))
-	_, err := c.post(doc)
-	return err
+	_, err := c.post(ctx, doc)
+	return resilience.Classify(err)
 }

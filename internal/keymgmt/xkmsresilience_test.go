@@ -1,0 +1,270 @@
+package keymgmt
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"discsec/internal/faults"
+	"discsec/internal/resilience"
+)
+
+func fastXKMSPolicy() *resilience.Policy {
+	return &resilience.Policy{BaseDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond}
+}
+
+func newXKMSServer(t *testing.T) (*Service, *httptest.Server) {
+	t.Helper()
+	s := NewService(fixture.root.Pool())
+	srv := httptest.NewServer(&Handler{Service: s})
+	t.Cleanup(srv.Close)
+	return s, srv
+}
+
+func faultyClient(url string, sched *faults.Schedule) *Client {
+	return &Client{
+		BaseURL:    url,
+		HTTPClient: &http.Client{Timeout: 5 * time.Second, Transport: &faults.Transport{Schedule: sched}},
+		Retry:      fastXKMSPolicy(),
+	}
+}
+
+func TestDefaultXKMSClientHasTimeout(t *testing.T) {
+	c := &Client{BaseURL: "http://unused"}
+	if got := c.httpClient().Timeout; got <= 0 {
+		t.Errorf("zero-config Client timeout = %v; must be bounded", got)
+	}
+}
+
+func TestLocateRetriesTransientFaults(t *testing.T) {
+	s, srv := newXKMSServer(t)
+	if err := s.Register("author", fixture.author.Cert, "pw"); err != nil {
+		t.Fatal(err)
+	}
+	sched := faults.NewSchedule(
+		faults.Fault{Kind: faults.Reset},
+		faults.Fault{Kind: faults.Status, Code: 503, RetryAfter: 0},
+	)
+	c := faultyClient(srv.URL, sched)
+	kb, err := c.Locate("author")
+	if err != nil {
+		t.Fatalf("Locate did not survive transient faults: %v", err)
+	}
+	if kb.Name != "author" || kb.Revoked {
+		t.Errorf("kb = %+v", kb)
+	}
+	if sched.Remaining() != 0 {
+		t.Errorf("%d faults left unconsumed: retries did not happen", sched.Remaining())
+	}
+	if c.Degraded() {
+		t.Error("live answer reported degraded")
+	}
+}
+
+func TestValidateRetriesTransientFaults(t *testing.T) {
+	s, srv := newXKMSServer(t)
+	if err := s.Register("author", fixture.author.Cert, "pw"); err != nil {
+		t.Fatal(err)
+	}
+	c := faultyClient(srv.URL, faults.NewSchedule(faults.Fault{Kind: faults.Reset}))
+	status, _, err := c.Validate("author")
+	if err != nil || status != StatusValid {
+		t.Errorf("status = %v, err = %v", status, err)
+	}
+}
+
+func TestRegisterNeverRetried(t *testing.T) {
+	_, srv := newXKMSServer(t)
+	sched := faults.NewSchedule(faults.Fault{Kind: faults.Reset}, faults.Fault{Kind: faults.Reset})
+	c := faultyClient(srv.URL, sched)
+	err := c.Register("author", fixture.author.Cert, "pw")
+	if err == nil {
+		t.Fatal("Register succeeded through a reset connection")
+	}
+	if !resilience.IsTransient(err) {
+		t.Errorf("reset must classify transient so the caller can decide: %v", err)
+	}
+	// Exactly one fault consumed: a single attempt, no blind retry of a
+	// state-changing operation.
+	if sched.Remaining() != 1 {
+		t.Errorf("faults remaining = %d, want 1 (Register must not retry)", sched.Remaining())
+	}
+}
+
+func TestRevokeNeverRetried(t *testing.T) {
+	_, srv := newXKMSServer(t)
+	sched := faults.NewSchedule(faults.Fault{Kind: faults.Reset}, faults.Fault{Kind: faults.Reset})
+	c := faultyClient(srv.URL, sched)
+	if err := c.Revoke("author", "pw"); err == nil {
+		t.Fatal("Revoke succeeded through a reset connection")
+	}
+	if sched.Remaining() != 1 {
+		t.Errorf("faults remaining = %d, want 1 (Revoke must not retry)", sched.Remaining())
+	}
+}
+
+func TestLocateDegradedFallbackFromCache(t *testing.T) {
+	s, srv := newXKMSServer(t)
+	if err := s.Register("author", fixture.author.Cert, "pw"); err != nil {
+		t.Fatal(err)
+	}
+	var degradedName string
+	c := &Client{
+		BaseURL:    srv.URL,
+		HTTPClient: &http.Client{Timeout: 5 * time.Second},
+		Retry:      fastXKMSPolicy(),
+		MaxStale:   time.Hour,
+		OnDegraded: func(name string, cause error) { degradedName = name },
+	}
+	if _, err := c.Locate("author"); err != nil {
+		t.Fatalf("warm-up Locate: %v", err)
+	}
+	if c.Degraded() {
+		t.Error("degraded after live answer")
+	}
+
+	srv.Close() // trust service outage: connections now refused
+
+	kb, err := c.Locate("author")
+	if err != nil {
+		t.Fatalf("outage with fresh cache must degrade, not fail: %v", err)
+	}
+	if kb.Name != "author" {
+		t.Errorf("cached kb = %+v", kb)
+	}
+	if !c.Degraded() {
+		t.Error("Degraded() = false after stale-cache answer")
+	}
+	if degradedName != "author" {
+		t.Errorf("OnDegraded name = %q", degradedName)
+	}
+
+	// A name never cached fails even in degraded mode.
+	if _, err := c.Locate("stranger"); err == nil {
+		t.Error("uncached name served during outage")
+	}
+}
+
+func TestStrictModeFailsClosedOnOutage(t *testing.T) {
+	s, srv := newXKMSServer(t)
+	if err := s.Register("author", fixture.author.Cert, "pw"); err != nil {
+		t.Fatal(err)
+	}
+	c := &Client{
+		BaseURL:    srv.URL,
+		HTTPClient: &http.Client{Timeout: 5 * time.Second},
+		Retry:      fastXKMSPolicy(),
+		// MaxStale zero: no fallback, outage fails closed.
+	}
+	if _, err := c.Locate("author"); err != nil {
+		t.Fatal(err)
+	}
+	srv.Close()
+	_, err := c.Locate("author")
+	if err == nil {
+		t.Fatal("strict client served a cached binding")
+	}
+	if !resilience.IsTransient(err) {
+		t.Errorf("outage error = %v, want transient", err)
+	}
+}
+
+func TestStalenessBoundExpires(t *testing.T) {
+	s, srv := newXKMSServer(t)
+	if err := s.Register("author", fixture.author.Cert, "pw"); err != nil {
+		t.Fatal(err)
+	}
+	now := time.Unix(1_000_000, 0)
+	c := &Client{
+		BaseURL:    srv.URL,
+		HTTPClient: &http.Client{Timeout: 5 * time.Second},
+		Retry:      fastXKMSPolicy(),
+		MaxStale:   10 * time.Minute,
+		nowFunc:    func() time.Time { return now },
+	}
+	if _, err := c.Locate("author"); err != nil {
+		t.Fatal(err)
+	}
+	srv.Close()
+
+	now = now.Add(9 * time.Minute) // inside the bound: degrade
+	if _, err := c.Locate("author"); err != nil {
+		t.Fatalf("within MaxStale: %v", err)
+	}
+	now = now.Add(2 * time.Minute) // past the bound: fail closed
+	if _, err := c.Locate("author"); err == nil {
+		t.Error("binding older than MaxStale served")
+	}
+}
+
+func TestPublicKeyByNameDegradesAndRefusesRevoked(t *testing.T) {
+	s, srv := newXKMSServer(t)
+	if err := s.Register("author", fixture.author.Cert, "pw"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Register("creator", fixture.creator.Cert, "pw2"); err != nil {
+		t.Fatal(err)
+	}
+	c := &Client{
+		BaseURL:    srv.URL,
+		HTTPClient: &http.Client{Timeout: 5 * time.Second},
+		Retry:      fastXKMSPolicy(),
+		MaxStale:   time.Hour,
+	}
+	// Warm both cache entries, then revoke creator *before* the outage
+	// so its cached copy is already marked revoked.
+	if _, err := c.PublicKeyByName("author"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Revoke("creator", "pw2"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Locate("creator"); err != nil { // caches the revoked binding
+		t.Fatal(err)
+	}
+	srv.Close()
+
+	key, err := c.PublicKeyByNameContext(context.Background(), "author")
+	if err != nil {
+		t.Fatalf("degraded resolution failed: %v", err)
+	}
+	if key == nil || !c.Degraded() {
+		t.Errorf("key = %v, Degraded = %v", key, c.Degraded())
+	}
+	// The revoked binding must never be served, degraded or not.
+	if _, err := c.PublicKeyByNameContext(context.Background(), "creator"); err == nil {
+		t.Error("revoked binding served from degraded cache")
+	}
+}
+
+func TestXKMSContextCancellationMidRetry(t *testing.T) {
+	s, srv := newXKMSServer(t)
+	if err := s.Register("author", fixture.author.Cert, "pw"); err != nil {
+		t.Fatal(err)
+	}
+	resets := make([]faults.Fault, 8)
+	for i := range resets {
+		resets[i] = faults.Fault{Kind: faults.Reset}
+	}
+	c := &Client{
+		BaseURL:    srv.URL,
+		HTTPClient: &http.Client{Timeout: 5 * time.Second, Transport: &faults.Transport{Schedule: faults.NewSchedule(resets...)}},
+		Retry:      &resilience.Policy{MaxAttempts: 10, BaseDelay: 200 * time.Millisecond, MaxDelay: time.Second},
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := c.LocateContext(ctx, "author")
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("cancellation ignored for %v", elapsed)
+	}
+}

@@ -1,0 +1,46 @@
+package player
+
+import (
+	"context"
+	"fmt"
+
+	"discsec/internal/resilience"
+	"discsec/internal/server"
+)
+
+// FetchAndLoad downloads a protected cluster document from a content
+// server and runs it through the full security pipeline (the paper's
+// §5.1 connected-player flow: download, then authenticate before
+// execution). The Downloader's retry policy recovers from transient
+// link failures under ctx's cancellation; whatever bytes ultimately
+// arrive must still pass signature verification in LoadDocument, so a
+// tampered or spliced download fails closed here and never reaches
+// script execution.
+func (e *Engine) FetchAndLoad(ctx context.Context, d *server.Downloader, baseURL, name string) (*Session, error) {
+	raw, err := d.FetchContext(ctx, baseURL, name)
+	if err != nil {
+		return nil, fmt.Errorf("player: download %q: %w", name, err)
+	}
+	s, err := e.LoadDocument(raw)
+	if err != nil {
+		// The transfer succeeded but the content is untrustworthy:
+		// terminal, so no retry layer above re-downloads a forgery.
+		return nil, resilience.Terminal(err)
+	}
+	return s, nil
+}
+
+// FetchAndLoadImage is FetchAndLoad for packed disc images: the image
+// is downloaded (with resume on truncation), unpacked, and opened
+// through the Fig. 9 security pipeline before any track can run.
+func (e *Engine) FetchAndLoadImage(ctx context.Context, d *server.Downloader, baseURL, name string) (*Session, error) {
+	im, err := d.FetchImageContext(ctx, baseURL, name)
+	if err != nil {
+		return nil, fmt.Errorf("player: download image %q: %w", name, err)
+	}
+	s, err := e.Load(im)
+	if err != nil {
+		return nil, resilience.Terminal(err)
+	}
+	return s, nil
+}

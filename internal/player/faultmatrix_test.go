@@ -1,0 +1,213 @@
+package player
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"discsec/internal/core"
+	"discsec/internal/faults"
+	"discsec/internal/keymgmt"
+	"discsec/internal/resilience"
+	"discsec/internal/server"
+	"discsec/internal/xmldsig"
+)
+
+// The fault matrix exercises the end-to-end §5.1 connected-player flow
+// (download, authenticate, execute) under every injected fault mode.
+// The invariant across all modes: the pipeline either recovers within
+// its retry budget or fails closed with a typed error — tampered or
+// truncated content never reaches execution.
+
+func fastMatrixPolicy() *resilience.Policy {
+	return &resilience.Policy{BaseDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond}
+}
+
+func signedGameDoc(t *testing.T) []byte {
+	t.Helper()
+	doc := gameCluster().Document()
+	p := &core.Protector{Identity: creator}
+	if _, err := p.Sign(doc, core.LevelCluster, ""); err != nil {
+		t.Fatal(err)
+	}
+	return doc.Bytes()
+}
+
+func repeatFault(f faults.Fault, n int) []faults.Fault {
+	out := make([]faults.Fault, n)
+	for i := range out {
+		out[i] = f
+	}
+	return out
+}
+
+func TestFaultMatrix(t *testing.T) {
+	raw := signedGameDoc(t)
+	if len(raw) < 1500 {
+		t.Fatalf("signed doc only %d bytes; truncation modes need more", len(raw))
+	}
+	cs := server.NewContentServer()
+	cs.PublishDocument("game.xml", raw)
+	srv := httptest.NewServer(cs)
+	defer srv.Close()
+
+	cases := []struct {
+		name     string
+		schedule []faults.Fault
+		timeout  time.Duration // HTTP client timeout; 0 means 5s
+		want     string        // "ok", "transient", "terminal"
+	}{
+		{"reset then recover",
+			[]faults.Fault{{Kind: faults.Reset}}, 0, "ok"},
+		{"timeout then recover",
+			[]faults.Fault{{Kind: faults.Timeout}}, 0, "ok"},
+		{"stalled read times out then recovers",
+			[]faults.Fault{{Kind: faults.Stall, Delay: 10 * time.Second}}, 150 * time.Millisecond, "ok"},
+		{"truncation resumes and completes",
+			[]faults.Fault{{Kind: faults.Truncate, Bytes: 1000}}, 0, "ok"},
+		{"5xx burst recovers",
+			[]faults.Fault{
+				{Kind: faults.Status, Code: 503, RetryAfter: 0},
+				{Kind: faults.Status, Code: 502},
+				{Kind: faults.Status, Code: 500},
+			}, 0, "ok"},
+		{"persistent truncation fails closed",
+			repeatFault(faults.Fault{Kind: faults.Truncate, Bytes: 100}, 8), 0, "transient"},
+		{"persistent resets exhaust the budget",
+			repeatFault(faults.Fault{Kind: faults.Reset}, 8), 0, "transient"},
+		{"corruption fails closed at verification",
+			[]faults.Fault{{Kind: faults.Corrupt, Bytes: 300}}, 0, "terminal"},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			timeout := 5 * time.Second
+			if tc.timeout > 0 {
+				timeout = tc.timeout
+			}
+			d := &server.Downloader{
+				Retry: fastMatrixPolicy(),
+				HTTPClient: &http.Client{Timeout: timeout, Transport: &faults.Transport{
+					Schedule: faults.NewSchedule(tc.schedule...),
+				}},
+			}
+			sess, err := newEngine().FetchAndLoad(context.Background(), d, srv.URL, "game.xml")
+			switch tc.want {
+			case "ok":
+				if err != nil {
+					t.Fatalf("pipeline did not recover: %v", err)
+				}
+				if !sess.Verified() {
+					t.Fatal("recovered content not verified")
+				}
+				if _, err := sess.RunApplication("t-game"); err != nil {
+					t.Errorf("recovered content failed to run: %v", err)
+				}
+			case "transient":
+				if err == nil {
+					t.Fatal("incomplete content executed")
+				}
+				if !resilience.IsTransient(err) {
+					t.Errorf("err = %v, want transient classification", err)
+				}
+				if sess != nil {
+					t.Error("session produced despite failure")
+				}
+			case "terminal":
+				if err == nil {
+					t.Fatal("tampered content executed")
+				}
+				if !resilience.IsTerminal(err) {
+					t.Errorf("err = %v, want terminal classification", err)
+				}
+				if sess != nil {
+					t.Error("session produced despite failure")
+				}
+			}
+		})
+	}
+}
+
+// TestFaultMatrixXKMSOutage is the sixth fault mode: the trust service
+// is unreachable while the content link is healthy. With a warm cache
+// inside the staleness bound the player degrades gracefully (and says
+// so); in strict mode it fails closed.
+func TestFaultMatrixXKMSOutage(t *testing.T) {
+	// A KeyName-only signature: verification *requires* the trust
+	// service (or its cache) — nothing is embedded in the document.
+	doc := gameCluster().Document()
+	opts := xmldsig.SignOptions{
+		Key:     creator.Key,
+		KeyInfo: xmldsig.KeyInfoSpec{KeyName: creator.Name},
+	}
+	if _, err := xmldsig.SignEnveloped(doc, doc.Root(), opts); err != nil {
+		t.Fatal(err)
+	}
+	raw := doc.Bytes()
+
+	cs := server.NewContentServer()
+	cs.PublishDocument("game.xml", raw)
+	csrv := httptest.NewServer(cs)
+	defer csrv.Close()
+
+	svc := keymgmt.NewService(rootCA.Pool())
+	if err := svc.Register(creator.Name, creator.Cert, "pw"); err != nil {
+		t.Fatal(err)
+	}
+	xsrv := httptest.NewServer(&keymgmt.Handler{Service: svc})
+
+	kc := &keymgmt.Client{
+		BaseURL:    xsrv.URL,
+		HTTPClient: &http.Client{Timeout: 5 * time.Second},
+		Retry:      fastMatrixPolicy(),
+		MaxStale:   time.Hour,
+	}
+	strict := &keymgmt.Client{
+		BaseURL:    xsrv.URL,
+		HTTPClient: &http.Client{Timeout: 5 * time.Second},
+		Retry:      fastMatrixPolicy(),
+		// MaxStale zero: no degraded fallback.
+	}
+	d := &server.Downloader{Retry: fastMatrixPolicy()}
+
+	e := newEngine()
+	e.KeyByName = kc.PublicKeyByName
+	// Warm resolution with the trust service up. With a KeyName-only
+	// signature the trust gate is key resolution itself: Load succeeds
+	// only when the service (or its fresh cache) vouches for the key.
+	sess, err := e.FetchAndLoad(context.Background(), d, csrv.URL, "game.xml")
+	if err != nil {
+		t.Fatalf("warm load: %v", err)
+	}
+	if sess.SignerName() != creator.Name {
+		t.Fatalf("signer = %q", sess.SignerName())
+	}
+	if kc.Degraded() {
+		t.Fatal("degraded after live resolution")
+	}
+	strictE := newEngine()
+	strictE.KeyByName = strict.PublicKeyByName
+	if _, err := strictE.FetchAndLoad(context.Background(), d, csrv.URL, "game.xml"); err != nil {
+		t.Fatalf("strict warm load: %v", err)
+	}
+
+	xsrv.Close() // XKMS outage
+
+	sess2, err := e.FetchAndLoad(context.Background(), d, csrv.URL, "game.xml")
+	if err != nil {
+		t.Fatalf("outage with fresh cache must degrade, not fail: %v", err)
+	}
+	if sess2.SignerName() != creator.Name {
+		t.Error("degraded session lost its signer identity")
+	}
+	if !kc.Degraded() {
+		t.Error("degraded trust decision not reported")
+	}
+
+	// Strict mode: the outage fails closed — nothing loads, nothing runs.
+	if sess3, err := strictE.FetchAndLoad(context.Background(), d, csrv.URL, "game.xml"); err == nil || sess3 != nil {
+		t.Errorf("strict mode executed content during trust outage (err=%v)", err)
+	}
+}

@@ -1,0 +1,285 @@
+// Package resilience implements the retry and error-classification
+// layer for the networked half of the paper's §5.1/§7 usage model:
+// players on consumer broadband downloading applications and resolving
+// keys from remote trust services. Exactly those links fail in
+// practice, so every network operation in the stack is wrapped in a
+// Policy: bounded, context-aware retries with exponential backoff and
+// full jitter, per-attempt and overall deadlines, and a typed
+// transient-vs-terminal split that callers match with errors.Is.
+//
+// The classification contract: ErrTransient marks failures worth
+// retrying (resets, timeouts, truncated bodies, 5xx); ErrTerminal
+// marks failures where retrying cannot help (4xx, malformed payloads,
+// context cancellation). Both marks wrap the underlying error, so
+// sentinel checks like errors.Is(err, server.ErrNotFound) keep
+// working through the classification layer.
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"sync"
+	"syscall"
+	"time"
+)
+
+// Classification sentinels, matchable with errors.Is.
+var (
+	// ErrTransient marks an error as retryable: the operation may
+	// succeed if repeated (connection reset, timeout, 5xx, truncation).
+	ErrTransient = errors.New("resilience: transient failure")
+	// ErrTerminal marks an error as permanent: retrying cannot help
+	// (4xx, malformed response, cancelled context).
+	ErrTerminal = errors.New("resilience: terminal failure")
+)
+
+// classified wraps an error with a retryability mark. Unwrap exposes
+// both the mark and the cause so errors.Is matches either.
+type classified struct {
+	mark  error // ErrTransient or ErrTerminal
+	cause error
+}
+
+func (c *classified) Error() string { return c.mark.Error() + ": " + c.cause.Error() }
+
+func (c *classified) Unwrap() []error { return []error{c.mark, c.cause} }
+
+// Transient marks err as retryable. A nil or already-classified error
+// is returned unchanged.
+func Transient(err error) error { return mark(ErrTransient, err) }
+
+// Terminal marks err as permanent. A nil or already-classified error
+// is returned unchanged.
+func Terminal(err error) error { return mark(ErrTerminal, err) }
+
+func mark(kind, err error) error {
+	if err == nil || errors.Is(err, ErrTransient) || errors.Is(err, ErrTerminal) {
+		return err
+	}
+	return &classified{mark: kind, cause: err}
+}
+
+// IsTransient reports whether err is marked (or classifiable as)
+// retryable.
+func IsTransient(err error) bool { return errors.Is(Classify(err), ErrTransient) }
+
+// IsTerminal reports whether err is marked (or classifiable as)
+// permanent.
+func IsTerminal(err error) bool { return errors.Is(Classify(err), ErrTerminal) }
+
+// Classify applies the default taxonomy to an unmarked error:
+// context cancellation and deadline expiry are terminal (the caller
+// gave up; retrying past a cancelled context is a bug), while network
+// timeouts, connection resets/refusals, broken pipes, and unexpected
+// EOFs (truncated bodies) are transient. Anything unrecognized is
+// terminal: fail closed rather than hammer a confused endpoint.
+// Already-classified errors pass through unchanged.
+func Classify(err error) error {
+	if err == nil || errors.Is(err, ErrTransient) || errors.Is(err, ErrTerminal) {
+		return err
+	}
+	// The bare context sentinels mean the caller's own deadline or
+	// cancellation fired: terminal. They are checked by identity
+	// before the net.Error probe because context.DeadlineExceeded
+	// itself reports Timeout() == true.
+	if err == context.Canceled || err == context.DeadlineExceeded { //nolint:errorlint // identity on purpose
+		return &classified{mark: ErrTerminal, cause: err}
+	}
+	// Timed-out network operations are checked before the wrapped
+	// context sentinels: an http.Client deadline surfaces as a
+	// net.Error that *wraps* context.DeadlineExceeded, and a slow
+	// peer is worth retrying even though a cancelled caller is not.
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return &classified{mark: ErrTransient, cause: err}
+	}
+	switch {
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return &classified{mark: ErrTerminal, cause: err}
+	case errors.Is(err, syscall.ECONNRESET),
+		errors.Is(err, syscall.ECONNREFUSED),
+		errors.Is(err, syscall.ECONNABORTED),
+		errors.Is(err, syscall.EPIPE),
+		errors.Is(err, io.ErrUnexpectedEOF):
+		return &classified{mark: ErrTransient, cause: err}
+	}
+	return &classified{mark: ErrTerminal, cause: err}
+}
+
+// retryAfterError carries a server-provided backoff hint
+// (Retry-After) through the classification chain.
+type retryAfterError struct {
+	cause error
+	after time.Duration
+}
+
+func (r *retryAfterError) Error() string { return r.cause.Error() }
+
+func (r *retryAfterError) Unwrap() error { return r.cause }
+
+// WithRetryAfter attaches a server-provided minimum backoff (e.g. a
+// parsed Retry-After header) to err. Do waits at least this long
+// before the next attempt.
+func WithRetryAfter(err error, after time.Duration) error {
+	if err == nil || after <= 0 {
+		return err
+	}
+	return &retryAfterError{cause: err, after: after}
+}
+
+// RetryAfter extracts a backoff hint attached with WithRetryAfter.
+func RetryAfter(err error) (time.Duration, bool) {
+	var r *retryAfterError
+	if errors.As(err, &r) {
+		return r.after, true
+	}
+	return 0, false
+}
+
+// Policy configures retry behaviour. The zero value is usable and
+// applies the defaults documented on each field.
+type Policy struct {
+	// MaxAttempts bounds the total number of attempts (not retries);
+	// 0 means 4.
+	MaxAttempts int
+	// BaseDelay is the first backoff ceiling; 0 means 100ms.
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff ceiling; 0 means 5s.
+	MaxDelay time.Duration
+	// AttemptTimeout bounds each individual attempt; 0 means no
+	// per-attempt deadline beyond the caller's context.
+	AttemptTimeout time.Duration
+	// Jitter returns a uniform value in [0,1) for full-jitter backoff.
+	// Nil uses the process-global PRNG. Tests inject a seeded source
+	// for reproducible schedules.
+	Jitter func() float64
+	// Classify maps an attempt error to transient/terminal; nil uses
+	// the package default Classify.
+	Classify func(error) error
+	// OnRetry, if set, observes each scheduled retry: the attempt
+	// that failed (1-based), its error, and the backoff chosen.
+	OnRetry func(attempt int, err error, backoff time.Duration)
+}
+
+func (p *Policy) attempts() int {
+	if p == nil || p.MaxAttempts <= 0 {
+		return 4
+	}
+	return p.MaxAttempts
+}
+
+func (p *Policy) base() time.Duration {
+	if p == nil || p.BaseDelay <= 0 {
+		return 100 * time.Millisecond
+	}
+	return p.BaseDelay
+}
+
+func (p *Policy) cap() time.Duration {
+	if p == nil || p.MaxDelay <= 0 {
+		return 5 * time.Second
+	}
+	return p.MaxDelay
+}
+
+func (p *Policy) classify(err error) error {
+	if p != nil && p.Classify != nil {
+		return p.Classify(err)
+	}
+	return Classify(err)
+}
+
+var (
+	jitterMu sync.Mutex
+	// jitterRand feeds backoff randomization only — never key
+	// material — so math/rand is appropriate (and keeps this package
+	// dependency-light and seedable).
+	jitterRand = rand.New(rand.NewSource(1))
+)
+
+func (p *Policy) jitter() float64 {
+	if p != nil && p.Jitter != nil {
+		return p.Jitter()
+	}
+	jitterMu.Lock()
+	defer jitterMu.Unlock()
+	return jitterRand.Float64()
+}
+
+// Backoff computes the full-jitter delay before the retry following
+// the given 1-based failed attempt: uniform in [0, min(MaxDelay,
+// BaseDelay·2^(attempt-1))).
+func (p *Policy) Backoff(attempt int) time.Duration {
+	ceiling := p.base() << (attempt - 1)
+	if ceiling <= 0 || ceiling > p.cap() { // <<-overflow or past cap
+		ceiling = p.cap()
+	}
+	return time.Duration(p.jitter() * float64(ceiling))
+}
+
+// Do runs op under the policy: each attempt gets a child context
+// bounded by AttemptTimeout, transient failures back off (full
+// jitter, honoring any WithRetryAfter hint as a floor) and retry
+// until MaxAttempts, terminal failures and parent-context
+// cancellation return immediately. The returned error is the last
+// attempt's classified error, wrapped with the attempt count.
+func (p *Policy) Do(ctx context.Context, op func(ctx context.Context) error) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	attempts := p.attempts()
+	var err error
+	for attempt := 1; ; attempt++ {
+		if cerr := ctx.Err(); cerr != nil {
+			return Terminal(fmt.Errorf("resilience: giving up before attempt %d: %w", attempt, cerr))
+		}
+		err = p.runAttempt(ctx, op)
+		if err == nil {
+			return nil
+		}
+		err = p.classify(err)
+		if errors.Is(err, ErrTerminal) {
+			return err
+		}
+		if attempt >= attempts {
+			return Transient(fmt.Errorf("resilience: %d attempts exhausted: %w", attempts, err))
+		}
+		backoff := p.Backoff(attempt)
+		if floor, ok := RetryAfter(err); ok && floor > backoff {
+			backoff = floor
+		}
+		if p != nil && p.OnRetry != nil {
+			p.OnRetry(attempt, err, backoff)
+		}
+		if backoff > 0 {
+			timer := time.NewTimer(backoff)
+			select {
+			case <-ctx.Done():
+				timer.Stop()
+				return Terminal(fmt.Errorf("resilience: cancelled during backoff after attempt %d: %w", attempt, ctx.Err()))
+			case <-timer.C:
+			}
+		}
+	}
+}
+
+// runAttempt executes one attempt under the per-attempt deadline. A
+// per-attempt timeout that fires while the parent context is still
+// live is a transient failure (the next attempt may succeed); the
+// parent expiring is terminal.
+func (p *Policy) runAttempt(ctx context.Context, op func(ctx context.Context) error) error {
+	if p == nil || p.AttemptTimeout <= 0 {
+		return op(ctx)
+	}
+	actx, cancel := context.WithTimeout(ctx, p.AttemptTimeout)
+	defer cancel()
+	err := op(actx)
+	if err != nil && actx.Err() != nil && ctx.Err() == nil {
+		return Transient(fmt.Errorf("resilience: attempt timed out after %v: %w", p.AttemptTimeout, err))
+	}
+	return err
+}

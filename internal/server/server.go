@@ -5,34 +5,65 @@
 // authenticate before execution. Downloads are served over HTTP or TLS
 // (the paper's §7 notes SSL/TLS for transport secrecy; content trust
 // still comes from the XML signatures inside).
+//
+// Both halves are built for unreliable consumer links: the server
+// supports HEAD and Range requests (resume), sheds load with
+// 503 + Retry-After past its in-flight limit, and shuts down
+// gracefully; the Downloader retries transient failures with
+// exponential backoff, honors Retry-After, resumes truncated
+// transfers (re-verifying the assembled bytes against the server's
+// content hash), and fails closed on anything it cannot classify.
 package server
 
 import (
+	"bytes"
+	"context"
+	"crypto/sha256"
 	"crypto/tls"
 	"crypto/x509"
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"io"
 	"net"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"discsec/internal/disc"
+	"discsec/internal/resilience"
 )
 
 // ContentServer hosts packaged applications and disc images.
 type ContentServer struct {
-	mu       sync.RWMutex
-	catalog  map[string]*entry
-	download int64
+	mu      sync.RWMutex
+	catalog map[string]*entry
+
+	download atomic.Int64
+	inflight atomic.Int64
+	shed     atomic.Int64
+
+	// MaxInFlight bounds concurrently served content requests; past
+	// it the server sheds load with 503 + Retry-After. 0 means
+	// unlimited. Set before serving traffic.
+	MaxInFlight int64
+	// RetryAfter is advertised on shed requests; 0 means 1s.
+	RetryAfter time.Duration
+	// ShutdownTimeout bounds graceful drain on shutdown; 0 means 5s.
+	ShutdownTimeout time.Duration
 }
 
+// entry is immutable once published: publish installs a fresh pointer
+// with its own data copy and precomputed strong ETag, so handlers can
+// serve from a snapshot without holding any lock.
 type entry struct {
 	data        []byte
 	contentType string
+	etag        string
 }
 
 // NewContentServer creates an empty server.
@@ -57,9 +88,16 @@ func (cs *ContentServer) PublishResource(name string, data []byte, contentType s
 }
 
 func (cs *ContentServer) publish(name string, data []byte, ct string) {
+	copied := append([]byte(nil), data...)
+	contentHash := sha256.Sum256(copied)
+	e := &entry{
+		data:        copied,
+		contentType: ct,
+		etag:        `"` + hex.EncodeToString(contentHash[:]) + `"`,
+	}
 	cs.mu.Lock()
 	defer cs.mu.Unlock()
-	cs.catalog[strings.TrimPrefix(name, "/")] = &entry{data: append([]byte(nil), data...), contentType: ct}
+	cs.catalog[strings.TrimPrefix(name, "/")] = e
 }
 
 // Unpublish removes an item, reporting whether it existed.
@@ -84,18 +122,27 @@ func (cs *ContentServer) Catalog() []string {
 	return out
 }
 
-// Downloads reports the number of served downloads.
-func (cs *ContentServer) Downloads() int64 {
+// Downloads reports the number of served content requests.
+func (cs *ContentServer) Downloads() int64 { return cs.download.Load() }
+
+// Shed reports the number of requests refused by the in-flight limit.
+func (cs *ContentServer) Shed() int64 { return cs.shed.Load() }
+
+// lookup snapshots an entry under the read lock; the entry itself is
+// immutable, so the caller can serve it lock-free afterwards.
+func (cs *ContentServer) lookup(name string) (*entry, bool) {
 	cs.mu.RLock()
 	defer cs.mu.RUnlock()
-	return cs.download
+	e, ok := cs.catalog[name]
+	return e, ok
 }
 
-// ServeHTTP implements http.Handler: GET /<name> returns the published
-// item; GET /catalog returns a text listing.
+// ServeHTTP implements http.Handler: GET/HEAD /<name> returns the
+// published item (with ETag and Range support for resume); GET
+// /catalog returns a text listing.
 func (cs *ContentServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		http.Error(w, "content server accepts GET only", http.StatusMethodNotAllowed)
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		http.Error(w, "content server accepts GET and HEAD only", http.StatusMethodNotAllowed)
 		return
 	}
 	name := strings.TrimPrefix(r.URL.Path, "/")
@@ -106,30 +153,70 @@ func (cs *ContentServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		}
 		return
 	}
-	cs.mu.Lock()
-	e, ok := cs.catalog[name]
-	if ok {
-		cs.download++
+
+	if limit := cs.MaxInFlight; limit > 0 {
+		if cs.inflight.Add(1) > limit {
+			cs.inflight.Add(-1)
+			cs.shed.Add(1)
+			retryAfter := cs.RetryAfter
+			if retryAfter <= 0 {
+				retryAfter = time.Second
+			}
+			w.Header().Set("Retry-After", strconv.FormatInt(int64((retryAfter+time.Second-1)/time.Second), 10))
+			http.Error(w, "content server over capacity", http.StatusServiceUnavailable)
+			return
+		}
+		defer cs.inflight.Add(-1)
 	}
-	cs.mu.Unlock()
+
+	e, ok := cs.lookup(name)
 	if !ok {
 		http.NotFound(w, r)
 		return
 	}
+	if r.Method == http.MethodGet {
+		cs.download.Add(1)
+	}
 	w.Header().Set("Content-Type", e.contentType)
-	w.Write(e.data)
+	w.Header().Set("ETag", e.etag)
+	// ServeContent supplies Accept-Ranges, Range/If-Range handling,
+	// and HEAD semantics; the zero modtime suppresses Last-Modified
+	// so the strong ETag is the only validator.
+	http.ServeContent(w, r, "", time.Time{}, bytes.NewReader(e.data))
+}
+
+// serve starts srv on ln and returns the base URL plus a shutdown
+// function that drains in-flight requests up to ShutdownTimeout
+// before forcing connections closed.
+func (cs *ContentServer) serve(scheme string, ln net.Listener, srv *http.Server) (string, func() error) {
+	go srv.Serve(ln) //nolint:errcheck // shutdown path returns ErrServerClosed
+	shutdown := func() error {
+		timeout := cs.ShutdownTimeout
+		if timeout <= 0 {
+			timeout = 5 * time.Second
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), timeout)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			// Drain deadline expired: fall back to a hard close so
+			// the caller is never left with a wedged listener.
+			return errors.Join(err, srv.Close())
+		}
+		return nil
+	}
+	return scheme + "://" + ln.Addr().String(), shutdown
 }
 
 // Serve starts the server on the given address, returning its base URL
-// and a shutdown function.
+// and a graceful-shutdown function.
 func (cs *ContentServer) Serve(addr string) (string, func() error, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", nil, err
 	}
 	srv := &http.Server{Handler: cs, ReadHeaderTimeout: 5 * time.Second}
-	go srv.Serve(ln) //nolint:errcheck // shutdown path returns ErrServerClosed
-	return "http://" + ln.Addr().String(), srv.Close, nil
+	base, shutdown := cs.serve("http", ln, srv)
+	return base, shutdown, nil
 }
 
 // ServeTLS starts the server over TLS with the given certificate (the
@@ -147,8 +234,8 @@ func (cs *ContentServer) ServeTLS(addr string, cert tls.Certificate) (string, fu
 		TLSConfig:         &tls.Config{Certificates: []tls.Certificate{cert}, MinVersion: tls.VersionTLS12},
 	}
 	tlsLn := tls.NewListener(ln, srv.TLSConfig)
-	go srv.Serve(tlsLn) //nolint:errcheck // shutdown path returns ErrServerClosed
-	return "https://" + ln.Addr().String(), srv.Close, nil
+	base, shutdown := cs.serve("https", tlsLn, srv)
+	return base, shutdown, nil
 }
 
 // NewTLSDownloader builds a Downloader whose client trusts the given
@@ -168,10 +255,22 @@ type Downloader struct {
 	HTTPClient *http.Client
 	// MaxBytes bounds a download; 0 means 64 MiB.
 	MaxBytes int64
+	// Retry governs transient-failure handling; nil uses the
+	// resilience defaults (4 attempts, 100ms base full-jitter
+	// backoff).
+	Retry *resilience.Policy
 }
 
-// ErrTooLarge indicates the download exceeded MaxBytes.
-var ErrTooLarge = errors.New("server: download exceeds size limit")
+// Downloader errors, matchable through the retry layer with errors.Is.
+var (
+	// ErrTooLarge indicates the download exceeded MaxBytes.
+	ErrTooLarge = errors.New("server: download exceeds size limit")
+	// ErrNotFound indicates the server has no such item (HTTP 404).
+	ErrNotFound = errors.New("server: content not found")
+	// ErrResumeVerify indicates a resumed download failed
+	// re-verification against the server's content hash.
+	ErrResumeVerify = errors.New("server: resumed download failed re-verification")
+)
 
 func (d *Downloader) client() *http.Client {
 	if d.HTTPClient != nil {
@@ -180,36 +279,213 @@ func (d *Downloader) client() *http.Client {
 	return &http.Client{Timeout: 30 * time.Second}
 }
 
-// Fetch downloads a named item from the base URL.
-func (d *Downloader) Fetch(baseURL, name string) ([]byte, error) {
-	limit := d.MaxBytes
-	if limit <= 0 {
-		limit = 64 << 20
+func (d *Downloader) retry() *resilience.Policy {
+	if d.Retry != nil {
+		return d.Retry
 	}
+	return &resilience.Policy{}
+}
+
+func (d *Downloader) limit() int64 {
+	if d.MaxBytes > 0 {
+		return d.MaxBytes
+	}
+	return 64 << 20
+}
+
+// Fetch downloads a named item from the base URL. It is FetchContext
+// without cancellation.
+func (d *Downloader) Fetch(baseURL, name string) ([]byte, error) {
+	return d.FetchContext(context.Background(), baseURL, name)
+}
+
+// FetchContext downloads a named item, retrying transient failures
+// under the Retry policy until ctx is done. Truncated transfers
+// resume from the last received byte when the server advertises
+// Range support with a strong ETag; resumed payloads are re-verified
+// against the ETag's content hash before being returned.
+func (d *Downloader) FetchContext(ctx context.Context, baseURL, name string) ([]byte, error) {
 	url := strings.TrimSuffix(baseURL, "/") + "/" + strings.TrimPrefix(name, "/")
-	resp, err := d.client().Get(url)
+	st := &fetchState{}
+	err := d.retry().Do(ctx, func(ctx context.Context) error {
+		return d.fetchOnce(ctx, url, st)
+	})
 	if err != nil {
 		return nil, err
+	}
+	return st.buf, nil
+}
+
+// fetchState carries partial-transfer progress across retry attempts.
+type fetchState struct {
+	buf     []byte
+	etag    string
+	resumed bool
+	// canResume is set when the origin advertised byte ranges and a
+	// strong validator, the preconditions for a safe resume.
+	canResume bool
+}
+
+func (st *fetchState) reset() {
+	st.buf, st.etag, st.resumed, st.canResume = nil, "", false, false
+}
+
+func (d *Downloader) fetchOnce(ctx context.Context, url string, st *fetchState) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return resilience.Terminal(fmt.Errorf("server: building request for %s: %w", url, err))
+	}
+	resuming := st.canResume && len(st.buf) > 0 && st.etag != ""
+	if resuming {
+		req.Header.Set("Range", fmt.Sprintf("bytes=%d-", len(st.buf)))
+		// If-Range makes the resume conditional: a changed entity
+		// comes back as a full 200 instead of a mismatched tail.
+		req.Header.Set("If-Range", st.etag)
+	}
+
+	resp, err := d.client().Do(req)
+	if err != nil {
+		return fmt.Errorf("server: GET %s: %w", url, err)
 	}
 	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("server: GET %s: %s", url, resp.Status)
+
+	switch {
+	case resp.StatusCode == http.StatusOK:
+		// Full entity (fresh download, or the resume condition
+		// failed): restart assembly from scratch.
+		st.reset()
+		st.etag = resp.Header.Get("ETag")
+		st.canResume = st.etag != "" && !strings.HasPrefix(st.etag, "W/") &&
+			strings.Contains(resp.Header.Get("Accept-Ranges"), "bytes")
+	case resp.StatusCode == http.StatusPartialContent && resuming:
+		if et := resp.Header.Get("ETag"); et != "" && et != st.etag {
+			st.reset()
+			return resilience.Transient(fmt.Errorf("server: GET %s: entity changed during resume (%w)", url, ErrResumeVerify))
+		}
+		start, perr := parseContentRangeStart(resp.Header.Get("Content-Range"))
+		if perr != nil || start != int64(len(st.buf)) {
+			st.reset()
+			return resilience.Transient(fmt.Errorf("server: GET %s: unusable Content-Range %q (%w)", url, resp.Header.Get("Content-Range"), ErrResumeVerify))
+		}
+		st.resumed = true
+	case resp.StatusCode == http.StatusNotFound:
+		return resilience.Terminal(fmt.Errorf("server: GET %s: %w", url, ErrNotFound))
+	case resp.StatusCode >= 500 || resp.StatusCode == http.StatusTooManyRequests:
+		err := fmt.Errorf("server: GET %s: %s%s", url, resp.Status, bodySnippet(resp.Body))
+		return resilience.WithRetryAfter(resilience.Transient(err), parseRetryAfter(resp.Header.Get("Retry-After")))
+	default:
+		return resilience.Terminal(fmt.Errorf("server: GET %s: %s%s", url, resp.Status, bodySnippet(resp.Body)))
 	}
-	body, err := io.ReadAll(io.LimitReader(resp.Body, limit+1))
+
+	limit := d.limit()
+	part, err := io.ReadAll(io.LimitReader(resp.Body, limit+1-int64(len(st.buf))))
+	st.buf = append(st.buf, part...)
+	if int64(len(st.buf)) > limit {
+		return resilience.Terminal(fmt.Errorf("server: GET %s: %w", url, ErrTooLarge))
+	}
 	if err != nil {
-		return nil, err
+		if !st.canResume {
+			st.reset()
+		}
+		return fmt.Errorf("server: GET %s: reading body: %w", url, err)
 	}
-	if int64(len(body)) > limit {
-		return nil, ErrTooLarge
+	if st.resumed {
+		return st.reverify(url)
 	}
-	return body, nil
+	return nil
+}
+
+// reverify checks an assembled multi-part download against the strong
+// ETag when it is the server's sha256 content hash (the form
+// ContentServer publishes). A mismatch restarts the transfer from
+// scratch rather than handing spliced bytes to the verify pipeline.
+func (st *fetchState) reverify(url string) error {
+	want, ok := etagSHA256(st.etag)
+	if !ok {
+		return nil // opaque validator: If-Range already gated consistency
+	}
+	got := sha256.Sum256(st.buf)
+	if !bytes.Equal(got[:], want) {
+		st.reset()
+		return resilience.Transient(fmt.Errorf("server: GET %s: %w", url, ErrResumeVerify))
+	}
+	return nil
+}
+
+// etagSHA256 recognizes a strong ETag of the form "<64 hex digits>"
+// and returns the decoded hash.
+func etagSHA256(etag string) ([]byte, bool) {
+	v := strings.Trim(etag, `"`)
+	if len(v) != sha256.Size*2 {
+		return nil, false
+	}
+	b, err := hex.DecodeString(v)
+	if err != nil {
+		return nil, false
+	}
+	return b, true
+}
+
+// parseContentRangeStart extracts the first byte position from a
+// "bytes start-end/total" Content-Range header.
+func parseContentRangeStart(h string) (int64, error) {
+	rest, ok := strings.CutPrefix(h, "bytes ")
+	if !ok {
+		return 0, fmt.Errorf("server: malformed Content-Range %q", h)
+	}
+	dash := strings.IndexByte(rest, '-')
+	if dash < 0 {
+		return 0, fmt.Errorf("server: malformed Content-Range %q", h)
+	}
+	return strconv.ParseInt(rest[:dash], 10, 64)
+}
+
+// parseRetryAfter reads a Retry-After header in either delay-seconds
+// or HTTP-date form; 0 means absent or unusable.
+func parseRetryAfter(h string) time.Duration {
+	if h == "" {
+		return 0
+	}
+	if secs, err := strconv.ParseInt(h, 10, 64); err == nil && secs >= 0 {
+		return time.Duration(secs) * time.Second
+	}
+	if t, err := http.ParseTime(h); err == nil {
+		if d := time.Until(t); d > 0 {
+			return d
+		}
+	}
+	return 0
+}
+
+// bodySnippet reads a bounded prefix of an error response body for
+// inclusion in the returned error, so operators see what the server
+// actually said instead of a bare status line.
+func bodySnippet(r io.Reader) string {
+	b, _ := io.ReadAll(io.LimitReader(r, 256))
+	b = bytes.TrimSpace(b)
+	if len(b) == 0 {
+		return ""
+	}
+	return ": " + string(b)
 }
 
 // FetchImage downloads and unpacks a disc image.
 func (d *Downloader) FetchImage(baseURL, name string) (*disc.Image, error) {
-	b, err := d.Fetch(baseURL, name)
+	return d.FetchImageContext(context.Background(), baseURL, name)
+}
+
+// FetchImageContext downloads and unpacks a disc image with
+// cancellation and retry.
+func (d *Downloader) FetchImageContext(ctx context.Context, baseURL, name string) (*disc.Image, error) {
+	b, err := d.FetchContext(ctx, baseURL, name)
 	if err != nil {
 		return nil, err
 	}
-	return disc.ReadImageBytes(b)
+	im, err := disc.ReadImageBytes(b)
+	if err != nil {
+		// Bytes arrived intact per transport but do not decode: a
+		// corrupt or hostile payload, not a link failure.
+		return nil, resilience.Terminal(err)
+	}
+	return im, nil
 }
