@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race lint race faults check bench tools examples cover clean
+.PHONY: all build test test-race lint race faults check bench metrics tools examples cover clean
 
 all: build test
 
@@ -37,10 +37,15 @@ faults:
 		./internal/keymgmt/ ./internal/player/
 
 # The full gate CI runs on every change.
-check: build lint race faults
+check: build lint race faults metrics
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Observability smoke: run the instrumented player pipeline and emit
+# the per-stage span medians (see internal/obs, DESIGN.md §9).
+metrics:
+	$(GO) run ./cmd/discbench -table obs -quick -obsjson BENCH_obs.json
 
 # Regenerate every experiment table (E1-E7, C1).
 tables:
@@ -62,4 +67,4 @@ cover:
 	$(GO) tool cover -func=cover.out | tail -1
 
 clean:
-	rm -rf bin cover.out test_output.txt bench_output.txt
+	rm -rf bin cover.out test_output.txt bench_output.txt BENCH_obs.json

@@ -8,3 +8,4 @@ go build ./...
 make lint
 go test -race ./...
 make faults
+make metrics

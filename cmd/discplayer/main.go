@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"encoding/hex"
 	"flag"
 	"fmt"
@@ -20,6 +21,7 @@ import (
 	"discsec/internal/access"
 	"discsec/internal/disc"
 	"discsec/internal/keymgmt"
+	"discsec/internal/obs"
 	"discsec/internal/player"
 	"discsec/internal/server"
 	"discsec/internal/xmlenc"
@@ -62,6 +64,7 @@ func cmdPlay(args []string) error {
 	device := fs.String("device", "", "device identity for license enforcement (requires a disc license)")
 	storageDir := fs.String("storage", "", "directory for persistent local storage (license use counts, saves)")
 	allowUnsigned := fs.Bool("allow-unsigned", false, "load unsigned content")
+	metrics := fs.Bool("metrics", false, "print the per-stage observability table after the run")
 	fs.Parse(args)
 	if *imagePath == "" {
 		return fmt.Errorf("play requires -image")
@@ -74,21 +77,27 @@ func cmdPlay(args []string) error {
 	if err != nil {
 		return err
 	}
-	engine := &player.Engine{
-		Storage:          storage,
-		RequireSignature: !*allowUnsigned,
-		Policy:           defaultPolicy(),
+	opts := []player.Option{
+		player.WithStorage(storage),
+		player.WithRequireSignature(!*allowUnsigned),
+		player.WithPolicy(defaultPolicy()),
+	}
+	rec := newRunRecorder(*metrics)
+	if rec != nil {
+		defer func() { fmt.Print("\n" + rec.Snapshot().StageTable()) }()
+		opts = append(opts, player.WithRecorder(rec))
 	}
 	if *rootsPath != "" {
 		pool, err := keymgmt.LoadCertPool(*rootsPath)
 		if err != nil {
 			return err
 		}
-		engine.Roots = pool
+		opts = append(opts, player.WithTrustPool(pool))
 	} else if !*allowUnsigned {
 		return fmt.Errorf("play requires -roots unless -allow-unsigned is set")
 	}
-	sess, err := engine.Load(im)
+	engine := player.NewEngine(opts...)
+	sess, err := engine.Load(context.Background(), im)
 	if err != nil {
 		return fmt.Errorf("SECURITY PROCESSING FAILED: %w", err)
 	}
@@ -150,6 +159,7 @@ func cmdRun(args []string) error {
 	policyPath := fs.String("policy", "", "platform policy XML (default: permit verified apps)")
 	storageDir := fs.String("storage", "", "directory for persistent local storage (license use counts, saves)")
 	allowUnsigned := fs.Bool("allow-unsigned", false, "load unsigned content")
+	metrics := fs.Bool("metrics", false, "print the per-stage observability table after the run")
 	fs.Parse(args)
 	if *imagePath == "" {
 		return fmt.Errorf("run requires -image")
@@ -164,16 +174,21 @@ func cmdRun(args []string) error {
 	if err != nil {
 		return err
 	}
-	engine := &player.Engine{
-		Storage:          storage,
-		RequireSignature: !*allowUnsigned,
+	opts := []player.Option{
+		player.WithStorage(storage),
+		player.WithRequireSignature(!*allowUnsigned),
+	}
+	rec := newRunRecorder(*metrics)
+	if rec != nil {
+		defer func() { fmt.Print("\n" + rec.Snapshot().StageTable()) }()
+		opts = append(opts, player.WithRecorder(rec))
 	}
 	if *rootsPath != "" {
 		pool, err := keymgmt.LoadCertPool(*rootsPath)
 		if err != nil {
 			return err
 		}
-		engine.Roots = pool
+		opts = append(opts, player.WithTrustPool(pool))
 	} else if !*allowUnsigned {
 		return fmt.Errorf("run requires -roots unless -allow-unsigned is set")
 	}
@@ -182,7 +197,7 @@ func cmdRun(args []string) error {
 		if err != nil {
 			return fmt.Errorf("-key: %w", err)
 		}
-		engine.DecryptKeys = xmlenc.DecryptOptions{Key: key}
+		opts = append(opts, player.WithDecryptKeys(xmlenc.DecryptOptions{Key: key}))
 	}
 	if *policyPath != "" {
 		polRaw, err := os.ReadFile(*policyPath)
@@ -193,12 +208,13 @@ func cmdRun(args []string) error {
 		if err != nil {
 			return err
 		}
-		engine.Policy = &access.PDP{PolicySet: *ps}
+		opts = append(opts, player.WithPolicy(&access.PDP{PolicySet: *ps}))
 	} else {
-		engine.Policy = defaultPolicy()
+		opts = append(opts, player.WithPolicy(defaultPolicy()))
 	}
+	engine := player.NewEngine(opts...)
 
-	sess, err := engine.Load(im)
+	sess, err := engine.Load(context.Background(), im)
 	if err != nil {
 		return fmt.Errorf("SECURITY PROCESSING FAILED — application barred: %w", err)
 	}
@@ -251,6 +267,15 @@ func cmdRun(args []string) error {
 		fmt.Printf("script error: %s\n", e)
 	}
 	return nil
+}
+
+// newRunRecorder returns an observability recorder when -metrics is
+// set, nil otherwise (nil keeps the pipeline uninstrumented).
+func newRunRecorder(metrics bool) *obs.Recorder {
+	if !metrics {
+		return nil
+	}
+	return obs.NewRecorder()
 }
 
 // openStorage returns directory-backed storage when a path is given,

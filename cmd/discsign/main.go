@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -159,7 +160,7 @@ func cmdVerify(args []string) error {
 		return err
 	}
 	opener := &core.Opener{Roots: pool, RequireSignature: *require}
-	res, err := opener.Open(raw)
+	res, err := opener.Open(context.Background(), raw)
 	if err != nil {
 		return fmt.Errorf("VERIFICATION FAILED: %w", err)
 	}

@@ -26,6 +26,7 @@
 package discsec
 
 import (
+	"context"
 	"crypto"
 	"crypto/x509"
 
@@ -33,6 +34,7 @@ import (
 	"discsec/internal/core"
 	"discsec/internal/disc"
 	"discsec/internal/keymgmt"
+	"discsec/internal/obs"
 	"discsec/internal/player"
 	"discsec/internal/xmldom"
 	"discsec/internal/xmlenc"
@@ -73,7 +75,24 @@ type (
 	OpenResult = core.OpenResult
 	// Document is a parsed XML document.
 	Document = xmldom.Document
+	// Recorder aggregates pipeline observability: per-stage duration
+	// histograms, named counters, and the security-audit event stream.
+	Recorder = obs.Recorder
+	// MetricsSnapshot is a point-in-time copy of a Recorder's
+	// aggregates.
+	MetricsSnapshot = obs.Snapshot
 )
+
+// NewRecorder creates an enabled observability recorder (see
+// internal/obs); attach it to a load with WithRecorder or set it on
+// PlayerConfig.Recorder.
+func NewRecorder() *Recorder { return obs.NewRecorder() }
+
+// WithRecorder returns a context carrying the recorder; pass it to
+// LoadContext/LoadDocumentContext to observe the per-stage pipeline.
+func WithRecorder(ctx context.Context, r *Recorder) context.Context {
+	return obs.WithRecorder(ctx, r)
+}
 
 // Granularity levels (paper §5.2).
 const (
@@ -183,6 +202,9 @@ type PlayerConfig struct {
 	KeyByName func(name string) (crypto.PublicKey, error)
 	// StorageQuota bounds local storage (0 = default 8 MiB).
 	StorageQuota int64
+	// Recorder receives per-stage observability for loads that do not
+	// carry their own via WithRecorder; nil keeps the player silent.
+	Recorder *Recorder
 }
 
 // NewPersistentPlayer creates a player whose local storage is backed by
@@ -207,17 +229,29 @@ func NewPlayer(cfg PlayerConfig) *Player {
 		DecryptKeys:      cfg.DecryptKeys,
 		RequireSignature: cfg.RequireSignature,
 		KeyByName:        cfg.KeyByName,
+		Recorder:         cfg.Recorder,
 	}}
 }
 
 // Load opens a disc image through the full security pipeline.
 func (p *Player) Load(im *Image) (*Session, error) {
-	return p.engine.Load(im)
+	return p.engine.Load(context.Background(), im)
+}
+
+// LoadContext is Load under a caller context; attach a Recorder with
+// WithRecorder to observe the per-stage pipeline.
+func (p *Player) LoadContext(ctx context.Context, im *Image) (*Session, error) {
+	return p.engine.Load(ctx, im)
 }
 
 // LoadDocument opens a bare downloaded cluster document.
 func (p *Player) LoadDocument(raw []byte) (*Session, error) {
-	return p.engine.LoadDocument(raw)
+	return p.engine.LoadDocument(context.Background(), raw)
+}
+
+// LoadDocumentContext is LoadDocument under a caller context.
+func (p *Player) LoadDocumentContext(ctx context.Context, raw []byte) (*Session, error) {
+	return p.engine.LoadDocument(ctx, raw)
 }
 
 // Storage exposes the player's local storage (inspection, tests).

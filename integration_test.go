@@ -7,6 +7,7 @@ package discsec
 // execution, and licensed playback.
 
 import (
+	"context"
 	"net/http/httptest"
 	"strings"
 	"testing"
@@ -157,7 +158,7 @@ display.draw("menu");
 		RequireSignature: true,
 		KeyByName:        xkms.PublicKeyByName,
 	}
-	sess, err := engine.Load(downloaded)
+	sess, err := engine.Load(context.Background(), downloaded)
 	if err != nil {
 		t.Fatalf("player load: %v", err)
 	}

@@ -3,6 +3,8 @@ package access
 import (
 	"fmt"
 	"strings"
+
+	"discsec/internal/obs"
 )
 
 // XACML-lite policy model. The vocabulary follows XACML 2.0 (targets,
@@ -433,10 +435,31 @@ type PDP struct {
 	// platform uses Deny (the zero value is Deny-biased:
 	// NotApplicable maps to Deny unless DefaultPermit is set).
 	DefaultPermit bool
+	// Recorder, when non-nil, receives one obs.StagePolicy span plus a
+	// policy.permit/policy.deny counter tick per decision, and an
+	// audit event for every denial.
+	Recorder *obs.Recorder
 }
 
 // Decide evaluates the request to a final Permit/Deny.
 func (pdp *PDP) Decide(req *Request) (Decision, error) {
+	sp := pdp.Recorder.Start(obs.StagePolicy)
+	d, err := pdp.decide(req)
+	sp.End()
+	if err != nil {
+		pdp.Recorder.Inc("policy.error")
+		return d, err
+	}
+	if d == Permit {
+		pdp.Recorder.Inc("policy.permit")
+	} else {
+		pdp.Recorder.Inc("policy.deny")
+		pdp.Recorder.Audit(obs.AuditPolicyDenied, "action=%s target=%s", req.Action["name"], req.Resource["target"])
+	}
+	return d, nil
+}
+
+func (pdp *PDP) decide(req *Request) (Decision, error) {
 	d, err := pdp.PolicySet.Evaluate(req)
 	if err != nil {
 		return Deny, err

@@ -24,6 +24,10 @@
 //     must never use http.DefaultClient or a zero-Timeout
 //     http.Client; every remote call needs a deadline so failures
 //     enter the resilience retry/degrade path.
+//   - obsctx: exported pipeline entry points (player, core, server)
+//     that accept a context.Context must propagate it to the
+//     context-aware functions they call; a dropped ctx severs both
+//     cancellation and the observability recorder it carries.
 //
 // Diagnostics carry file:line:col positions. A finding can be
 // suppressed with a justified comment on the same line or the line
@@ -93,6 +97,7 @@ func Analyzers() []*Analyzer {
 		XMLParse,
 		LockSafety,
 		HTTPClient,
+		ObsCtx,
 	}
 }
 

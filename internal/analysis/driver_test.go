@@ -124,6 +124,21 @@ func TestHTTPClientOutsideNetworkedPackages(t *testing.T) {
 	}
 }
 
+func TestObsCtxFixture(t *testing.T) {
+	pkg := loadFixture(t, "obsctx", "discsec/internal/core/ocfixture")
+	checkFixture(t, pkg, ObsCtx)
+}
+
+func TestObsCtxOutsidePipelinePackages(t *testing.T) {
+	// The same ctx-dropping code loaded outside the pipeline packages
+	// must be clean: the rule is scoped to where a dropped ctx severs
+	// the recorder and cancellation.
+	pkg := loadFixture(t, "obsctx", "discsec/internal/disc/ocfixture")
+	if diags := Run([]*Package{pkg}, []*Analyzer{ObsCtx}); len(diags) != 0 {
+		t.Errorf("got %d diagnostics outside pipeline packages, want 0: %v", len(diags), diags)
+	}
+}
+
 func TestLockSafetyFixture(t *testing.T) {
 	pkg := loadFixture(t, "locksafety", "discsec/internal/lsfixture")
 	checkFixture(t, pkg, LockSafety)

@@ -1,0 +1,109 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// obsCtxPackages are the pipeline packages whose exported entry points
+// carry a context.Context for cancellation and observability (the
+// recorder travels in the context). Accepting a ctx and then dropping
+// it on the floor severs both: the callee can neither be cancelled
+// nor observed, silently detaching a whole subtree of the Fig. 9
+// pipeline from the recorder.
+var obsCtxPackages = []string{"player", "core", "server"}
+
+// ObsCtx flags exported functions in the pipeline packages that take a
+// context.Context but never use it, while calling at least one other
+// context-aware function — the signature promises propagation the body
+// does not deliver.
+var ObsCtx = &Analyzer{
+	Name: "obsctx",
+	Doc:  "pipeline entry points must propagate their context.Context, not drop it before ctx-aware calls",
+	Run:  runObsCtx,
+}
+
+func runObsCtx(pass *Pass) {
+	if !pathHasInternalPkg(pass.Path, obsCtxPackages...) {
+		return
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !fd.Name.IsExported() {
+				continue
+			}
+			ctxObj := ctxParam(pass.Info, fd)
+			if ctxObj == nil {
+				continue
+			}
+			used := false
+			var firstCtxCall *ast.CallExpr
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch x := n.(type) {
+				case *ast.Ident:
+					if pass.Info.Uses[x] == ctxObj {
+						used = true
+					}
+				case *ast.CallExpr:
+					if firstCtxCall == nil && calleeTakesContext(pass.Info, x) {
+						firstCtxCall = x
+					}
+				}
+				return !used
+			})
+			if !used && firstCtxCall != nil {
+				pass.Reportf(fd.Name.Pos(),
+					"%s takes a context.Context but drops it before calling context-aware functions; pass ctx through so cancellation and the observability recorder propagate", fd.Name.Name)
+			}
+		}
+	}
+}
+
+// ctxParam returns the object of the function's first named
+// context.Context parameter, or nil when there is none (an unnamed or
+// underscore ctx cannot be propagated, so the rule does not apply).
+func ctxParam(info *types.Info, fd *ast.FuncDecl) types.Object {
+	for _, field := range fd.Type.Params.List {
+		for _, name := range field.Names {
+			if name.Name == "_" {
+				continue
+			}
+			obj := info.Defs[name]
+			if obj != nil && isContextType(obj.Type()) {
+				return obj
+			}
+		}
+	}
+	return nil
+}
+
+// calleeTakesContext reports whether the call's resolved callee has a
+// context.Context parameter — the callees ctx should be forwarded to.
+func calleeTakesContext(info *types.Info, call *ast.CallExpr) bool {
+	fn := calleeFunc(info, call)
+	if fn == nil {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	params := sig.Params()
+	for i := 0; i < params.Len(); i++ {
+		if isContextType(params.At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}

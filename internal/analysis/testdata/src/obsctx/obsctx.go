@@ -1,0 +1,53 @@
+// Fixture for the obsctx analyzer. Loaded by driver_test.go as a
+// package under internal/core (flagged) and under internal/disc
+// (clean: the rule is scoped to the pipeline packages).
+package fixture
+
+import "context"
+
+func fetch(ctx context.Context, name string) ([]byte, error) {
+	_ = ctx
+	return []byte(name), nil
+}
+
+// OpenPartial forwards its ctx to at least one call; any genuine use
+// counts, even if another call site holds a Background.
+func OpenPartial(ctx context.Context, name string) ([]byte, error) {
+	if _, err := fetch(ctx, name); err != nil {
+		return nil, err
+	}
+	return fetch(context.Background(), name)
+}
+
+// Open drops its ctx before a ctx-aware call.
+func Open(ctx context.Context, name string) ([]byte, error) { // want obsctx
+	return fetch(context.Background(), name)
+}
+
+// OpenPropagated forwards its ctx: clean.
+func OpenPropagated(ctx context.Context, name string) ([]byte, error) {
+	return fetch(ctx, name)
+}
+
+// OpenDeferred uses ctx only inside a closure: still a use, clean.
+func OpenDeferred(ctx context.Context, name string) ([]byte, error) {
+	run := func() ([]byte, error) { return fetch(ctx, name) }
+	return run()
+}
+
+// OpenNoCtxCalls never calls a ctx-aware function, so an unused ctx
+// is tolerated (the signature may exist for interface conformance).
+func OpenNoCtxCalls(ctx context.Context, name string) string {
+	return name
+}
+
+// openUnexported is not an entry point: unexported functions are
+// outside the rule even when they drop ctx.
+func openUnexported(ctx context.Context, name string) ([]byte, error) {
+	return fetch(context.Background(), name)
+}
+
+// OpenUnderscore cannot propagate a blank ctx; the rule skips it.
+func OpenUnderscore(_ context.Context, name string) ([]byte, error) {
+	return fetch(context.Background(), name)
+}

@@ -14,6 +14,7 @@ import (
 	"io"
 	"sort"
 
+	"discsec/internal/obs"
 	"discsec/internal/xmldom"
 	"discsec/internal/xmlsecuri"
 )
@@ -35,6 +36,9 @@ type Options struct {
 	// implementation for the DESIGN.md ablation and for differential
 	// testing against the memoized default; output is identical.
 	ReferenceNamespaceResolution bool
+	// Recorder, when non-nil, receives one obs.StageC14N span per
+	// canonicalization. It is ignored by URI()/ByURI equivalence.
+	Recorder *obs.Recorder
 }
 
 // ByURI maps a canonicalization method identifier to Options.
@@ -73,6 +77,7 @@ func (o Options) URI() string {
 // are imported per C14N 1.0; for exclusive canonicalization only visibly
 // utilized namespaces are emitted.
 func Canonicalize(e *xmldom.Element, opts Options) ([]byte, error) {
+	defer opts.Recorder.Start(obs.StageC14N).End()
 	var buf bytes.Buffer
 	c := &canonicalizer{w: &buf, opts: opts}
 	if err := c.element(e, true, nil); err != nil {
@@ -85,6 +90,7 @@ func Canonicalize(e *xmldom.Element, opts Options) ([]byte, error) {
 // including top-level processing instructions and (optionally) comments
 // with the newline placement the recommendation specifies.
 func CanonicalizeDocument(d *xmldom.Document, opts Options) ([]byte, error) {
+	defer opts.Recorder.Start(obs.StageC14N).End()
 	root := d.Root()
 	if root == nil {
 		return nil, fmt.Errorf("c14n: document has no root element")

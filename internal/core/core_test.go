@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"strings"
 	"testing"
@@ -88,7 +89,7 @@ func TestSignLevelsAndOpen(t *testing.T) {
 				t.Fatalf("sign at %v: %v", level, err)
 			}
 			opener := &Opener{Roots: rootCA.Pool(), RequireSignature: true}
-			res, err := opener.Open(doc.Bytes())
+			res, err := opener.Open(context.Background(), doc.Bytes())
 			if err != nil {
 				t.Fatalf("open: %v", err)
 			}
@@ -115,12 +116,12 @@ func TestSignLevelTamperScope(t *testing.T) {
 	serialized := doc.Bytes()
 
 	opener := &Opener{Roots: rootCA.Pool(), RequireSignature: true}
-	if _, err := opener.Open(serialized); err != nil {
+	if _, err := opener.Open(context.Background(), serialized); err != nil {
 		t.Fatalf("clean open: %v", err)
 	}
 
 	scriptTampered := strings.Replace(string(serialized), "var hs = 9000;", "var hs = 1;", 1)
-	if _, err := opener.Open([]byte(scriptTampered)); err == nil {
+	if _, err := opener.Open(context.Background(), []byte(scriptTampered)); err == nil {
 		t.Error("script tamper not detected")
 	}
 
@@ -128,7 +129,7 @@ func TestSignLevelTamperScope(t *testing.T) {
 	if markupTampered == string(serialized) {
 		t.Fatal("test setup: markup target not found")
 	}
-	if _, err := opener.Open([]byte(markupTampered)); err != nil {
+	if _, err := opener.Open(context.Background(), []byte(markupTampered)); err != nil {
 		t.Errorf("markup edit outside code coverage broke verification: %v", err)
 	}
 }
@@ -147,7 +148,7 @@ func TestUntrustedSignerRejected(t *testing.T) {
 		t.Fatal(err)
 	}
 	opener := &Opener{Roots: rootCA.Pool(), RequireSignature: true}
-	if _, err := opener.Open(doc.Bytes()); err == nil {
+	if _, err := opener.Open(context.Background(), doc.Bytes()); err == nil {
 		t.Error("signature from untrusted root accepted")
 	}
 }
@@ -155,11 +156,11 @@ func TestUntrustedSignerRejected(t *testing.T) {
 func TestRequireSignature(t *testing.T) {
 	doc := sampleClusterDoc(t)
 	opener := &Opener{Roots: rootCA.Pool(), RequireSignature: true}
-	if _, err := opener.Open(doc.Bytes()); !errors.Is(err, ErrVerificationRequired) {
+	if _, err := opener.Open(context.Background(), doc.Bytes()); !errors.Is(err, ErrVerificationRequired) {
 		t.Errorf("err = %v, want ErrVerificationRequired", err)
 	}
 	lax := &Opener{Roots: rootCA.Pool()}
-	if _, err := lax.Open(doc.Bytes()); err != nil {
+	if _, err := lax.Open(context.Background(), doc.Bytes()); err != nil {
 		t.Errorf("lax open: %v", err)
 	}
 }
@@ -192,7 +193,7 @@ func TestSignThenEncryptEndToEnd(t *testing.T) {
 	}
 
 	opener := &Opener{Roots: rootCA.Pool(), RequireSignature: true, Decrypt: xmlenc.DecryptOptions{Key: k}}
-	res, err := opener.Open(transmitted)
+	res, err := opener.Open(context.Background(), transmitted)
 	if err != nil {
 		t.Fatalf("open: %v", err)
 	}
@@ -243,7 +244,7 @@ func TestSignThenEncryptTamperOfCiphertext(t *testing.T) {
 		t.Fatal("setup: ciphertext swap failed")
 	}
 	opener := &Opener{Roots: rootCA.Pool(), RequireSignature: true, Decrypt: xmlenc.DecryptOptions{Key: k}}
-	if _, err := opener.Open([]byte(swapped)); err == nil {
+	if _, err := opener.Open(context.Background(), []byte(swapped)); err == nil {
 		t.Error("ciphertext substitution not detected (sign-then-encrypt must cover plaintext)")
 	}
 }
@@ -261,7 +262,7 @@ func TestDetachedTrackSignature(t *testing.T) {
 	}
 
 	opener := &Opener{Roots: rootCA.Pool()}
-	rep, err := opener.VerifyDetached(im, "SIGS/tracks.xml")
+	rep, err := opener.VerifyDetached(context.Background(), im, "SIGS/tracks.xml")
 	if err != nil {
 		t.Fatalf("verify detached: %v", err)
 	}
@@ -272,7 +273,7 @@ func TestDetachedTrackSignature(t *testing.T) {
 	// Corrupt one clip: detection.
 	clip1[100] ^= 0xFF
 	im.Put("CLIPS/clip-1.m2ts", clip1)
-	if _, err := opener.VerifyDetached(im, "SIGS/tracks.xml"); err == nil {
+	if _, err := opener.VerifyDetached(context.Background(), im, "SIGS/tracks.xml"); err == nil {
 		t.Error("clip corruption not detected")
 	}
 
@@ -312,7 +313,7 @@ func TestOpenerAlgorithmPolicy(t *testing.T) {
 		RequireSignature:         true,
 		AcceptedSignatureMethods: []string{xmlsecuri.SigRSASHA256}, // identity signs with ECDSA
 	}
-	if _, err := opener.Open(doc.Bytes()); err == nil {
+	if _, err := opener.Open(context.Background(), doc.Bytes()); err == nil {
 		t.Error("policy-restricted algorithm accepted")
 	}
 }
@@ -359,7 +360,7 @@ func TestPackageInPackage(t *testing.T) {
 	// Round trip through the opener.
 	opener := &Opener{Roots: rootCA.Pool(), RequireSignature: true, Decrypt: xmlenc.DecryptOptions{Key: key32()}}
 	raw, _ := im.Get(disc.IndexPath)
-	if _, err := opener.Open(raw); err != nil {
+	if _, err := opener.Open(context.Background(), raw); err != nil {
 		t.Fatalf("open packaged index: %v", err)
 	}
 

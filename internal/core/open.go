@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"crypto"
 	"crypto/x509"
 	"errors"
@@ -8,6 +9,7 @@ import (
 
 	"discsec/internal/dectrans"
 	"discsec/internal/disc"
+	"discsec/internal/obs"
 	"discsec/internal/xmldom"
 	"discsec/internal/xmldsig"
 	"discsec/internal/xmlenc"
@@ -75,26 +77,45 @@ var ErrVerificationRequired = errors.New("core: document carries no signature bu
 //  2. Verify every signature; any failure aborts.
 //  3. Decrypt remaining (excepted) regions so the application is
 //     executable.
-func (o *Opener) Open(docBytes []byte) (*OpenResult, error) {
+//
+// The context carries cancellation intent and the obs.Recorder that
+// receives per-stage spans (parse, dectrans, digest, signature,
+// decrypt) and security-audit events.
+func (o *Opener) Open(ctx context.Context, docBytes []byte) (*OpenResult, error) {
+	rec := obs.FromContext(ctx)
+	sp := rec.Start(obs.StageParse)
 	doc, err := xmldom.ParseBytes(docBytes)
+	sp.End()
 	if err != nil {
 		return nil, fmt.Errorf("core: parse: %w", err)
 	}
-	return o.OpenDocument(doc)
+	return o.OpenDocument(ctx, doc)
+}
+
+// OpenNoContext is Open without a context.
+//
+// Deprecated: use Open with a context carrying cancellation and the
+// observability recorder.
+func (o *Opener) OpenNoContext(docBytes []byte) (*OpenResult, error) {
+	return o.Open(context.Background(), docBytes)
 }
 
 // OpenDocument is Open over an already-parsed document (which it
 // mutates).
-func (o *Opener) OpenDocument(doc *xmldom.Document) (*OpenResult, error) {
+func (o *Opener) OpenDocument(ctx context.Context, doc *xmldom.Document) (*OpenResult, error) {
+	rec := obs.FromContext(ctx)
+	dec := o.Decrypt
+	dec.Recorder = rec
 	res := &OpenResult{Doc: doc}
 
 	sigs := xmldsig.FindSignatures(doc)
 	if len(sigs) == 0 {
 		if o.RequireSignature {
+			rec.Audit(obs.AuditVerifyFailed, "unsigned document rejected: platform requires a signature")
 			return nil, ErrVerificationRequired
 		}
 		// Unsigned content: just decrypt whatever we can.
-		n, err := xmlenc.DecryptAll(doc, o.Decrypt)
+		n, err := xmlenc.DecryptAll(doc, dec)
 		if err != nil {
 			return nil, err
 		}
@@ -103,14 +124,17 @@ func (o *Opener) OpenDocument(doc *xmldom.Document) (*OpenResult, error) {
 	}
 
 	// Phase 1: decryption transform per signature.
+	dtSpan := rec.Start(obs.StageDectrans)
 	reports := make([]SignatureReport, len(sigs))
 	for i, sig := range sigs {
-		dres, err := dectrans.ProcessSignature(doc, sig, o.Decrypt)
+		dres, err := dectrans.ProcessSignature(doc, sig, dec)
 		if err != nil {
+			dtSpan.End()
 			return nil, fmt.Errorf("core: decryption transform: %w", err)
 		}
 		reports[i].DecryptedBeforeVerify = dres.Decrypted
 	}
+	dtSpan.End()
 
 	// Phase 2: verify all signatures.
 	for i, sig := range sigs {
@@ -119,8 +143,10 @@ func (o *Opener) OpenDocument(doc *xmldom.Document) (*OpenResult, error) {
 			Resolver:                 o.Resolver,
 			KeyByName:                o.KeyByName,
 			AcceptedSignatureMethods: o.AcceptedSignatureMethods,
+			Recorder:                 rec,
 		})
 		if err != nil {
+			rec.Audit(obs.AuditVerifyFailed, "signature %d: %v", i+1, err)
 			return nil, fmt.Errorf("core: signature %d: %w", i+1, err)
 		}
 		reports[i].ChainValidated = vres.CertificateChainValidated
@@ -137,7 +163,7 @@ func (o *Opener) OpenDocument(doc *xmldom.Document) (*OpenResult, error) {
 	res.Signatures = reports
 
 	// Phase 3: open excepted regions.
-	n, err := xmlenc.DecryptAll(doc, o.Decrypt)
+	n, err := xmlenc.DecryptAll(doc, dec)
 	if err != nil {
 		return nil, fmt.Errorf("core: opening excepted regions: %w", err)
 	}
@@ -145,14 +171,25 @@ func (o *Opener) OpenDocument(doc *xmldom.Document) (*OpenResult, error) {
 	return res, nil
 }
 
+// OpenDocumentNoContext is OpenDocument without a context.
+//
+// Deprecated: use OpenDocument with a context carrying cancellation and
+// the observability recorder.
+func (o *Opener) OpenDocumentNoContext(doc *xmldom.Document) (*OpenResult, error) {
+	return o.OpenDocument(context.Background(), doc)
+}
+
 // VerifyDetached validates a detached signature file from the disc image
 // against the image contents (track payload integrity, §5.3).
-func (o *Opener) VerifyDetached(im *disc.Image, signaturePath string) (*SignatureReport, error) {
+func (o *Opener) VerifyDetached(ctx context.Context, im *disc.Image, signaturePath string) (*SignatureReport, error) {
+	rec := obs.FromContext(ctx)
 	raw, err := im.Get(signaturePath)
 	if err != nil {
 		return nil, err
 	}
+	sp := rec.Start(obs.StageParse)
 	doc, err := xmldom.ParseBytes(raw)
+	sp.End()
 	if err != nil {
 		return nil, fmt.Errorf("core: parse detached signature: %w", err)
 	}
@@ -165,8 +202,10 @@ func (o *Opener) VerifyDetached(im *disc.Image, signaturePath string) (*Signatur
 		Resolver:                 im,
 		KeyByName:                o.KeyByName,
 		AcceptedSignatureMethods: o.AcceptedSignatureMethods,
+		Recorder:                 rec,
 	})
 	if err != nil {
+		rec.Audit(obs.AuditVerifyFailed, "detached signature %s: %v", signaturePath, err)
 		return nil, err
 	}
 	rep := &SignatureReport{ChainValidated: vres.CertificateChainValidated}

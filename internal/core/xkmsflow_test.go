@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"net/http/httptest"
 	"strings"
 	"testing"
@@ -35,7 +36,7 @@ func TestOpenWithXKMSKeyResolution(t *testing.T) {
 
 	// In-process resolution.
 	opener := &Opener{RequireSignature: true, KeyByName: service.PublicKeyByName}
-	res, err := opener.Open(raw)
+	res, err := opener.Open(context.Background(), raw)
 	if err != nil {
 		t.Fatalf("open via in-process XKMS: %v", err)
 	}
@@ -48,7 +49,7 @@ func TestOpenWithXKMSKeyResolution(t *testing.T) {
 	defer srv.Close()
 	client := &keymgmt.Client{BaseURL: srv.URL}
 	opener2 := &Opener{RequireSignature: true, KeyByName: client.PublicKeyByName}
-	if _, err := opener2.Open(raw); err != nil {
+	if _, err := opener2.Open(context.Background(), raw); err != nil {
 		t.Fatalf("open via HTTP XKMS: %v", err)
 	}
 
@@ -56,10 +57,10 @@ func TestOpenWithXKMSKeyResolution(t *testing.T) {
 	if err := service.Revoke(creator.Name, "auth"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := opener.Open(raw); err == nil {
+	if _, err := opener.Open(context.Background(), raw); err == nil {
 		t.Error("revoked signer accepted via in-process XKMS")
 	}
-	if _, err := opener2.Open(raw); err == nil {
+	if _, err := opener2.Open(context.Background(), raw); err == nil {
 		t.Error("revoked signer accepted via HTTP XKMS")
 	}
 }
@@ -75,7 +76,7 @@ func TestOpenKeyNameUnknownBinding(t *testing.T) {
 	}
 	service := keymgmt.NewService(rootCA.Pool())
 	opener := &Opener{RequireSignature: true, KeyByName: service.PublicKeyByName}
-	if _, err := opener.Open(doc.Bytes()); err == nil {
+	if _, err := opener.Open(context.Background(), doc.Bytes()); err == nil {
 		t.Error("unknown key name accepted")
 	}
 }

@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -244,7 +245,7 @@ func ParsedSignedAtLevel(t GranularityTarget) (*xmldom.Document, error) {
 func VerifyOnly(doc *xmldom.Document) error {
 	root, _ := PKIFixture()
 	opener := &core.Opener{Roots: root.Pool(), RequireSignature: true}
-	_, err := opener.OpenDocument(doc)
+	_, err := opener.OpenDocument(context.Background(), doc)
 	return err
 }
 
@@ -252,7 +253,7 @@ func VerifyOnly(doc *xmldom.Document) error {
 func VerifySigned(raw []byte) error {
 	root, _ := PKIFixture()
 	opener := &core.Opener{Roots: root.Pool(), RequireSignature: true}
-	_, err := opener.Open(raw)
+	_, err := opener.Open(context.Background(), raw)
 	return err
 }
 
@@ -435,19 +436,25 @@ func AuthorPipeline() (*PipelineArtifacts, error) {
 // unpack, decrypt+verify, permissions, execute. Returns the execution
 // report.
 func PlayerPipeline(packed []byte) (*player.ExecutionReport, error) {
+	return PlayerPipelineContext(context.Background(), packed)
+}
+
+// PlayerPipelineContext is PlayerPipeline under a caller context; a
+// recorder attached with obs.WithRecorder observes every stage.
+func PlayerPipelineContext(ctx context.Context, packed []byte) (*player.ExecutionReport, error) {
 	root, _ := PKIFixture()
 	im, err := disc.ReadImageBytes(packed)
 	if err != nil {
 		return nil, err
 	}
-	e := &player.Engine{
-		Roots:            root.Pool(),
-		Policy:           PlatformPolicy(),
-		Storage:          disc.NewLocalStorage(0),
-		DecryptKeys:      xmlenc.DecryptOptions{Key: EncKey},
-		RequireSignature: true,
-	}
-	sess, err := e.Load(im)
+	e := player.NewEngine(
+		player.WithTrustPool(root.Pool()),
+		player.WithPolicy(PlatformPolicy()),
+		player.WithStorage(disc.NewLocalStorage(0)),
+		player.WithDecryptKeys(xmlenc.DecryptOptions{Key: EncKey}),
+		player.WithRequireSignature(true),
+	)
+	sess, err := e.Load(ctx, im)
 	if err != nil {
 		return nil, err
 	}
@@ -554,14 +561,14 @@ func RunStartup(packed []byte, requireSignature bool) error {
 	if err != nil {
 		return err
 	}
-	e := &player.Engine{
-		Roots:            root.Pool(),
-		Policy:           PlatformPolicy(),
-		Storage:          disc.NewLocalStorage(0),
-		DecryptKeys:      xmlenc.DecryptOptions{Key: EncKey},
-		RequireSignature: requireSignature,
-	}
-	sess, err := e.Load(im)
+	e := player.NewEngine(
+		player.WithTrustPool(root.Pool()),
+		player.WithPolicy(PlatformPolicy()),
+		player.WithStorage(disc.NewLocalStorage(0)),
+		player.WithDecryptKeys(xmlenc.DecryptOptions{Key: EncKey}),
+		player.WithRequireSignature(requireSignature),
+	)
+	sess, err := e.Load(context.Background(), im)
 	if err != nil {
 		return err
 	}

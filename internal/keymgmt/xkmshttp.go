@@ -15,6 +15,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"discsec/internal/obs"
 	"discsec/internal/resilience"
 	"discsec/internal/xmldom"
 	"discsec/internal/xmlsecuri"
@@ -195,6 +196,9 @@ type Client struct {
 	// OnDegraded, if set, observes each degraded trust decision: the
 	// binding name served stale and the outage error that forced it.
 	OnDegraded func(name string, cause error)
+	// Recorder receives XKMS request spans/counters and the
+	// degraded-trust audit transitions; nil records nothing.
+	Recorder *obs.Recorder
 
 	// nowFunc overrides the clock in tests.
 	nowFunc func() time.Time
@@ -267,13 +271,26 @@ func (c *Client) cachedFresh(name string) (*KeyBinding, bool) {
 
 // degrade records and reports a stale-cache trust decision.
 func (c *Client) degrade(name string, cause error) {
-	c.degraded.Store(true)
+	if !c.degraded.Swap(true) {
+		c.Recorder.Audit(obs.AuditDegradedEnter, "binding %q served stale: %v", name, cause)
+	}
+	c.Recorder.Inc("xkms.degraded")
 	if c.OnDegraded != nil {
 		c.OnDegraded(name, cause)
 	}
 }
 
+// restore clears degraded-trust mode after a live service answer,
+// auditing the transition.
+func (c *Client) restore() {
+	if c.degraded.Swap(false) {
+		c.Recorder.Audit(obs.AuditDegradedExit, "live trust service answer")
+	}
+}
+
 func (c *Client) post(ctx context.Context, doc *xmldom.Document) (*xmldom.Element, error) {
+	defer c.Recorder.Start(obs.StageXKMS).End()
+	c.Recorder.Inc("xkms.requests")
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL, bytes.NewReader(doc.Bytes()))
 	if err != nil {
 		return nil, resilience.Terminal(fmt.Errorf("keymgmt: building request: %w", err))
@@ -356,7 +373,7 @@ func (c *Client) LocateContext(ctx context.Context, name string) (*KeyBinding, e
 	})
 	if err == nil {
 		c.storeCached(kb)
-		c.degraded.Store(false)
+		c.restore()
 		return kb, nil
 	}
 	if resilience.IsTransient(err) {
@@ -485,7 +502,7 @@ func (c *Client) PublicKeyByNameContext(ctx context.Context, name string) (crypt
 	if kb.Revoked {
 		return nil, resilience.Terminal(fmt.Errorf("keymgmt: binding %q is revoked", name))
 	}
-	c.degraded.Store(false)
+	c.restore()
 	return kb.Certificate.PublicKey, nil
 }
 

@@ -1,0 +1,113 @@
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// histBuckets is the number of fixed log-scale buckets. Bucket i holds
+// samples in ((1<<(i-1))µs, (1<<i)µs]; bucket 0 holds everything at or
+// under 1µs and the last bucket absorbs everything above ~34s. The
+// layout is fixed so merging and quantile estimation need no
+// coordination beyond per-bucket atomics.
+const histBuckets = 36
+
+// Histogram is a fixed-bucket log-scale duration histogram. All
+// operations are lock-free; concurrent observers only contend on
+// independent atomic adds.
+type Histogram struct {
+	buckets [histBuckets]atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64 // nanoseconds
+	min     atomic.Int64 // nanoseconds; valid when count > 0
+	max     atomic.Int64 // nanoseconds
+}
+
+func newHistogram() *Histogram {
+	h := &Histogram{}
+	h.min.Store(int64(^uint64(0) >> 1)) // MaxInt64 until first sample
+	return h
+}
+
+// bucketIndex maps a duration to its bucket.
+func bucketIndex(d time.Duration) int {
+	us := int64(d / time.Microsecond)
+	if us <= 1 {
+		return 0
+	}
+	idx := bits.Len64(uint64(us - 1))
+	if idx >= histBuckets {
+		return histBuckets - 1
+	}
+	return idx
+}
+
+// bucketUpper is the inclusive upper bound of bucket i.
+func bucketUpper(i int) time.Duration {
+	return time.Duration(1<<uint(i)) * time.Microsecond
+}
+
+func (h *Histogram) observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	ns := int64(d)
+	h.buckets[bucketIndex(d)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(ns)
+	for {
+		cur := h.min.Load()
+		if ns >= cur || h.min.CompareAndSwap(cur, ns) {
+			break
+		}
+	}
+	for {
+		cur := h.max.Load()
+		if ns <= cur || h.max.CompareAndSwap(cur, ns) {
+			break
+		}
+	}
+}
+
+// quantile estimates the q-quantile (0 < q <= 1) from the bucket
+// counts, clamped to the observed max so tiny sample sets don't report
+// a bucket boundary far above anything seen.
+func (h *Histogram) quantile(q float64) time.Duration {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := int64(q * float64(total))
+	if rank < 1 {
+		rank = 1
+	}
+	max := time.Duration(h.max.Load())
+	var cum int64
+	for i := 0; i < histBuckets; i++ {
+		cum += h.buckets[i].Load()
+		if cum >= rank {
+			if ub := bucketUpper(i); ub < max {
+				return ub
+			}
+			return max
+		}
+	}
+	return max
+}
+
+// stat summarizes the histogram for snapshots.
+func (h *Histogram) stat(stage string) StageStat {
+	count := h.count.Load()
+	st := StageStat{Stage: stage, Count: count}
+	if count == 0 {
+		return st
+	}
+	st.Total = time.Duration(h.sum.Load())
+	st.Min = time.Duration(h.min.Load())
+	st.Max = time.Duration(h.max.Load())
+	st.P50 = h.quantile(0.50)
+	st.P90 = h.quantile(0.90)
+	st.P99 = h.quantile(0.99)
+	return st
+}

@@ -21,7 +21,7 @@ func (e *Engine) FetchAndLoad(ctx context.Context, d *server.Downloader, baseURL
 	if err != nil {
 		return nil, fmt.Errorf("player: download %q: %w", name, err)
 	}
-	s, err := e.LoadDocument(raw)
+	s, err := e.LoadDocument(ctx, raw)
 	if err != nil {
 		// The transfer succeeded but the content is untrustworthy:
 		// terminal, so no retry layer above re-downloads a forgery.
@@ -38,7 +38,7 @@ func (e *Engine) FetchAndLoadImage(ctx context.Context, d *server.Downloader, ba
 	if err != nil {
 		return nil, fmt.Errorf("player: download image %q: %w", name, err)
 	}
-	s, err := e.Load(im)
+	s, err := e.Load(ctx, im)
 	if err != nil {
 		return nil, resilience.Terminal(err)
 	}

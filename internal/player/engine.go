@@ -8,6 +8,7 @@
 package player
 
 import (
+	"context"
 	"crypto"
 	"crypto/x509"
 	"errors"
@@ -17,6 +18,7 @@ import (
 	"discsec/internal/core"
 	"discsec/internal/disc"
 	"discsec/internal/markup"
+	"discsec/internal/obs"
 	"discsec/internal/rights"
 	"discsec/internal/xmldom"
 	"discsec/internal/xmlenc"
@@ -41,6 +43,10 @@ type Engine struct {
 	KeyByName func(name string) (crypto.PublicKey, error)
 	// ScriptStepBudget bounds script execution; 0 uses the default.
 	ScriptStepBudget int
+	// Recorder receives engine observability when the load context does
+	// not carry one of its own (obs.WithRecorder wins). A nil Recorder
+	// with a bare context keeps the engine silent.
+	Recorder *obs.Recorder
 }
 
 // Session is a loaded, verified disc or download.
@@ -55,18 +61,33 @@ type Session struct {
 	OpenResult *core.OpenResult
 
 	engine      *Engine
+	rec         *obs.Recorder
 	licenseEval *rights.Evaluator
 	licenseID   string
 }
 
+// obsContext resolves the observability story for one load: a recorder
+// already on the context wins; otherwise the engine's configured
+// recorder is attached so the layers below see it.
+func (e *Engine) obsContext(ctx context.Context) (context.Context, *obs.Recorder) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if rec := obs.FromContext(ctx); rec != nil {
+		return ctx, rec
+	}
+	return obs.WithRecorder(ctx, e.Recorder), e.Recorder
+}
+
 // Load opens a disc image: reads the index, runs the Fig. 9 security
-// pipeline, and decodes the content hierarchy.
-func (e *Engine) Load(im *disc.Image) (*Session, error) {
+// pipeline, and decodes the content hierarchy. The context carries
+// cancellation intent and the obs.Recorder for per-stage spans.
+func (e *Engine) Load(ctx context.Context, im *disc.Image) (*Session, error) {
 	raw, err := im.ReadIndexDocumentBytes()
 	if err != nil {
 		return nil, fmt.Errorf("player: %w", err)
 	}
-	s, err := e.LoadDocument(raw)
+	s, err := e.LoadDocument(ctx, raw)
 	if err != nil {
 		return nil, err
 	}
@@ -74,15 +95,44 @@ func (e *Engine) Load(im *disc.Image) (*Session, error) {
 	return s, nil
 }
 
+// LoadNoContext is Load without a context.
+//
+// Deprecated: use Load with a context carrying cancellation and the
+// observability recorder.
+func (e *Engine) LoadNoContext(im *disc.Image) (*Session, error) {
+	return e.Load(context.Background(), im)
+}
+
 // LoadDocument opens a bare cluster document (downloaded application).
-func (e *Engine) LoadDocument(raw []byte) (*Session, error) {
+func (e *Engine) LoadDocument(ctx context.Context, raw []byte) (*Session, error) {
+	ctx, rec := e.obsContext(ctx)
+	sp := rec.Start(obs.StageLoad)
+	s, err := e.loadDocument(ctx, rec, raw)
+	sp.End()
+	if err != nil {
+		rec.Inc("load.err")
+		return nil, err
+	}
+	rec.Inc("load.ok")
+	return s, nil
+}
+
+// LoadDocumentNoContext is LoadDocument without a context.
+//
+// Deprecated: use LoadDocument with a context carrying cancellation and
+// the observability recorder.
+func (e *Engine) LoadDocumentNoContext(raw []byte) (*Session, error) {
+	return e.LoadDocument(context.Background(), raw)
+}
+
+func (e *Engine) loadDocument(ctx context.Context, rec *obs.Recorder, raw []byte) (*Session, error) {
 	opener := &core.Opener{
 		Roots:            e.Roots,
 		Decrypt:          e.DecryptKeys,
 		RequireSignature: e.RequireSignature,
 		KeyByName:        e.KeyByName,
 	}
-	res, err := opener.Open(raw)
+	res, err := opener.Open(ctx, raw)
 	if err != nil {
 		return nil, fmt.Errorf("player: security processing: %w", err)
 	}
@@ -94,7 +144,7 @@ func (e *Engine) LoadDocument(raw []byte) (*Session, error) {
 	if err != nil {
 		return nil, fmt.Errorf("player: decode cluster: %w", err)
 	}
-	return &Session{Cluster: cluster, Doc: res.Doc, OpenResult: res, engine: e}, nil
+	return &Session{Cluster: cluster, Doc: res.Doc, OpenResult: res, engine: e, rec: rec}, nil
 }
 
 func stripSecurityElements(doc *xmldom.Document) {
@@ -179,6 +229,9 @@ func (s *Session) RunApplication(trackID string) (*ExecutionReport, error) {
 	rep.Granted = grants.Granted()
 	rep.Denied = grants.Denied()
 
+	// Everything past policy evaluation is application execution.
+	defer s.rec.Start(obs.StageExecute).End()
+
 	// Markup: build the presentation plan.
 	var layout *markup.Layout
 	var timing *markup.TimingNode
@@ -251,6 +304,13 @@ func (s *Session) evaluatePermissions(m *disc.Manifest) (*access.GrantSet, error
 		// Closed platform: an empty policy set is NotApplicable for
 		// every request, which the PDP maps to Deny.
 		pdp = &access.PDP{}
+	}
+	if pdp.Recorder == nil && s.rec != nil {
+		// Shallow copy so the session's recorder does not leak into a
+		// policy shared across engines.
+		cp := *pdp
+		cp.Recorder = s.rec
+		pdp = &cp
 	}
 	return pdp.EvaluateRequest(pr, s.subjectAttrs(), nil)
 }

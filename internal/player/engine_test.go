@@ -1,6 +1,7 @@
 package player
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -179,7 +180,7 @@ func newEngine() *Engine {
 func TestLoadAndRunVerifiedGame(t *testing.T) {
 	im := buildImage(t, true)
 	e := newEngine()
-	sess, err := e.Load(im)
+	sess, err := e.Load(context.Background(), im)
 	if err != nil {
 		t.Fatalf("load: %v", err)
 	}
@@ -222,7 +223,7 @@ func TestLoadAndRunVerifiedGame(t *testing.T) {
 	}
 
 	// Second run accumulates the score (persistent storage).
-	sess2, err := e.Load(im)
+	sess2, err := e.Load(context.Background(), im)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -238,14 +239,14 @@ func TestLoadAndRunVerifiedGame(t *testing.T) {
 func TestUnsignedImageRejected(t *testing.T) {
 	im := buildImage(t, false)
 	e := newEngine()
-	if _, err := e.Load(im); err == nil {
+	if _, err := e.Load(context.Background(), im); err == nil {
 		t.Error("unsigned image loaded with RequireSignature")
 	}
 	// Without the requirement it loads, but the app is unverified and
 	// the policy denies everything.
 	e2 := newEngine()
 	e2.RequireSignature = false
-	sess, err := e2.Load(im)
+	sess, err := e2.Load(context.Background(), im)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -274,7 +275,7 @@ func TestTamperedImageBarred(t *testing.T) {
 	}
 	im.Put(disc.IndexPath, []byte(tampered))
 	e := newEngine()
-	if _, err := e.Load(im); err == nil {
+	if _, err := e.Load(context.Background(), im); err == nil {
 		t.Error("tampered application executed")
 	}
 }
@@ -305,7 +306,7 @@ func TestEncryptedGameScores(t *testing.T) {
 
 	e := newEngine()
 	e.DecryptKeys = xmlenc.DecryptOptions{Key: k}
-	sess, err := e.Load(im)
+	sess, err := e.Load(context.Background(), im)
 	if err != nil {
 		t.Fatalf("load encrypted image: %v", err)
 	}
@@ -322,7 +323,7 @@ func TestEncryptedGameScores(t *testing.T) {
 
 	// Player without the key cannot load.
 	e2 := newEngine()
-	if _, err := e2.Load(im); err == nil {
+	if _, err := e2.Load(context.Background(), im); err == nil {
 		t.Error("loaded encrypted image without key")
 	}
 }
@@ -330,7 +331,7 @@ func TestEncryptedGameScores(t *testing.T) {
 func TestRunApplicationErrors(t *testing.T) {
 	im := buildImage(t, true)
 	e := newEngine()
-	sess, err := e.Load(im)
+	sess, err := e.Load(context.Background(), im)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -358,7 +359,7 @@ func TestScriptRuntimeErrorIsReportedNotFatal(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sess, err := newEngine().Load(im)
+	sess, err := newEngine().Load(context.Background(), im)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -378,7 +379,7 @@ func TestLoadBareDocument(t *testing.T) {
 		t.Fatal(err)
 	}
 	e := newEngine()
-	sess, err := e.LoadDocument(doc.Bytes())
+	sess, err := e.LoadDocument(context.Background(), doc.Bytes())
 	if err != nil {
 		t.Fatalf("load document: %v", err)
 	}

@@ -1,6 +1,7 @@
 package player
 
 import (
+	"context"
 	"errors"
 	"strings"
 	"testing"
@@ -43,7 +44,7 @@ func licensedImage(t *testing.T, tamper bool) *disc.Image {
 
 func TestLicensedPlayback(t *testing.T) {
 	im := licensedImage(t, false)
-	sess, err := newEngine().Load(im)
+	sess, err := newEngine().Load(context.Background(), im)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,7 +71,7 @@ func TestLicensedPlayback(t *testing.T) {
 
 func TestTamperedLicenseRejected(t *testing.T) {
 	im := licensedImage(t, true)
-	sess, err := newEngine().Load(im)
+	sess, err := newEngine().Load(context.Background(), im)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,7 +82,7 @@ func TestTamperedLicenseRejected(t *testing.T) {
 
 func TestMissingLicense(t *testing.T) {
 	im := buildAVImage(t, true)
-	sess, err := newEngine().Load(im)
+	sess, err := newEngine().Load(context.Background(), im)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,7 +98,7 @@ func TestMissingLicense(t *testing.T) {
 
 func TestLicenseEvaluatorCached(t *testing.T) {
 	im := licensedImage(t, false)
-	sess, err := newEngine().Load(im)
+	sess, err := newEngine().Load(context.Background(), im)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -127,7 +128,7 @@ func TestLicenseUsePersistence(t *testing.T) {
 		}
 		e := newEngine()
 		e.Storage = storage
-		sess, err := e.Load(im)
+		sess, err := e.Load(context.Background(), im)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,11 +1,13 @@
 package player
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
 	"discsec/internal/core"
 	"discsec/internal/disc"
+	"discsec/internal/obs"
 )
 
 // Playback of A/V tracks. The reference player does not decode MPEG-2;
@@ -63,7 +65,7 @@ func (s *Session) PlayTrack(trackID string) (*PlaybackReport, error) {
 			Roots:     s.engine.Roots,
 			KeyByName: s.engine.KeyByName,
 		}
-		sigRep, err := opener.VerifyDetached(s.Image, core.ClipSignaturePath)
+		sigRep, err := opener.VerifyDetached(obs.WithRecorder(context.Background(), s.rec), s.Image, core.ClipSignaturePath)
 		if err != nil {
 			return nil, fmt.Errorf("player: clip signature: %w", err)
 		}

@@ -1,6 +1,7 @@
 package player
 
 import (
+	"context"
 	"errors"
 	"testing"
 
@@ -31,7 +32,7 @@ func buildAVImage(t *testing.T, signClips bool) *disc.Image {
 func TestPlayTrackWithSignedClips(t *testing.T) {
 	im := buildAVImage(t, true)
 	e := newEngine()
-	sess, err := e.Load(im)
+	sess, err := e.Load(context.Background(), im)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -53,7 +54,7 @@ func TestPlayTrackWithSignedClips(t *testing.T) {
 func TestPlayTrackUnsignedClipsBarred(t *testing.T) {
 	im := buildAVImage(t, false)
 	e := newEngine() // RequireSignature is true
-	sess, err := e.Load(im)
+	sess, err := e.Load(context.Background(), im)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -63,7 +64,7 @@ func TestPlayTrackUnsignedClipsBarred(t *testing.T) {
 	// A lax engine plays them.
 	lax := newEngine()
 	lax.RequireSignature = false
-	sess2, err := lax.Load(im)
+	sess2, err := lax.Load(context.Background(), im)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,7 +80,7 @@ func TestPlayTrackCorruptedClip(t *testing.T) {
 	im.Put("CLIPS/clip-1.m2ts", clip)
 
 	e := newEngine()
-	sess, err := e.Load(im)
+	sess, err := e.Load(context.Background(), im)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,7 +94,7 @@ func TestPlayTrackMissingClip(t *testing.T) {
 	im.Remove("CLIPS/clip-1.m2ts")
 	e := newEngine()
 	e.RequireSignature = false
-	sess, err := e.Load(im)
+	sess, err := e.Load(context.Background(), im)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,7 +106,7 @@ func TestPlayTrackMissingClip(t *testing.T) {
 func TestPlayTrackWrongKind(t *testing.T) {
 	im := buildAVImage(t, true)
 	e := newEngine()
-	sess, err := e.Load(im)
+	sess, err := e.Load(context.Background(), im)
 	if err != nil {
 		t.Fatal(err)
 	}

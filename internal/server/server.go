@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"discsec/internal/disc"
+	"discsec/internal/obs"
 	"discsec/internal/resilience"
 )
 
@@ -55,6 +56,47 @@ type ContentServer struct {
 	RetryAfter time.Duration
 	// ShutdownTimeout bounds graceful drain on shutdown; 0 means 5s.
 	ShutdownTimeout time.Duration
+
+	// recorder receives per-route counts, latencies, in-flight, and
+	// shed metrics, and backs the /metricsz endpoint. Set with
+	// WithRecorder; nil serves an empty /metricsz and records nothing.
+	recorder *obs.Recorder
+	// clock overrides time.Now for latency measurement (tests).
+	clock func() time.Time
+}
+
+// Option configures a ContentServer built by NewContentServer.
+type Option func(*ContentServer)
+
+// WithRecorder installs the observability recorder behind /metricsz
+// and the per-route request metrics.
+func WithRecorder(rec *obs.Recorder) Option {
+	return func(cs *ContentServer) { cs.recorder = rec }
+}
+
+// WithClock overrides the latency clock (tests).
+func WithClock(now func() time.Time) Option {
+	return func(cs *ContentServer) {
+		if now != nil {
+			cs.clock = now
+		}
+	}
+}
+
+// WithMaxInFlight bounds concurrently served content requests; past it
+// the server sheds load with 503 + Retry-After. 0 means unlimited.
+func WithMaxInFlight(limit int64) Option {
+	return func(cs *ContentServer) { cs.MaxInFlight = limit }
+}
+
+// WithRetryAfter sets the delay advertised on shed requests.
+func WithRetryAfter(d time.Duration) Option {
+	return func(cs *ContentServer) { cs.RetryAfter = d }
+}
+
+// WithShutdownTimeout bounds graceful drain on shutdown.
+func WithShutdownTimeout(d time.Duration) Option {
+	return func(cs *ContentServer) { cs.ShutdownTimeout = d }
 }
 
 // entry is immutable once published: publish installs a fresh pointer
@@ -66,9 +108,21 @@ type entry struct {
 	etag        string
 }
 
-// NewContentServer creates an empty server.
-func NewContentServer() *ContentServer {
-	return &ContentServer{catalog: make(map[string]*entry)}
+// NewContentServer creates an empty server, configured by functional
+// options.
+func NewContentServer(opts ...Option) *ContentServer {
+	cs := &ContentServer{catalog: make(map[string]*entry), clock: time.Now}
+	for _, o := range opts {
+		o(cs)
+	}
+	return cs
+}
+
+func (cs *ContentServer) now() time.Time {
+	if cs.clock != nil {
+		return cs.clock()
+	}
+	return time.Now()
 }
 
 // PublishDocument hosts a protected cluster/manifest document under the
@@ -137,16 +191,36 @@ func (cs *ContentServer) lookup(name string) (*entry, bool) {
 	return e, ok
 }
 
+// observeRoute records one finished request on a route: a request
+// counter plus a latency observation under the http.<route> stage.
+func (cs *ContentServer) observeRoute(route string, start time.Time) {
+	cs.recorder.Inc("http.requests." + route)
+	cs.recorder.Observe("http."+route, cs.now().Sub(start))
+}
+
 // ServeHTTP implements http.Handler: GET/HEAD /<name> returns the
 // published item (with ETag and Range support for resume); GET
-// /catalog returns a text listing.
+// /catalog returns a text listing; GET /metricsz and /healthz expose
+// the observability recorder and liveness counters.
 func (cs *ContentServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		cs.recorder.Inc("http.badmethod")
 		http.Error(w, "content server accepts GET and HEAD only", http.StatusMethodNotAllowed)
 		return
 	}
 	name := strings.TrimPrefix(r.URL.Path, "/")
-	if name == "catalog" {
+	switch name {
+	case "metricsz":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		cs.recorder.Snapshot().WriteMetrics(w)
+		return
+	case "healthz":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintf(w, "ok\ncatalog %d\ninflight %d\nshed %d\ndownloads %d\n",
+			len(cs.Catalog()), cs.inflight.Load(), cs.shed.Load(), cs.download.Load())
+		return
+	case "catalog":
+		defer cs.observeRoute("catalog", cs.now())
 		w.Header().Set("Content-Type", "text/plain")
 		for _, n := range cs.Catalog() {
 			fmt.Fprintln(w, n)
@@ -154,10 +228,12 @@ func (cs *ContentServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	defer cs.observeRoute("content", cs.now())
 	if limit := cs.MaxInFlight; limit > 0 {
 		if cs.inflight.Add(1) > limit {
 			cs.inflight.Add(-1)
 			cs.shed.Add(1)
+			cs.recorder.Inc("http.shed")
 			retryAfter := cs.RetryAfter
 			if retryAfter <= 0 {
 				retryAfter = time.Second
@@ -166,11 +242,16 @@ func (cs *ContentServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			http.Error(w, "content server over capacity", http.StatusServiceUnavailable)
 			return
 		}
-		defer cs.inflight.Add(-1)
+		cs.recorder.Inc("http.inflight")
+		defer func() {
+			cs.inflight.Add(-1)
+			cs.recorder.Add("http.inflight", -1)
+		}()
 	}
 
 	e, ok := cs.lookup(name)
 	if !ok {
+		cs.recorder.Inc("http.notfound")
 		http.NotFound(w, r)
 		return
 	}
@@ -259,6 +340,9 @@ type Downloader struct {
 	// resilience defaults (4 attempts, 100ms base full-jitter
 	// backoff).
 	Retry *resilience.Policy
+	// Recorder receives download spans and retry/resume counters; nil
+	// records nothing.
+	Recorder *obs.Recorder
 }
 
 // Downloader errors, matchable through the retry layer with errors.Is.
@@ -305,14 +389,26 @@ func (d *Downloader) Fetch(baseURL, name string) ([]byte, error) {
 // Range support with a strong ETag; resumed payloads are re-verified
 // against the ETag's content hash before being returned.
 func (d *Downloader) FetchContext(ctx context.Context, baseURL, name string) ([]byte, error) {
+	defer d.Recorder.Start(obs.StageDownload).End()
 	url := strings.TrimSuffix(baseURL, "/") + "/" + strings.TrimPrefix(name, "/")
 	st := &fetchState{}
+	attempts := 0
 	err := d.retry().Do(ctx, func(ctx context.Context) error {
+		attempts++
+		d.Recorder.Inc("download.attempts")
+		if attempts > 1 {
+			d.Recorder.Inc("download.retries")
+		}
 		return d.fetchOnce(ctx, url, st)
 	})
 	if err != nil {
+		d.Recorder.Inc("download.err")
 		return nil, err
 	}
+	if st.resumed {
+		d.Recorder.Inc("download.resumed")
+	}
+	d.Recorder.Inc("download.ok")
 	return st.buf, nil
 }
 

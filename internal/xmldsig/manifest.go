@@ -62,7 +62,7 @@ func SignManifest(refs []ReferenceSpec, manifestID string, resolver ExternalReso
 		if err != nil {
 			return nil, err
 		}
-		octets, err := applyTransforms(data, chain, sig)
+		octets, err := applyTransforms(data, chain, sig, nil)
 		if err != nil {
 			return nil, err
 		}
@@ -153,7 +153,7 @@ func validateManifestReference(doc *xmldom.Document, sig, refEl *xmldom.Element,
 		res.Err = err
 		return res
 	}
-	octets, err := applyTransforms(data, chain, sig)
+	octets, err := applyTransforms(data, chain, sig, nil)
 	if err != nil {
 		res.Err = err
 		return res

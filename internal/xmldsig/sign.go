@@ -290,7 +290,7 @@ func signInDocumentWithResolver(doc *xmldom.Document, parent *xmldom.Element, re
 		if err != nil {
 			return nil, err
 		}
-		octets, err := applyTransforms(data, chain, sig)
+		octets, err := applyTransforms(data, chain, sig, nil)
 		if err != nil {
 			return nil, err
 		}

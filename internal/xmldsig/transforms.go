@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"discsec/internal/c14n"
+	"discsec/internal/obs"
 	"discsec/internal/xmldom"
 	"discsec/internal/xmlsecuri"
 )
@@ -83,22 +84,22 @@ type transformSpec struct {
 // transform. The result is always octets: if the chain ends with a
 // node-set, the required default canonicalization (inclusive C14N 1.0
 // without comments) is applied.
-func applyTransforms(data refData, chain []transformSpec, sigEl *xmldom.Element) ([]byte, error) {
+func applyTransforms(data refData, chain []transformSpec, sigEl *xmldom.Element, rec *obs.Recorder) ([]byte, error) {
 	cur := data
 	for _, tr := range chain {
 		var err error
-		cur, err = applyTransform(cur, tr, sigEl)
+		cur, err = applyTransform(cur, tr, sigEl, rec)
 		if err != nil {
 			return nil, err
 		}
 	}
 	if cur.isNode {
-		return c14n.Canonicalize(cur.node, c14n.Options{})
+		return c14n.Canonicalize(cur.node, c14n.Options{Recorder: rec})
 	}
 	return cur.octets, nil
 }
 
-func applyTransform(data refData, tr transformSpec, sigEl *xmldom.Element) (refData, error) {
+func applyTransform(data refData, tr transformSpec, sigEl *xmldom.Element, rec *obs.Recorder) (refData, error) {
 	switch tr.algorithm {
 	case xmlsecuri.TransformEnveloped:
 		if !data.isNode {
@@ -116,6 +117,7 @@ func applyTransform(data refData, tr transformSpec, sigEl *xmldom.Element) (refD
 			return refData{}, err
 		}
 		opts.InclusivePrefixes = tr.inclusivePrefixes
+		opts.Recorder = rec
 		var in *xmldom.Element
 		if data.isNode {
 			in = data.node

@@ -8,6 +8,7 @@ import (
 	"fmt"
 
 	"discsec/internal/c14n"
+	"discsec/internal/obs"
 	"discsec/internal/xmldom"
 	"discsec/internal/xmlsecuri"
 )
@@ -51,6 +52,10 @@ type VerifyOptions struct {
 	// AcceptedSignatureMethods, when non-empty, restricts the
 	// algorithms a verifier accepts (algorithm-agility hardening).
 	AcceptedSignatureMethods []string
+	// Recorder, when non-nil, receives per-reference digest spans
+	// (obs.StageDigest), SignatureValue validation spans
+	// (obs.StageSignature), and the c14n spans beneath both.
+	Recorder *obs.Recorder
 }
 
 // ReferenceResult reports validation of one ds:Reference.
@@ -169,40 +174,15 @@ func Verify(doc *xmldom.Document, sig *xmldom.Element, opts VerifyOptions) (*Ver
 
 	// Reference validation.
 	for _, refEl := range refs {
-		uri := refEl.AttrValue("URI")
-		dmEl := refEl.FirstChildNamed(xmlsecuri.DSigNamespace, "DigestMethod")
-		dvEl := refEl.FirstChildNamed(xmlsecuri.DSigNamespace, "DigestValue")
-		if dmEl == nil || dvEl == nil {
-			return nil, fmt.Errorf("xmldsig: Reference %q missing DigestMethod or DigestValue", uri)
-		}
-		h, err := HashByDigestURI(dmEl.AttrValue("Algorithm"))
+		rr, err := verifyReference(doc, sig, refEl, opts)
 		if err != nil {
+			if errors.Is(err, ErrDigestMismatch) {
+				result.References = append(result.References, rr)
+				return result, err
+			}
 			return nil, err
 		}
-		want, err := decodeBase64Text(dvEl.Text())
-		if err != nil {
-			return nil, fmt.Errorf("xmldsig: Reference %q DigestValue: %w", uri, err)
-		}
-		data, err := dereference(uri, doc, opts.Resolver)
-		if err != nil {
-			return nil, err
-		}
-		chain, err := parseTransforms(refEl)
-		if err != nil {
-			return nil, err
-		}
-		octets, err := applyTransforms(data, chain, sig)
-		if err != nil {
-			return nil, err
-		}
-		hasher := h.New()
-		hasher.Write(octets)
-		got := hasher.Sum(nil)
-		ok := subtle.ConstantTimeCompare(got, want) == 1
-		result.References = append(result.References, ReferenceResult{URI: uri, Valid: ok, Digest: got})
-		if !ok {
-			return result, fmt.Errorf("%w: URI %q", ErrDigestMismatch, uri)
-		}
+		result.References = append(result.References, rr)
 	}
 
 	// Signature validation.
@@ -210,6 +190,7 @@ func Verify(doc *xmldom.Document, sig *xmldom.Element, opts VerifyOptions) (*Ver
 	if err != nil {
 		return nil, err
 	}
+	siOpts.Recorder = opts.Recorder
 	siOctets, err := c14n.Canonicalize(si, siOpts)
 	if err != nil {
 		return nil, err
@@ -233,7 +214,10 @@ func Verify(doc *xmldom.Document, sig *xmldom.Element, opts VerifyOptions) (*Ver
 	result.CertificateChainValidated = chainValidated
 
 	if isHMACMethod(sigMethod) {
-		if err := verifySignatureValue(sigMethod, siOctets, sigVal, nil, opts.HMACKey); err != nil {
+		sp := opts.Recorder.Start(obs.StageSignature)
+		err := verifySignatureValue(sigMethod, siOctets, sigVal, nil, opts.HMACKey)
+		sp.End()
+		if err != nil {
 			return result, fmt.Errorf("%w: %v", ErrSignatureInvalid, err)
 		}
 		return result, nil
@@ -241,10 +225,56 @@ func Verify(doc *xmldom.Document, sig *xmldom.Element, opts VerifyOptions) (*Ver
 	if pub == nil {
 		return result, ErrNoVerificationKey
 	}
-	if err := verifySignatureValue(sigMethod, siOctets, sigVal, pub, nil); err != nil {
+	sp := opts.Recorder.Start(obs.StageSignature)
+	err = verifySignatureValue(sigMethod, siOctets, sigVal, pub, nil)
+	sp.End()
+	if err != nil {
 		return result, fmt.Errorf("%w: %v", ErrSignatureInvalid, err)
 	}
 	return result, nil
+}
+
+// verifyReference validates one ds:Reference: dereference, transform
+// chain, digest, constant-time compare. A digest mismatch returns the
+// (invalid) ReferenceResult alongside ErrDigestMismatch so callers can
+// report which reference failed; structural errors return a zero
+// result.
+func verifyReference(doc *xmldom.Document, sig, refEl *xmldom.Element, opts VerifyOptions) (ReferenceResult, error) {
+	defer opts.Recorder.Start(obs.StageDigest).End()
+	uri := refEl.AttrValue("URI")
+	dmEl := refEl.FirstChildNamed(xmlsecuri.DSigNamespace, "DigestMethod")
+	dvEl := refEl.FirstChildNamed(xmlsecuri.DSigNamespace, "DigestValue")
+	if dmEl == nil || dvEl == nil {
+		return ReferenceResult{}, fmt.Errorf("xmldsig: Reference %q missing DigestMethod or DigestValue", uri)
+	}
+	h, err := HashByDigestURI(dmEl.AttrValue("Algorithm"))
+	if err != nil {
+		return ReferenceResult{}, err
+	}
+	want, err := decodeBase64Text(dvEl.Text())
+	if err != nil {
+		return ReferenceResult{}, fmt.Errorf("xmldsig: Reference %q DigestValue: %w", uri, err)
+	}
+	data, err := dereference(uri, doc, opts.Resolver)
+	if err != nil {
+		return ReferenceResult{}, err
+	}
+	chain, err := parseTransforms(refEl)
+	if err != nil {
+		return ReferenceResult{}, err
+	}
+	octets, err := applyTransforms(data, chain, sig, opts.Recorder)
+	if err != nil {
+		return ReferenceResult{}, err
+	}
+	hasher := h.New()
+	hasher.Write(octets)
+	got := hasher.Sum(nil)
+	rr := ReferenceResult{URI: uri, Valid: subtle.ConstantTimeCompare(got, want) == 1, Digest: got}
+	if !rr.Valid {
+		return rr, fmt.Errorf("%w: URI %q", ErrDigestMismatch, uri)
+	}
+	return rr, nil
 }
 
 func isHMACMethod(uri string) bool {

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 
+	"discsec/internal/obs"
 	"discsec/internal/xmldom"
 	"discsec/internal/xmlsecuri"
 )
@@ -25,6 +26,9 @@ type DecryptOptions struct {
 	// CipherResolver dereferences xenc:CipherReference URIs (ciphertext
 	// stored outside the document, e.g. in the disc image).
 	CipherResolver func(uri string) ([]byte, error)
+	// Recorder, when non-nil, receives one obs.StageDecrypt span per
+	// EncryptedData decryption.
+	Recorder *obs.Recorder
 }
 
 // IsEncryptedData reports whether el is an xenc:EncryptedData element.
@@ -58,6 +62,7 @@ func FindEncryptedData(doc *xmldom.Document) []*xmldom.Element {
 // without altering the tree — used for arbitrary binary payloads (tracks)
 // and as the common lower half of structural decryption.
 func DecryptOctets(ed *xmldom.Element, opts DecryptOptions) ([]byte, error) {
+	defer opts.Recorder.Start(obs.StageDecrypt).End()
 	if !IsEncryptedData(ed) {
 		return nil, errors.New("xmlenc: element is not xenc:EncryptedData")
 	}
