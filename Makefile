@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race lint race faults check bench metrics tools examples cover clean
+.PHONY: all build test test-race lint lint-baseline race faults check bench metrics tools examples cover clean
 
 all: build test
 
@@ -18,13 +18,21 @@ test-race:
 
 # Static analysis: go vet plus the project-specific discvet suite
 # (constant-time comparisons, no math/rand key material, %w wrapping,
-# single-XML-parser rule, lock hygiene). See internal/analysis.
+# single-XML-parser rule, lock hygiene, and the interprocedural
+# verify-before-execute dataflow rules). See internal/analysis.
 lint:
 	$(GO) vet ./...
 	$(GO) run ./cmd/discvet ./...
 
+# Like lint, but findings recorded in discvet.baseline.json are
+# accepted: CI fails only on NEW findings. Refresh the baseline with
+# `go run ./cmd/discvet -writebaseline discvet.baseline.json ./...`.
+lint-baseline:
+	$(GO) run ./cmd/discvet -baseline discvet.baseline.json ./...
+
 race:
 	$(GO) test -race ./...
+	$(GO) test -race ./internal/analysis/...
 
 # Fault-matrix gate: the deterministic fault-injection suites
 # (internal/faults schedules driving resets, timeouts, stalls,
@@ -37,7 +45,7 @@ faults:
 		./internal/keymgmt/ ./internal/player/
 
 # The full gate CI runs on every change.
-check: build lint race faults metrics
+check: build lint lint-baseline race faults metrics
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -67,4 +75,4 @@ cover:
 	$(GO) tool cover -func=cover.out | tail -1
 
 clean:
-	rm -rf bin cover.out test_output.txt bench_output.txt BENCH_obs.json
+	rm -rf bin cover.out test_output.txt bench_output.txt BENCH_obs.json discvet.sarif

@@ -9,9 +9,12 @@ import (
 // TestDiscvet runs the project's static-analysis suite over the whole
 // module, so `go test ./...` enforces the security invariants
 // (constant-time comparisons, no math/rand key material, %w wrapping,
-// the single-XML-parser rule, lock hygiene) on every change. The same
-// suite is available standalone as `go run ./cmd/discvet ./...` and
-// `make lint`.
+// the single-XML-parser rule, lock hygiene, and the interprocedural
+// dataflow rules: taintflow's verify-before-execute, unverifiedwrite's
+// verify-before-persist, auditpath's audited refusals) on every
+// change. The same suite is available standalone as
+// `go run ./cmd/discvet ./...` and `make lint`; stale suppressions are
+// reported too (uselessignore), so the zero-findings state cannot rot.
 func TestDiscvet(t *testing.T) {
 	loader, err := analysis.NewLoader(".")
 	if err != nil {

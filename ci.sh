@@ -1,11 +1,16 @@
 #!/bin/sh
 # CI gate: every PR must build cleanly, pass go vet and the discvet
 # static-analysis suite (see internal/analysis), and pass the full
-# test suite under the race detector.
+# test suite under the race detector. The SARIF report is archived
+# next to the BENCH_*.json artifacts for code-scanning upload.
 set -eux
 
 go build ./...
+go vet ./...
 make lint
+make lint-baseline
+go run ./cmd/discvet -sarif ./... > discvet.sarif
 go test -race ./...
+go test -race ./internal/analysis/...
 make faults
 make metrics

@@ -3,11 +3,19 @@
 //
 // Usage:
 //
-//	discvet [-rules cryptocompare,weakrand] [-list] [packages]
+//	discvet [-rules taintflow,auditpath] [-list] [-json|-sarif]
+//	        [-baseline file] [-writebaseline file] [packages]
 //
 // Packages default to ./... relative to the enclosing module root.
-// Findings print as file:line:col: [rule] message. Suppress a finding
-// with a justified comment on the offending line or the line above:
+// Findings print as file:line:col: [rule] message, or as structured
+// output with -json / -sarif (SARIF 2.1.0). A baseline file filters
+// known-accepted findings so CI fails only on new ones:
+//
+//	discvet -writebaseline discvet.baseline.json ./...   # accept today's findings
+//	discvet -baseline discvet.baseline.json ./...        # fail only on new ones
+//
+// Suppress a single finding with a justified comment on the offending
+// line or the line above (stale suppressions are themselves reported):
 //
 //	//discvet:ignore cryptocompare public value, not secret-dependent
 package main
@@ -24,17 +32,24 @@ import (
 func main() {
 	rules := flag.String("rules", "", "comma-separated subset of rules to run (default: all)")
 	list := flag.Bool("list", false, "list registered rules and exit")
+	jsonOut := flag.Bool("json", false, "emit findings as JSON on stdout")
+	sarifOut := flag.Bool("sarif", false, "emit findings as SARIF 2.1.0 on stdout")
+	baselinePath := flag.String("baseline", "", "filter findings through the baseline `file`; only new findings fail")
+	writeBaseline := flag.String("writebaseline", "", "write current findings to the baseline `file` and exit 0")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: discvet [-rules r1,r2] [-list] [packages]\n")
+		fmt.Fprintf(os.Stderr, "usage: discvet [-rules r1,r2] [-list] [-json|-sarif] [-baseline file] [-writebaseline file] [packages]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
 
 	if *list {
 		for _, a := range analysis.Analyzers() {
-			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
 		}
 		return
+	}
+	if *jsonOut && *sarifOut {
+		fatalf("choose one of -json and -sarif")
 	}
 
 	selected := analysis.Analyzers()
@@ -44,8 +59,7 @@ func main() {
 			name = strings.TrimSpace(name)
 			a := analysis.ByName(name)
 			if a == nil {
-				fmt.Fprintf(os.Stderr, "discvet: unknown rule %q (try -list)\n", name)
-				os.Exit(2)
+				fatalf("unknown rule %q (try -list)", name)
 			}
 			selected = append(selected, a)
 		}
@@ -58,26 +72,68 @@ func main() {
 
 	cwd, err := os.Getwd()
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "discvet:", err)
-		os.Exit(2)
+		fatalf("%v", err)
 	}
 	loader, err := analysis.NewLoader(cwd)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "discvet:", err)
-		os.Exit(2)
+		fatalf("%v", err)
 	}
 	pkgs, err := loader.Load(patterns...)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "discvet:", err)
-		os.Exit(2)
+		fatalf("%v", err)
 	}
 
 	diags := analysis.Run(pkgs, selected)
-	for _, d := range diags {
-		fmt.Println(d)
+
+	if *writeBaseline != "" {
+		b := analysis.NewBaseline(diags, loader.Root)
+		if err := b.Save(*writeBaseline); err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Fprintf(os.Stderr, "discvet: wrote %d baseline entr%s to %s\n",
+			len(b.Entries), plural(len(b.Entries), "y", "ies"), *writeBaseline)
+		return
+	}
+	if *baselinePath != "" {
+		b, err := analysis.LoadBaseline(*baselinePath)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		diags = b.Filter(diags, loader.Root)
+	}
+
+	switch {
+	case *sarifOut:
+		out, err := analysis.SARIFReport(diags, selected, loader.Root)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Println(string(out))
+	case *jsonOut:
+		out, err := analysis.JSONReport(diags, loader.Root)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Println(string(out))
+	default:
+		for _, d := range diags {
+			fmt.Println(d)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "discvet: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
 		os.Exit(1)
 	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "discvet: "+format+"\n", args...)
+	os.Exit(2)
+}
+
+func plural(n int, one, many string) string {
+	if n == 1 {
+		return one
+	}
+	return many
 }

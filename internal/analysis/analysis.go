@@ -28,12 +28,27 @@
 //     that accept a context.Context must propagate it to the
 //     context-aware functions they call; a dropped ctx severs both
 //     cancellation and the observability recorder it carries.
+//   - taintflow: interprocedural verify-before-execute — no dataflow
+//     path from a disc/network source to script execution or markup
+//     rendering may skip the Verifier (core.Open*/xmldsig.Verify*).
+//     Built on the module-wide call graph (callgraph.go) and taint
+//     engine (taint.go).
+//   - unverifiedwrite: unverified network bytes must not reach durable
+//     trust-relevant stores (local storage, disc-image persistence,
+//     the PEM key store).
+//   - auditpath: deny/fail-closed branches in core, access, and player
+//     must emit an obs audit event before returning, so the audit ring
+//     records every security refusal.
 //
 // Diagnostics carry file:line:col positions. A finding can be
 // suppressed with a justified comment on the same line or the line
 // directly above:
 //
 //	//discvet:ignore cryptocompare public value, not secret-dependent
+//
+// A directive naming a rule that does not exist — or that fires no
+// finding on that line under the selected rules — is itself reported
+// (as discvet / uselessignore), so suppressions cannot rot.
 package analysis
 
 import (
@@ -44,8 +59,10 @@ import (
 	"sort"
 )
 
-// Analyzer is one named rule. Run inspects a single package via its
-// Pass and reports findings through pass.Reportf.
+// Analyzer is one named rule. Per-package rules set Run and inspect a
+// single package via its Pass; module-level rules (the interprocedural
+// dataflow rules) set RunModule and see every loaded package plus the
+// shared call graph at once. Exactly one of Run/RunModule is set.
 type Analyzer struct {
 	// Name identifies the rule in output and in ignore directives.
 	Name string
@@ -53,6 +70,8 @@ type Analyzer struct {
 	Doc string
 	// Run executes the rule against one package.
 	Run func(*Pass)
+	// RunModule executes the rule once over the whole package set.
+	RunModule func(*ModulePass)
 }
 
 // Pass carries one type-checked package through one analyzer.
@@ -70,6 +89,28 @@ type Pass struct {
 
 // Reportf records a diagnostic at pos.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Rule:    p.Analyzer.Name,
+		Pos:     p.Fset.Position(pos),
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// ModulePass carries the whole loaded package set through one
+// module-level analyzer.
+type ModulePass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Pkgs     []*Package
+	// Graph is the module-wide call graph, shared between module-level
+	// analyzers in one Run.
+	Graph *CallGraph
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *ModulePass) Reportf(pos token.Pos, format string, args ...any) {
 	*p.diags = append(*p.diags, Diagnostic{
 		Rule:    p.Analyzer.Name,
 		Pos:     p.Fset.Position(pos),
@@ -98,6 +139,9 @@ func Analyzers() []*Analyzer {
 		LockSafety,
 		HTTPClient,
 		ObsCtx,
+		Taintflow,
+		UnverifiedWrite,
+		AuditPath,
 	}
 }
 
@@ -112,14 +156,17 @@ func ByName(name string) *Analyzer {
 }
 
 // Run executes the analyzers over the packages and returns the
-// surviving diagnostics: suppressed findings are dropped, and ignore
-// directives naming unknown rules are themselves reported. The result
-// is sorted by position then rule.
+// surviving diagnostics: suppressed findings are dropped, ignore
+// directives naming unknown rules are reported, and directives that
+// suppress nothing under the selected rules are reported as
+// uselessignore. The result is sorted by position then rule.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
-	var diags []Diagnostic
+	var raw []Diagnostic
 	for _, pkg := range pkgs {
-		var pkgDiags []Diagnostic
 		for _, a := range analyzers {
+			if a.Run == nil {
+				continue
+			}
 			pass := &Pass{
 				Analyzer: a,
 				Fset:     pkg.Fset,
@@ -127,12 +174,26 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 				Files:    pkg.Files,
 				Pkg:      pkg.Types,
 				Info:     pkg.Info,
-				diags:    &pkgDiags,
+				diags:    &raw,
 			}
 			a.Run(pass)
 		}
-		diags = append(diags, applySuppressions(pkg, pkgDiags)...)
 	}
+	var graph *CallGraph
+	for _, a := range analyzers {
+		if a.RunModule == nil {
+			continue
+		}
+		if graph == nil {
+			graph = BuildCallGraph(pkgs)
+		}
+		mp := &ModulePass{Analyzer: a, Pkgs: pkgs, Graph: graph, diags: &raw}
+		if len(pkgs) > 0 {
+			mp.Fset = pkgs[0].Fset
+		}
+		a.RunModule(mp)
+	}
+	diags := applySuppressions(pkgs, analyzers, raw)
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.Pos.Filename != b.Pos.Filename {

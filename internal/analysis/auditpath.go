@@ -1,0 +1,371 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AuditPath enforces the observability half of fail-closed behavior:
+// when the trusted-path packages (core, access, player) refuse to
+// proceed — a signature fails verification, a runtime permission check
+// denies an operation, or a fail-closed sentinel error is returned —
+// the refusing branch must emit an obs audit event, so the bounded
+// audit ring (DESIGN.md §9) records every security decision, not just
+// the ones a layer happened to remember to log.
+//
+// Three branch shapes are checked:
+//
+//  1. verify-failure: `if err != nil { ... return ... }` where err came
+//     from a leaf verifier call (xmldsig.Verify/VerifyDocument). Calls
+//     to core.Open*/VerifyDetached are exempt: those audit internally.
+//  2. runtime deny: `if !grants.Allows(...) { ... }`.
+//  3. fail-closed sentinel: `return ..., ErrSomethingRequired` (or
+//     Denied/Revoked/Forbidden/Untrusted) with no audit earlier in the
+//     same block.
+//
+// An audit is any call to a function or method named Audit, found
+// directly in the branch or inside a function literal bound to a local
+// variable the branch calls (the deny-closure idiom).
+var AuditPath = &Analyzer{
+	Name: "auditpath",
+	Doc:  "deny/fail-closed branches in core, access, and player must emit an obs audit event before returning",
+	Run:  runAuditPath,
+}
+
+var auditPathPackages = []string{"core", "access", "player"}
+
+// auditVerifiers are the leaf verification calls whose failure is a
+// security decision the caller must audit.
+var auditVerifiers = []FuncRef{
+	{Pkg: pkgXMLDSig, Name: "Verify"},
+	{Pkg: pkgXMLDSig, Name: "VerifyDocument"},
+}
+
+// auditDenyChecks are runtime permission predicates; a negated check
+// guards a deny branch.
+var auditDenyChecks = []FuncRef{
+	{Pkg: pkgAccess, Recv: "GrantSet", Name: "Allows"},
+}
+
+// failClosedWords classify package-level Err* sentinels that represent
+// a refusal rather than a mere failure.
+var failClosedWords = map[string]bool{
+	"required": true, "denied": true, "revoked": true,
+	"forbidden": true, "untrusted": true,
+}
+
+func runAuditPath(pass *Pass) {
+	if !pathHasInternalPkg(pass.Path, auditPathPackages...) {
+		return
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ap := &auditPathCheck{pass: pass, closures: localClosures(pass.Info, fd.Body)}
+			ap.walkStmts(fd.Body.List)
+			// Function literals (host-API bindings, handlers) are
+			// separate roots: the statement walker does not descend
+			// into expressions, so each literal body is visited
+			// exactly once here.
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					ap.walkStmts(lit.Body.List)
+				}
+				return true
+			})
+		}
+	}
+}
+
+type auditPathCheck struct {
+	pass     *Pass
+	closures map[types.Object]*ast.FuncLit
+}
+
+// localClosures indexes `name := func(...){...}` bindings so a branch
+// calling deny(...) is credited with the closure's audit call.
+func localClosures(info *types.Info, body *ast.BlockStmt) map[types.Object]*ast.FuncLit {
+	out := map[types.Object]*ast.FuncLit{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			lit, ok := rhs.(*ast.FuncLit)
+			if !ok {
+				continue
+			}
+			id, ok := as.Lhs[i].(*ast.Ident)
+			if !ok {
+				continue
+			}
+			if obj := info.Defs[id]; obj != nil {
+				out[obj] = lit
+			} else if obj := info.Uses[id]; obj != nil {
+				out[obj] = lit
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// walkStmts traverses a statement list, tracking preceding siblings so
+// the `v, err := verify(...); if err != nil` split form resolves.
+func (ap *auditPathCheck) walkStmts(list []ast.Stmt) {
+	for i, s := range list {
+		var prev ast.Stmt
+		if i > 0 {
+			prev = list[i-1]
+		}
+		ap.walkStmt(s, prev, list[:i])
+	}
+}
+
+func (ap *auditPathCheck) walkStmt(s, prev ast.Stmt, before []ast.Stmt) {
+	switch x := s.(type) {
+	case *ast.IfStmt:
+		ap.checkIf(x, prev)
+		ap.walkStmts(x.Body.List)
+		if x.Else != nil {
+			// An `else if` sees the enclosing if's init, not a sibling.
+			ap.walkStmt(x.Else, nil, nil)
+		}
+	case *ast.BlockStmt:
+		ap.walkStmts(x.List)
+	case *ast.ForStmt:
+		ap.walkStmts(x.Body.List)
+	case *ast.RangeStmt:
+		ap.walkStmts(x.Body.List)
+	case *ast.SwitchStmt:
+		for _, c := range x.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				ap.walkStmts(cc.Body)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range x.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				ap.walkStmts(cc.Body)
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range x.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				ap.walkStmts(cc.Body)
+			}
+		}
+	case *ast.ReturnStmt:
+		ap.checkSentinelReturn(x, before)
+	case *ast.LabeledStmt:
+		ap.walkStmt(x.Stmt, prev, before)
+	}
+}
+
+// checkIf applies shapes 1 and 2 to one if statement.
+func (ap *auditPathCheck) checkIf(ifs *ast.IfStmt, prev ast.Stmt) {
+	// Shape 2: negated permission check.
+	if un, ok := ast.Unparen(ifs.Cond).(*ast.UnaryExpr); ok && un.Op == token.NOT {
+		if call, ok := ast.Unparen(un.X).(*ast.CallExpr); ok {
+			if matchAny(calleeFunc(ap.pass.Info, call), auditDenyChecks) {
+				if !ap.branchAudits(ifs.Body) {
+					ap.pass.Reportf(ifs.Pos(),
+						"permission-denied branch does not emit an obs audit event; record the refusal (Recorder.Audit) before returning")
+				}
+				return
+			}
+		}
+	}
+
+	// Shape 1: err != nil from a verifier call, branch returns.
+	errObj := errNotNilCond(ap.pass.Info, ifs.Cond)
+	if errObj == nil {
+		return
+	}
+	var origin *ast.CallExpr
+	if ifs.Init != nil {
+		origin = assignedCall(ap.pass.Info, ifs.Init, errObj)
+	}
+	if origin == nil && prev != nil {
+		origin = assignedCall(ap.pass.Info, prev, errObj)
+	}
+	if origin == nil || !matchAny(calleeFunc(ap.pass.Info, origin), auditVerifiers) {
+		return
+	}
+	if !branchReturns(ifs.Body) {
+		return
+	}
+	if !ap.branchAudits(ifs.Body) {
+		ap.pass.Reportf(ifs.Pos(),
+			"verification-failure branch does not emit an obs audit event; record the refusal (Recorder.Audit) before returning")
+	}
+}
+
+// checkSentinelReturn applies shape 3: a direct return of a fail-closed
+// sentinel must have an audit earlier in its innermost block.
+func (ap *auditPathCheck) checkSentinelReturn(ret *ast.ReturnStmt, before []ast.Stmt) {
+	sentinel := false
+	for _, res := range ret.Results {
+		if isFailClosedSentinel(ap.pass.Info, res) {
+			sentinel = true
+			break
+		}
+	}
+	if !sentinel {
+		return
+	}
+	for _, s := range before {
+		if ap.stmtAudits(s, 2) {
+			return
+		}
+	}
+	ap.pass.Reportf(ret.Pos(),
+		"fail-closed sentinel returned without an obs audit event; record the refusal (Recorder.Audit) before returning")
+}
+
+// isFailClosedSentinel reports whether e names a package-level error
+// variable whose Err*-style name carries a fail-closed word.
+func isFailClosedSentinel(info *types.Info, e ast.Expr) bool {
+	var id *ast.Ident
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		id = x
+	case *ast.SelectorExpr:
+		id = x.Sel
+	default:
+		return false
+	}
+	v, ok := info.Uses[id].(*types.Var)
+	if !ok || v.Pkg() == nil || v.Parent() != v.Pkg().Scope() {
+		return false
+	}
+	if !types.Identical(v.Type(), types.Universe.Lookup("error").Type()) {
+		return false
+	}
+	words := splitWords(v.Name())
+	if len(words) == 0 || words[0] != "err" {
+		return false
+	}
+	for _, w := range words[1:] {
+		if failClosedWords[w] {
+			return true
+		}
+	}
+	return false
+}
+
+// errNotNilCond matches `x != nil` (either side) where x is an
+// identifier of error type, returning its object.
+func errNotNilCond(info *types.Info, cond ast.Expr) types.Object {
+	bin, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok || bin.Op != token.NEQ {
+		return nil
+	}
+	operand := bin.X
+	if id, ok := ast.Unparen(bin.X).(*ast.Ident); ok && id.Name == "nil" && info.Uses[id] == types.Universe.Lookup("nil") {
+		operand = bin.Y
+	} else if id, ok := ast.Unparen(bin.Y).(*ast.Ident); !ok || id.Name != "nil" {
+		return nil
+	}
+	id, ok := ast.Unparen(operand).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	obj := info.Uses[id]
+	if obj == nil || !types.Identical(obj.Type(), types.Universe.Lookup("error").Type()) {
+		return nil
+	}
+	return obj
+}
+
+// assignedCall returns the call expression assigned to obj in stmt, or
+// nil.
+func assignedCall(info *types.Info, stmt ast.Stmt, obj types.Object) *ast.CallExpr {
+	as, ok := stmt.(*ast.AssignStmt)
+	if !ok || len(as.Rhs) != 1 {
+		return nil
+	}
+	call, ok := as.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return nil
+	}
+	for _, lhs := range as.Lhs {
+		id, ok := lhs.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		if info.Defs[id] == obj || info.Uses[id] == obj {
+			return call
+		}
+	}
+	return nil
+}
+
+func branchReturns(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.ReturnStmt); ok {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// branchAudits reports whether the branch body contains an audit call,
+// expanding one level of local-closure calls.
+func (ap *auditPathCheck) branchAudits(body *ast.BlockStmt) bool {
+	for _, s := range body.List {
+		if ap.stmtAudits(s, 2) {
+			return true
+		}
+	}
+	return false
+}
+
+func (ap *auditPathCheck) stmtAudits(s ast.Stmt, depth int) bool {
+	found := false
+	ast.Inspect(s, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if isAuditCall(call) {
+			found = true
+			return false
+		}
+		if depth > 0 {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+				if lit, ok := ap.closures[ap.pass.Info.Uses[id]]; ok {
+					for _, inner := range lit.Body.List {
+						if ap.stmtAudits(inner, depth-1) {
+							found = true
+							return false
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// isAuditCall matches a call to any function or method named Audit.
+func isAuditCall(call *ast.CallExpr) bool {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name == "Audit"
+	case *ast.SelectorExpr:
+		return fun.Sel.Name == "Audit"
+	}
+	return false
+}

@@ -1,0 +1,120 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// A Baseline records known-accepted findings so CI fails only on NEW
+// findings. Entries match on (rule, file, message) — deliberately not
+// on line numbers, so unrelated edits above a known finding do not
+// break the build — with a count capping how many identical findings
+// the file may carry.
+type Baseline struct {
+	// Version is the file-format version (currently 1).
+	Version int             `json:"version"`
+	Entries []BaselineEntry `json:"entries"`
+}
+
+// BaselineEntry is one accepted finding shape.
+type BaselineEntry struct {
+	Rule string `json:"rule"`
+	// File is the module-root-relative path, forward slashes.
+	File    string `json:"file"`
+	Message string `json:"message"`
+	// Count is how many findings with this shape are accepted.
+	Count int `json:"count"`
+}
+
+// baselineKey is the matching identity of an entry.
+type baselineKey struct{ rule, file, message string }
+
+// relFile normalizes a diagnostic filename to a root-relative
+// forward-slash path for stable baselines and SARIF URIs.
+func relFile(root, filename string) string {
+	if root != "" && filepath.IsAbs(filename) {
+		if rel, err := filepath.Rel(root, filename); err == nil && !filepath.IsAbs(rel) {
+			filename = rel
+		}
+	}
+	return filepath.ToSlash(filename)
+}
+
+// NewBaseline captures the diagnostics as an accepted baseline, with
+// file paths relative to root.
+func NewBaseline(diags []Diagnostic, root string) *Baseline {
+	counts := map[baselineKey]int{}
+	var order []baselineKey
+	for _, d := range diags {
+		k := baselineKey{d.Rule, relFile(root, d.Pos.Filename), d.Message}
+		if counts[k] == 0 {
+			order = append(order, k)
+		}
+		counts[k]++
+	}
+	sort.Slice(order, func(i, j int) bool {
+		a, b := order[i], order[j]
+		if a.file != b.file {
+			return a.file < b.file
+		}
+		if a.rule != b.rule {
+			return a.rule < b.rule
+		}
+		return a.message < b.message
+	})
+	b := &Baseline{Version: 1}
+	for _, k := range order {
+		b.Entries = append(b.Entries, BaselineEntry{Rule: k.rule, File: k.file, Message: k.message, Count: counts[k]})
+	}
+	if b.Entries == nil {
+		b.Entries = []BaselineEntry{}
+	}
+	return b
+}
+
+// LoadBaseline reads a baseline file.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("analysis: parsing baseline %s: %w", path, err)
+	}
+	if b.Version != 1 {
+		return nil, fmt.Errorf("analysis: baseline %s has unsupported version %d", path, b.Version)
+	}
+	return &b, nil
+}
+
+// Save writes the baseline to path, indented for reviewable diffs.
+func (b *Baseline) Save(path string) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Filter returns the diagnostics not covered by the baseline: each
+// entry absorbs up to Count matching findings.
+func (b *Baseline) Filter(diags []Diagnostic, root string) []Diagnostic {
+	remaining := map[baselineKey]int{}
+	for _, e := range b.Entries {
+		remaining[baselineKey{e.Rule, e.File, e.Message}] += e.Count
+	}
+	var out []Diagnostic
+	for _, d := range diags {
+		k := baselineKey{d.Rule, relFile(root, d.Pos.Filename), d.Message}
+		if remaining[k] > 0 {
+			remaining[k]--
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}

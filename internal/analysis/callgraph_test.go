@@ -1,0 +1,99 @@
+package analysis
+
+import (
+	"go/types"
+	"testing"
+)
+
+const cgPath = "discsec/internal/cgfixture"
+
+func buildFixtureGraph(t *testing.T) *CallGraph {
+	t.Helper()
+	pkg := loadFixture(t, "callgraph", cgPath)
+	return BuildCallGraph([]*Package{pkg})
+}
+
+// calleeNames renders a callee set as "Recv.Name" / "Name" strings.
+func calleeNames(fns []*types.Func) []string {
+	var out []string
+	for _, fn := range fns {
+		if recv := recvTypeName(fn); recv != "" {
+			out = append(out, recv+"."+fn.Name())
+			continue
+		}
+		out = append(out, fn.Name())
+	}
+	return out
+}
+
+func hasName(names []string, want string) bool {
+	for _, n := range names {
+		if n == want {
+			return true
+		}
+	}
+	return false
+}
+
+func TestCallGraphRecursion(t *testing.T) {
+	g := buildFixtureGraph(t)
+	rec := g.Lookup(cgPath, "", "Rec")
+	if rec == nil {
+		t.Fatal("Rec not in graph")
+	}
+	names := calleeNames(rec.CalleeSet(EdgeStatic))
+	if !hasName(names, "Rec") {
+		t.Errorf("Rec static callees = %v, want self edge", names)
+	}
+}
+
+func TestCallGraphInterfaceDispatch(t *testing.T) {
+	g := buildFixtureGraph(t)
+	ci := g.Lookup(cgPath, "", "CallIface")
+	if ci == nil {
+		t.Fatal("CallIface not in graph")
+	}
+	names := calleeNames(ci.CalleeSet(EdgeInterface))
+	// Value-receiver A and pointer-receiver B both implement Doer.
+	if !hasName(names, "A.Do") || !hasName(names, "B.Do") {
+		t.Errorf("CallIface interface callees = %v, want [A.Do B.Do]", names)
+	}
+	if static := ci.CalleeSet(EdgeStatic); len(static) != 0 {
+		t.Errorf("CallIface static callees = %v, want none", calleeNames(static))
+	}
+}
+
+func TestCallGraphFuncValue(t *testing.T) {
+	g := buildFixtureGraph(t)
+	uv := g.Lookup(cgPath, "", "UseVal")
+	if uv == nil {
+		t.Fatal("UseVal not in graph")
+	}
+	names := calleeNames(uv.CalleeSet(EdgeFuncValue))
+	if !hasName(names, "helper") {
+		t.Errorf("UseVal funcvalue callees = %v, want helper", names)
+	}
+
+	// A plain call is static, not a function value.
+	cs := g.Lookup(cgPath, "", "CallsStatic")
+	if cs == nil {
+		t.Fatal("CallsStatic not in graph")
+	}
+	static := calleeNames(cs.CalleeSet(EdgeStatic))
+	if !hasName(static, "helper") || !hasName(static, "Rec") {
+		t.Errorf("CallsStatic static callees = %v, want [Rec helper]", static)
+	}
+	if fv := cs.CalleeSet(EdgeFuncValue); len(fv) != 0 {
+		t.Errorf("CallsStatic funcvalue callees = %v, want none", calleeNames(fv))
+	}
+}
+
+func TestCallGraphMethodNodes(t *testing.T) {
+	g := buildFixtureGraph(t)
+	if g.Lookup(cgPath, "A", "Do") == nil || g.Lookup(cgPath, "B", "Do") == nil {
+		t.Error("method declarations missing from graph")
+	}
+	if g.Lookup(cgPath, "", "nosuchfunc") != nil {
+		t.Error("Lookup invented a node")
+	}
+}

@@ -176,6 +176,7 @@ func (l *Loader) LoadDir(dir, path string) (*Package, error) {
 		Defs:       map[*ast.Ident]types.Object{},
 		Uses:       map[*ast.Ident]types.Object{},
 		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
 	}
 	conf := types.Config{Importer: (*moduleImporter)(l)}
 	tpkg, err := conf.Check(path, l.fset, files, info)

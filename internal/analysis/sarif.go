@@ -1,0 +1,137 @@
+package analysis
+
+import "encoding/json"
+
+// Structured emitters for CI integration: a compact JSON report and a
+// SARIF 2.1.0 log (the shape GitHub code scanning and most SARIF
+// viewers consume: version + runs[].tool.driver.rules + runs[].results
+// with ruleId/message/physical locations).
+
+const (
+	sarifVersion = "2.1.0"
+	sarifSchema  = "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json"
+)
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysicalLocation `json:"physicalLocation"`
+}
+
+type sarifPhysicalLocation struct {
+	ArtifactLocation sarifArtifactLocation `json:"artifactLocation"`
+	Region           sarifRegion           `json:"region"`
+}
+
+type sarifArtifactLocation struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// SARIFReport renders the diagnostics as a SARIF 2.1.0 log. File URIs
+// are made relative to root. The driver's rule table lists every
+// selected analyzer plus the suppression pseudo-rules, so every result
+// ruleId resolves.
+func SARIFReport(diags []Diagnostic, analyzers []*Analyzer, root string) ([]byte, error) {
+	driver := sarifDriver{
+		Name:  "discvet",
+		Rules: []sarifRule{},
+	}
+	for _, a := range analyzers {
+		driver.Rules = append(driver.Rules, sarifRule{ID: a.Name, ShortDescription: sarifMessage{Text: a.Doc}})
+	}
+	driver.Rules = append(driver.Rules,
+		sarifRule{ID: "discvet", ShortDescription: sarifMessage{Text: "malformed //discvet:ignore directive"}},
+		sarifRule{ID: "uselessignore", ShortDescription: sarifMessage{Text: "stale //discvet:ignore directive suppressing nothing"}},
+	)
+
+	results := []sarifResult{}
+	for _, d := range diags {
+		line := d.Pos.Line
+		if line < 1 {
+			line = 1
+		}
+		results = append(results, sarifResult{
+			RuleID:  d.Rule,
+			Level:   "error",
+			Message: sarifMessage{Text: d.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysicalLocation{
+					ArtifactLocation: sarifArtifactLocation{URI: relFile(root, d.Pos.Filename)},
+					Region:           sarifRegion{StartLine: line, StartColumn: d.Pos.Column},
+				},
+			}},
+		})
+	}
+
+	log := sarifLog{
+		Schema:  sarifSchema,
+		Version: sarifVersion,
+		Runs:    []sarifRun{{Tool: sarifTool{Driver: driver}, Results: results}},
+	}
+	return json.MarshalIndent(log, "", "  ")
+}
+
+// jsonDiagnostic is the machine-readable diagnostic shape.
+type jsonDiagnostic struct {
+	Rule    string `json:"rule"`
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Column  int    `json:"column"`
+	Message string `json:"message"`
+}
+
+// JSONReport renders the diagnostics as a JSON array with root-relative
+// file paths.
+func JSONReport(diags []Diagnostic, root string) ([]byte, error) {
+	out := []jsonDiagnostic{}
+	for _, d := range diags {
+		out = append(out, jsonDiagnostic{
+			Rule:    d.Rule,
+			File:    relFile(root, d.Pos.Filename),
+			Line:    d.Pos.Line,
+			Column:  d.Pos.Column,
+			Message: d.Message,
+		})
+	}
+	return json.MarshalIndent(out, "", "  ")
+}

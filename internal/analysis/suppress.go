@@ -15,6 +15,10 @@ type ignoreDirective struct {
 
 const ignorePrefix = "//discvet:ignore"
 
+// pseudoRules are diagnostic sources that are not analyzers but are
+// legal in ignore directives' rule position checks.
+var pseudoRules = map[string]bool{"discvet": true, "uselessignore": true}
+
 // parseIgnores extracts every //discvet:ignore directive in the
 // package's files.
 func parseIgnores(pkg *Package) []ignoreDirective {
@@ -41,25 +45,43 @@ func parseIgnores(pkg *Package) []ignoreDirective {
 
 // applySuppressions drops diagnostics covered by an ignore directive
 // for their rule on the same line or the line directly above, and
-// reports malformed directives: a missing rule name, or a rule name
-// that matches no registered analyzer. diags must all belong to pkg.
-func applySuppressions(pkg *Package, diags []Diagnostic) []Diagnostic {
-	dirs := parseIgnores(pkg)
+// reports defective directives:
+//
+//   - a missing rule name or an unknown rule name -> rule "discvet"
+//   - a directive whose rule was among the selected analyzers yet
+//     suppressed nothing -> rule "uselessignore", so stale
+//     suppressions surface instead of silently masking future code.
+//
+// Directives are collected across all packages of the run, so
+// module-level diagnostics are suppressible wherever they land.
+func applySuppressions(pkgs []*Package, selected []*Analyzer, diags []Diagnostic) []Diagnostic {
+	var dirs []ignoreDirective
+	for _, pkg := range pkgs {
+		dirs = append(dirs, parseIgnores(pkg)...)
+	}
+	selectedNames := map[string]bool{}
+	for _, a := range selected {
+		selectedNames[a.Name] = true
+	}
+
+	used := make([]bool, len(dirs))
 	var out []Diagnostic
 	for _, d := range diags {
 		suppressed := false
-		for _, ig := range dirs {
+		for i, ig := range dirs {
 			if ig.rule == d.Rule && ig.pos.Filename == d.Pos.Filename &&
 				(ig.pos.Line == d.Pos.Line || ig.pos.Line == d.Pos.Line-1) {
 				suppressed = true
-				break
+				used[i] = true
+				// Keep scanning: a second directive for the same finding
+				// would otherwise be reported useless nondeterministically.
 			}
 		}
 		if !suppressed {
 			out = append(out, d)
 		}
 	}
-	for _, ig := range dirs {
+	for i, ig := range dirs {
 		switch {
 		case ig.rule == "":
 			out = append(out, Diagnostic{
@@ -67,11 +89,17 @@ func applySuppressions(pkg *Package, diags []Diagnostic) []Diagnostic {
 				Pos:     ig.pos,
 				Message: "ignore directive is missing a rule name",
 			})
-		case ByName(ig.rule) == nil:
+		case ByName(ig.rule) == nil && !pseudoRules[ig.rule]:
 			out = append(out, Diagnostic{
 				Rule:    "discvet",
 				Pos:     ig.pos,
 				Message: "ignore directive names unknown rule " + strconv.Quote(ig.rule),
+			})
+		case !used[i] && selectedNames[ig.rule]:
+			out = append(out, Diagnostic{
+				Rule:    "uselessignore",
+				Pos:     ig.pos,
+				Message: "ignore directive suppresses nothing: rule " + strconv.Quote(ig.rule) + " reports no finding on this line; delete the stale suppression",
 			})
 		}
 	}

@@ -1,0 +1,267 @@
+package analysis
+
+import (
+	"encoding/json"
+	"go/token"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestTaintflowFixture(t *testing.T) {
+	pkg := loadFixture(t, "taintflow", "discsec/internal/tffixture")
+	checkFixture(t, pkg, Taintflow)
+}
+
+// Deleting the sanitizer call must flip the verdict: the nosan fixture
+// is the taintflow fixture's sanitized/verifiedDoc pair with the
+// core.Opener.Open / xmldsig.VerifyDocument calls removed.
+func TestSanitizerDeletionFlipsVerdict(t *testing.T) {
+	stripped := loadFixture(t, "taintflow_nosan", "discsec/internal/tfnsfixture")
+	checkFixture(t, stripped, Taintflow)
+	diags := Run([]*Package{stripped}, []*Analyzer{Taintflow})
+	if len(diags) != 2 {
+		t.Errorf("sanitizer-less twin: got %d findings, want 2: %v", len(diags), diags)
+	}
+}
+
+func TestUnverifiedWriteFixture(t *testing.T) {
+	pkg := loadFixture(t, "unverifiedwrite", "discsec/internal/server/uwfixture")
+	checkFixture(t, pkg, UnverifiedWrite)
+}
+
+func TestAuditPathFixture(t *testing.T) {
+	pkg := loadFixture(t, "auditpath", "discsec/internal/player/apfixture")
+	checkFixture(t, pkg, AuditPath)
+}
+
+func TestAuditPathOutsideTrustedPackages(t *testing.T) {
+	// The same deny branches loaded outside core/access/player must be
+	// clean: the rule is scoped to the trusted-path packages.
+	pkg := loadFixture(t, "auditpath", "discsec/internal/xmldom/apfixture")
+	if diags := Run([]*Package{pkg}, []*Analyzer{AuditPath}); len(diags) != 0 {
+		t.Errorf("got %d diagnostics outside trusted-path packages, want 0: %v", len(diags), diags)
+	}
+}
+
+func TestUselessIgnore(t *testing.T) {
+	pkg := loadFixture(t, "uselessignore", "discsec/internal/uifixture")
+
+	diags := Run([]*Package{pkg}, []*Analyzer{ErrWrap})
+	var useless []Diagnostic
+	for _, d := range diags {
+		switch d.Rule {
+		case "errwrap":
+			t.Errorf("suppressed errwrap finding leaked through: %v", d)
+		case "uselessignore":
+			useless = append(useless, d)
+		}
+	}
+	if len(useless) != 1 {
+		t.Fatalf("got %d uselessignore diagnostics, want 1: %v", len(useless), diags)
+	}
+	if !strings.Contains(useless[0].Message, `"errwrap"`) {
+		t.Errorf("uselessignore message does not name the rule: %v", useless[0])
+	}
+
+	// With a rule set that does not include errwrap, no verdict is
+	// possible on the directives, so nothing is reported.
+	if diags := Run([]*Package{pkg}, []*Analyzer{WeakRand}); len(diags) != 0 {
+		t.Errorf("got %d diagnostics with errwrap unselected, want 0: %v", len(diags), diags)
+	}
+}
+
+func TestBaselineRoundTrip(t *testing.T) {
+	pkg := loadFixture(t, "taintflow_nosan", "discsec/internal/tfnsfixture")
+	diags := Run([]*Package{pkg}, []*Analyzer{Taintflow})
+	if len(diags) == 0 {
+		t.Fatal("fixture produced no findings to baseline")
+	}
+
+	b := NewBaseline(diags, "")
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	if err := b.Save(path); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	loaded, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatalf("LoadBaseline: %v", err)
+	}
+	if !reflect.DeepEqual(loaded, b) {
+		t.Errorf("baseline did not round-trip:\nsaved  %+v\nloaded %+v", b, loaded)
+	}
+
+	// Emit -> load -> re-run: zero new findings.
+	if left := loaded.Filter(diags, ""); len(left) != 0 {
+		t.Errorf("baseline left %d findings, want 0: %v", len(left), left)
+	}
+
+	// A finding not in the baseline survives the filter.
+	extra := Diagnostic{
+		Rule:    "taintflow",
+		Pos:     token.Position{Filename: "other.go", Line: 3, Column: 1},
+		Message: "a brand-new finding",
+	}
+	if left := loaded.Filter(append(diags, extra), ""); len(left) != 1 || left[0].Message != extra.Message {
+		t.Errorf("new finding did not survive the baseline: %v", left)
+	}
+}
+
+// TestSARIFShape validates the emitted log against the SARIF 2.1.0
+// shape: $schema/version at top level, runs[].tool.driver with a rule
+// table, and results with ruleId, message.text, and physical locations.
+func TestSARIFShape(t *testing.T) {
+	diags := []Diagnostic{{
+		Rule:    "taintflow",
+		Pos:     token.Position{Filename: "/mod/internal/player/engine.go", Line: 10, Column: 3},
+		Message: "unverified content",
+	}}
+	out, err := SARIFReport(diags, Analyzers(), "/mod")
+	if err != nil {
+		t.Fatalf("SARIFReport: %v", err)
+	}
+
+	var log struct {
+		Schema  string `json:"$schema"`
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID               string `json:"id"`
+						ShortDescription struct {
+							Text string `json:"text"`
+						} `json:"shortDescription"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID  string `json:"ruleId"`
+				Level   string `json:"level"`
+				Message struct {
+					Text string `json:"text"`
+				} `json:"message"`
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+						Region struct {
+							StartLine   int `json:"startLine"`
+							StartColumn int `json:"startColumn"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(out, &log); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if log.Version != "2.1.0" {
+		t.Errorf("version = %q, want 2.1.0", log.Version)
+	}
+	if !strings.Contains(log.Schema, "sarif-schema-2.1.0") {
+		t.Errorf("$schema = %q, want the 2.1.0 schema URL", log.Schema)
+	}
+	if len(log.Runs) != 1 {
+		t.Fatalf("got %d runs, want 1", len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "discvet" {
+		t.Errorf("driver name = %q, want discvet", run.Tool.Driver.Name)
+	}
+	// Every analyzer plus the two suppression pseudo-rules.
+	if want := len(Analyzers()) + 2; len(run.Tool.Driver.Rules) != want {
+		t.Errorf("got %d rules, want %d", len(run.Tool.Driver.Rules), want)
+	}
+	ruleIDs := map[string]bool{}
+	for _, r := range run.Tool.Driver.Rules {
+		if r.ID == "" || r.ShortDescription.Text == "" {
+			t.Errorf("rule %+v missing id or shortDescription", r)
+		}
+		ruleIDs[r.ID] = true
+	}
+	if len(run.Results) != 1 {
+		t.Fatalf("got %d results, want 1", len(run.Results))
+	}
+	res := run.Results[0]
+	if res.RuleID != "taintflow" || res.Level != "error" || res.Message.Text != "unverified content" {
+		t.Errorf("unexpected result: %+v", res)
+	}
+	if !ruleIDs[res.RuleID] {
+		t.Errorf("result ruleId %q not in the driver rule table", res.RuleID)
+	}
+	if len(res.Locations) != 1 {
+		t.Fatalf("got %d locations, want 1", len(res.Locations))
+	}
+	loc := res.Locations[0].PhysicalLocation
+	if loc.ArtifactLocation.URI != "internal/player/engine.go" {
+		t.Errorf("uri = %q, want root-relative path", loc.ArtifactLocation.URI)
+	}
+	if loc.Region.StartLine != 10 || loc.Region.StartColumn != 3 {
+		t.Errorf("region = %+v, want 10:3", loc.Region)
+	}
+}
+
+func TestJSONReport(t *testing.T) {
+	diags := []Diagnostic{{
+		Rule:    "auditpath",
+		Pos:     token.Position{Filename: "/mod/internal/core/open.go", Line: 7, Column: 2},
+		Message: "no audit",
+	}}
+	out, err := JSONReport(diags, "/mod")
+	if err != nil {
+		t.Fatalf("JSONReport: %v", err)
+	}
+	var got []map[string]any
+	if err := json.Unmarshal(out, &got); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("got %d entries, want 1", len(got))
+	}
+	if got[0]["rule"] != "auditpath" || got[0]["file"] != "internal/core/open.go" ||
+		got[0]["line"] != float64(7) || got[0]["message"] != "no audit" {
+		t.Errorf("unexpected entry: %v", got[0])
+	}
+}
+
+// TestConcurrentDrivers runs every analyzer over every module package
+// from several goroutines at once: the driver and the dataflow engine
+// must be safe to run concurrently over a shared package set, and the
+// fixpoint must be deterministic.
+func TestConcurrentDrivers(t *testing.T) {
+	l, err := sharedLoader()
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	pkgs, err := l.Load("./...")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+
+	const workers = 4
+	results := make([][]Diagnostic, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = Run(pkgs, Analyzers())
+		}(i)
+	}
+	wg.Wait()
+
+	if len(results[0]) != 0 {
+		t.Errorf("module tree is not clean: %v", results[0])
+	}
+	for i := 1; i < workers; i++ {
+		if !reflect.DeepEqual(results[i], results[0]) {
+			t.Errorf("run %d differed from run 0:\n%v\nvs\n%v", i, results[i], results[0])
+		}
+	}
+}

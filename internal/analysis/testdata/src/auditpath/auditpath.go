@@ -1,0 +1,122 @@
+// Fixture for the auditpath analyzer: deny/fail-closed branches in the
+// trusted-path packages must emit an obs audit event. Loaded under
+// internal/player (flagged) and under internal/disc (clean: the rule is
+// scoped to the trusted-path packages).
+package fixture
+
+import (
+	"errors"
+
+	"discsec/internal/access"
+	"discsec/internal/obs"
+	"discsec/internal/xmldom"
+	"discsec/internal/xmldsig"
+)
+
+// ErrExportForbidden is a fail-closed sentinel (Err* + forbidden).
+var ErrExportForbidden = errors.New("fixture: export forbidden")
+
+// errPlain is not fail-closed: no refusal word.
+var errPlain = errors.New("fixture: something broke")
+
+// Shape 1: verification-failure branch without an audit.
+func verifyBad(doc *xmldom.Document, opts xmldsig.VerifyOptions) error {
+	if _, err := xmldsig.VerifyDocument(doc, opts); err != nil { // want auditpath
+		return err
+	}
+	return nil
+}
+
+// Split form: the verifier call is the preceding sibling statement.
+func verifySplitBad(doc *xmldom.Document, opts xmldsig.VerifyOptions) error {
+	_, err := xmldsig.VerifyDocument(doc, opts)
+	if err != nil { // want auditpath
+		return err
+	}
+	return nil
+}
+
+func verifyGood(rec *obs.Recorder, doc *xmldom.Document, opts xmldsig.VerifyOptions) error {
+	if _, err := xmldsig.VerifyDocument(doc, opts); err != nil {
+		rec.Audit(obs.AuditVerifyFailed, "fixture: signature rejected: %v", err)
+		return err
+	}
+	return nil
+}
+
+// Shape 2: negated permission check without an audit.
+func denyBad(g *access.GrantSet) bool {
+	if !g.Allows(access.PermNetworkConnect, "http://x.example") { // want auditpath
+		return false
+	}
+	return true
+}
+
+func denyGood(rec *obs.Recorder, g *access.GrantSet) bool {
+	if !g.Allows(access.PermNetworkConnect, "http://x.example") {
+		rec.Audit(obs.AuditPolicyDenied, "fixture: connect denied")
+		return false
+	}
+	return true
+}
+
+// The deny-closure idiom: the audit lives in a local closure the
+// branch calls.
+func denyClosureGood(rec *obs.Recorder, g *access.GrantSet) bool {
+	deny := func(op string) {
+		rec.Audit(obs.AuditPolicyDenied, "fixture: %s denied", op)
+	}
+	if !g.Allows(access.PermNetworkConnect, "http://x.example") {
+		deny("connect")
+		return false
+	}
+	return true
+}
+
+// Shape 3: fail-closed sentinel returned without an audit.
+func sentinelBad(allowed bool) error {
+	if !allowed {
+		return ErrExportForbidden // want auditpath
+	}
+	return nil
+}
+
+func sentinelGood(rec *obs.Recorder, allowed bool) error {
+	if !allowed {
+		rec.Audit(obs.AuditPolicyDenied, "fixture: export refused")
+		return ErrExportForbidden
+	}
+	return nil
+}
+
+// A non-fail-closed sentinel needs no audit.
+func plainError(ok bool) error {
+	if !ok {
+		return errPlain
+	}
+	return nil
+}
+
+// Deny branches inside function literals (the host-API binding idiom)
+// are checked too.
+func bindBad(g *access.GrantSet, register func(func(string) bool)) {
+	register(func(target string) bool {
+		if !g.Allows(access.PermNetworkConnect, target) { // want auditpath
+			return false
+		}
+		return true
+	})
+}
+
+func bindGood(rec *obs.Recorder, g *access.GrantSet, register func(func(string) bool)) {
+	deny := func(op string) {
+		rec.Audit(obs.AuditPolicyDenied, "fixture: %s denied", op)
+	}
+	register(func(target string) bool {
+		if !g.Allows(access.PermNetworkConnect, target) {
+			deny("connect " + target)
+			return false
+		}
+		return true
+	})
+}

@@ -1,0 +1,37 @@
+// Fixture for the call-graph builder: recursion, interface method
+// dispatch, and function values.
+package fixture
+
+type Doer interface{ Do() int }
+
+type A struct{}
+
+func (A) Do() int { return 1 }
+
+type B struct{ n int }
+
+func (b *B) Do() int { return b.n }
+
+// Rec is directly recursive.
+func Rec(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return Rec(n - 1)
+}
+
+// CallIface dispatches through the interface: edges to every
+// implementing named type's method.
+func CallIface(d Doer) int { return d.Do() }
+
+func helper() int { return 3 }
+
+// UseVal references helper outside call position: a function-value
+// edge.
+func UseVal() func() int {
+	f := helper
+	return f
+}
+
+// CallsStatic has plain static edges.
+func CallsStatic() int { return helper() + Rec(2) }

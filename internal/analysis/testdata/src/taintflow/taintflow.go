@@ -1,0 +1,96 @@
+// Fixture for the taintflow analyzer: disc-image content must pass the
+// Verifier (core.Open*/xmldsig.Verify*) before reaching execution
+// sinks (script evaluation, markup parsing).
+package fixture
+
+import (
+	"context"
+
+	"discsec/internal/core"
+	"discsec/internal/disc"
+	"discsec/internal/markup"
+	"discsec/internal/xmldom"
+	"discsec/internal/xmldsig"
+)
+
+// Direct flow: source straight into the interpreter.
+func direct(im *disc.Image, in *markup.Interp) error {
+	raw, err := im.Get("APP/main.xml")
+	if err != nil {
+		return err
+	}
+	return in.RunSource(string(raw)) // want taintflow
+}
+
+// Markup sink: unverified content parsed as layout.
+func layoutDirect(im *disc.Image) error {
+	raw, err := im.Get("LAYOUT/l.xml")
+	if err != nil {
+		return err
+	}
+	doc, err := xmldom.ParseBytes(raw)
+	if err != nil {
+		return err
+	}
+	_, err = markup.ParseLayout(doc.Root()) // want taintflow
+	return err
+}
+
+// Interprocedural: the source and the sink live in different functions;
+// the flow is visible only through summaries.
+func readManifest(im *disc.Image) []byte {
+	raw, _ := im.Get("APP/main.xml")
+	return raw
+}
+
+func execute(in *markup.Interp, code []byte) error {
+	return in.RunSource(string(code))
+}
+
+func interproc(im *disc.Image, in *markup.Interp) error {
+	return execute(in, readManifest(im)) // want taintflow
+}
+
+// Verified via the pipeline driver: core.Opener.Open sanitizes the raw
+// bytes, so running them afterwards is clean.
+func sanitized(op *core.Opener, im *disc.Image, in *markup.Interp) error {
+	raw, err := im.Get("APP/main.xml")
+	if err != nil {
+		return err
+	}
+	if _, err := op.Open(context.Background(), raw); err != nil {
+		return err
+	}
+	return in.RunSource(string(raw))
+}
+
+// Verified via the leaf verifier: xmldsig.VerifyDocument sanitizes the
+// parsed document.
+func verifiedDoc(im *disc.Image, opts xmldsig.VerifyOptions) error {
+	raw, err := im.Get("APP/main.xml")
+	if err != nil {
+		return err
+	}
+	doc, err := xmldom.ParseBytes(raw)
+	if err != nil {
+		return err
+	}
+	if _, err := xmldsig.VerifyDocument(doc, opts); err != nil {
+		return err
+	}
+	_, err = markup.ParseLayout(doc.Root())
+	return err
+}
+
+// Captured variables flow through function literals analyzed in the
+// enclosing state.
+func throughClosure(im *disc.Image, in *markup.Interp) error {
+	raw, err := im.Get("APP/main.xml")
+	if err != nil {
+		return err
+	}
+	run := func() error {
+		return in.RunSource(string(raw)) // want taintflow
+	}
+	return run()
+}

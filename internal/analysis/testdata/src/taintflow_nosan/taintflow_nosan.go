@@ -1,0 +1,31 @@
+// Negative-test twin of the taintflow fixture's `sanitized` and
+// `verifiedDoc` functions with the sanitizer calls deleted: the same
+// code minus verification must flip from clean to flagged.
+package fixture
+
+import (
+	"discsec/internal/disc"
+	"discsec/internal/markup"
+	"discsec/internal/xmldom"
+)
+
+func sanitized(im *disc.Image, in *markup.Interp) error {
+	raw, err := im.Get("APP/main.xml")
+	if err != nil {
+		return err
+	}
+	return in.RunSource(string(raw)) // want taintflow
+}
+
+func verifiedDoc(im *disc.Image) error {
+	raw, err := im.Get("APP/main.xml")
+	if err != nil {
+		return err
+	}
+	doc, err := xmldom.ParseBytes(raw)
+	if err != nil {
+		return err
+	}
+	_, err = markup.ParseLayout(doc.Root()) // want taintflow
+	return err
+}

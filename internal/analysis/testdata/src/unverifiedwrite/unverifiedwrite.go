@@ -1,0 +1,68 @@
+// Fixture for the unverifiedwrite analyzer: network bytes (downloader
+// fetches, inbound request bodies) must pass the Verifier before
+// reaching durable stores.
+package fixture
+
+import (
+	"context"
+	"io"
+	"net/http"
+
+	"discsec/internal/core"
+	"discsec/internal/disc"
+	"discsec/internal/server"
+)
+
+// Fetched bytes cached without verification.
+func cacheFetched(d *server.Downloader, st *disc.LocalStorage) error {
+	raw, err := d.Fetch("http://cdn.example", "app.xml")
+	if err != nil {
+		return err
+	}
+	return st.Put("cache", "app.xml", raw) // want unverifiedwrite
+}
+
+// Fetched bytes verified through the pipeline driver first: clean.
+func cacheVerified(d *server.Downloader, op *core.Opener, st *disc.LocalStorage) error {
+	raw, err := d.Fetch("http://cdn.example", "app.xml")
+	if err != nil {
+		return err
+	}
+	if _, err := op.Open(context.Background(), raw); err != nil {
+		return err
+	}
+	return st.Put("cache", "app.xml", raw)
+}
+
+// Interprocedural: the persist helper is only dangerous when handed
+// unverified network bytes.
+func persist(st *disc.LocalStorage, data []byte) error {
+	return st.Put("cache", "blob", data)
+}
+
+func fetchAndPersist(d *server.Downloader, st *disc.LocalStorage) error {
+	raw, err := d.FetchContext(context.Background(), "http://cdn.example", "app.xml")
+	if err != nil {
+		return err
+	}
+	return persist(st, raw) // want unverifiedwrite
+}
+
+// Field source: an inbound request body is network taint.
+func handleUpload(r *http.Request, st *disc.LocalStorage) error {
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		return err
+	}
+	return st.Put("inbox", "upload", body) // want unverifiedwrite
+}
+
+// Disc reads are deliberately NOT unverifiedwrite sources: authoring
+// tools rewrite their own masters.
+func repack(im *disc.Image, st *disc.LocalStorage) error {
+	raw, err := im.Get("APP/main.xml")
+	if err != nil {
+		return err
+	}
+	return st.Put("cache", "app.xml", raw)
+}

@@ -1,0 +1,19 @@
+// Fixture for stale-suppression detection: a directive that suppresses
+// a real finding is fine; one whose rule fires nothing on its line is
+// reported as uselessignore. Assertions live in the test (the directive
+// comment occupies the line, so `// want` markers cannot).
+package fixture
+
+import (
+	"errors"
+	"fmt"
+)
+
+func wraps(err error) error {
+	return fmt.Errorf("fixture context: %v", err) //discvet:ignore errwrap fixture-justified suppression
+}
+
+func stale() error {
+	//discvet:ignore errwrap nothing on the next line triggers errwrap
+	return errors.New("fixture: clean line")
+}

@@ -65,6 +65,9 @@ const (
 	AuditVerifyFailed = "verify-failed"
 	// AuditPolicyDenied records a permission the PDP denied.
 	AuditPolicyDenied = "policy-denied"
+	// AuditRuntimeDenied records a host-API operation refused at
+	// runtime by the granted permission set.
+	AuditRuntimeDenied = "runtime-denied"
 	// AuditDegradedEnter records entry into degraded trust (stale
 	// cached key binding served because the trust service is down).
 	AuditDegradedEnter = "degraded-trust-entered"

@@ -330,6 +330,7 @@ func (s *Session) subjectAttrs() map[string]string {
 func (s *Session) bindHostAPI(in *markup.Interp, m *disc.Manifest, grants *access.GrantSet, rep *ExecutionReport) {
 	deny := func(op string) {
 		rep.DeniedOps = append(rep.DeniedOps, op)
+		s.rec.Audit(obs.AuditRuntimeDenied, "app %s: %s", m.ID, op)
 	}
 
 	in.SetGlobal("player", &markup.HostObject{Name: "player", Members: map[string]markup.Value{

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 
+	"discsec/internal/obs"
 	"discsec/internal/rights"
 	"discsec/internal/xmldom"
 	"discsec/internal/xmldsig"
@@ -30,6 +31,7 @@ func (s *Session) LoadLicense() (*rights.Evaluator, error) {
 		return s.licenseEval, nil
 	}
 	if s.Image == nil || !s.Image.Has(LicensePath) {
+		s.rec.Audit(obs.AuditPolicyDenied, "rights-gated operation without a disc license")
 		return nil, ErrLicenseRequired
 	}
 	raw, err := s.Image.Get(LicensePath)
@@ -44,6 +46,7 @@ func (s *Session) LoadLicense() (*rights.Evaluator, error) {
 		Roots:     s.engine.Roots,
 		KeyByName: s.engine.KeyByName,
 	}); err != nil {
+		s.rec.Audit(obs.AuditVerifyFailed, "license signature rejected: %v", err)
 		return nil, fmt.Errorf("player: license signature: %w", err)
 	}
 	lic, err := rights.Parse(doc)

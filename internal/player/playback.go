@@ -72,6 +72,7 @@ func (s *Session) PlayTrack(trackID string) (*PlaybackReport, error) {
 		rep.SignatureVerified = true
 		rep.SignerCN = sigRep.SignerCN
 	} else if s.engine.RequireSignature {
+		s.rec.Audit(obs.AuditVerifyFailed, "track %s: platform requires clip signature, image carries none", trackID)
 		return nil, ErrClipSignatureRequired
 	}
 
