@@ -14,3 +14,4 @@ go test -race ./...
 go test -race ./internal/analysis/...
 make faults
 make metrics
+make library-bench

@@ -1,0 +1,145 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"discsec/internal/core"
+	"discsec/internal/experiments"
+	"discsec/internal/library"
+	"discsec/internal/obs"
+	"discsec/internal/workload"
+	"discsec/internal/xmlenc"
+	"discsec/internal/xmlsecuri"
+)
+
+// libraryReport is the committed BENCH_library.json shape: the
+// cold/warm amortization the shared verification library buys, plus
+// the singleflight collapse under contention.
+type libraryReport struct {
+	Quick       bool    `json:"quick"`
+	IndexBytes  int     `json:"index_bytes"`
+	ColdNS      int64   `json:"cold_open_ns"`
+	WarmNS      int64   `json:"warm_open_ns"`
+	Speedup     float64 `json:"warm_speedup"`
+	Contended   int     `json:"contended_opens"`
+	Fills       int64   `json:"contended_fills"`
+	ContendedNS int64   `json:"contended_wall_ns"`
+}
+
+// tableLibrary measures the shared verification library: a cold open
+// re-runs the full Fig. 9 pipeline (parse, canonicalize, verify,
+// decrypt, decode); a warm open against a mounted disc is two map
+// lookups. The contended column opens the same uncached document from
+// 64 goroutines and reports how many verifications actually ran
+// (singleflight should collapse them to one).
+func tableLibrary() {
+	header("LIB", "shared verification library (cold vs warm vs 64-way contended)")
+	_, creator := experiments.PKIFixture()
+	cluster, clips := workload.Cluster(workload.ClusterSpec{
+		AVTracks:  2,
+		AppTracks: 2,
+		Manifest: workload.ManifestSpec{
+			Regions: 4, MediaItems: 4, Scripts: 2, ScriptStatements: 40,
+		},
+		ClipDurationMS: 100, ClipBitrateKbps: 200,
+		Seed: 7,
+	})
+	p := &core.Protector{Identity: creator}
+	im, err := p.Package(core.PackageSpec{
+		Cluster:      cluster,
+		Clips:        clips,
+		Sign:         true,
+		SignLevel:    core.LevelCluster,
+		EncryptPaths: []string{"//manifest/code"},
+		Encryption:   xmlenc.EncryptOptions{Algorithm: xmlsecuri.EncAES128CBC, Key: experiments.EncKey},
+		SignClips:    true,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	raw, err := im.ReadIndexDocumentBytes()
+	if err != nil {
+		fatal(err)
+	}
+
+	newLib := func(rec *obs.Recorder) *library.Library {
+		root, _ := experiments.PKIFixture()
+		return library.New(
+			library.WithOpener(core.Opener{
+				Roots:            root.Pool(),
+				Decrypt:          xmlenc.DecryptOptions{Key: experiments.EncKey},
+				RequireSignature: true,
+			}),
+			library.WithRecorder(rec),
+		)
+	}
+	ctx := context.Background()
+
+	lib := newLib(obs.NewRecorder())
+	if err := lib.Mount(ctx, "bench", im); err != nil {
+		fatal(err)
+	}
+	coldNS := measure(func() error {
+		lib.InvalidateAll() // force a full re-verification
+		_, _, err := lib.OpenDisc(ctx, "bench")
+		return err
+	})
+	warmNS := measure(func() error {
+		_, _, _, err := lib.OpenTrack(ctx, "bench", "t-app-1")
+		return err
+	})
+
+	// Contention: 64 concurrent opens of the same uncached content.
+	const contended = 64
+	crec := obs.NewRecorder()
+	clib := newLib(crec)
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(contended)
+	for i := 0; i < contended; i++ {
+		go func() {
+			defer wg.Done()
+			<-start
+			if _, _, err := clib.OpenDocument(ctx, raw); err != nil {
+				fatal(err)
+			}
+		}()
+	}
+	wallStart := time.Now()
+	close(start)
+	wg.Wait()
+	wall := time.Since(wallStart)
+
+	rep := libraryReport{
+		Quick:       *quickFlag,
+		IndexBytes:  len(raw),
+		ColdNS:      int64(coldNS),
+		WarmNS:      int64(warmNS),
+		Speedup:     float64(coldNS) / float64(warmNS),
+		Contended:   contended,
+		Fills:       crec.Counter("library.miss"),
+		ContendedNS: int64(wall),
+	}
+	fmt.Printf("%-28s %14s\n", "path", "time")
+	fmt.Printf("%-28s %14s\n", "cold open (full pipeline)", coldNS)
+	fmt.Printf("%-28s %14s\n", "warm open (mounted disc)", warmNS)
+	fmt.Printf("%-28s %14.1fx\n", "warm speedup", rep.Speedup)
+	fmt.Printf("%-28s %d opens -> %d verification(s) in %s\n",
+		"64-way contended", rep.Contended, rep.Fills, wall)
+
+	if *libJSONFlag != "" {
+		b, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*libJSONFlag, append(b, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nwrote library benchmark -> %s\n", *libJSONFlag)
+	}
+}

@@ -139,6 +139,17 @@ func TestObsCtxOutsidePipelinePackages(t *testing.T) {
 	}
 }
 
+func TestObsCtxCoversLibraryPackage(t *testing.T) {
+	// internal/library is a pipeline package: its entry points carry
+	// ctx for cancellation and the recorder, so a dropped ctx flags
+	// there exactly as it does in core.
+	pkg := loadFixture(t, "obsctx", "discsec/internal/library/ocfixture")
+	checkFixture(t, pkg, ObsCtx)
+	if diags := Run([]*Package{pkg}, []*Analyzer{ObsCtx}); len(diags) != 1 {
+		t.Errorf("got %d diagnostics under internal/library, want 1: %v", len(diags), diags)
+	}
+}
+
 func TestLockSafetyFixture(t *testing.T) {
 	pkg := loadFixture(t, "locksafety", "discsec/internal/lsfixture")
 	checkFixture(t, pkg, LockSafety)

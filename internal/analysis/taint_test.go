@@ -27,6 +27,18 @@ func TestSanitizerDeletionFlipsVerdict(t *testing.T) {
 	}
 }
 
+// TestLibraryFlowFixture pins the library sanitizer entries: content
+// served through internal/library's verified entry points is clean,
+// while flows that bypass the library still flag.
+func TestLibraryFlowFixture(t *testing.T) {
+	pkg := loadFixture(t, "libraryflow", "discsec/internal/server/lffixture")
+	checkFixture(t, pkg, Taintflow)
+	diags := Run([]*Package{pkg}, []*Analyzer{Taintflow})
+	if len(diags) != 2 {
+		t.Errorf("got %d findings, want the 2 bypass flows: %v", len(diags), diags)
+	}
+}
+
 func TestUnverifiedWriteFixture(t *testing.T) {
 	pkg := loadFixture(t, "unverifiedwrite", "discsec/internal/server/uwfixture")
 	checkFixture(t, pkg, UnverifiedWrite)

@@ -16,6 +16,7 @@ var (
 	pkgPlayer  = modulePath + "/internal/player"
 	pkgKeymgmt = modulePath + "/internal/keymgmt"
 	pkgAccess  = modulePath + "/internal/access"
+	pkgLibrary = modulePath + "/internal/library"
 )
 
 // taintSources are reads crossing the trust boundary inward: disc image
@@ -51,6 +52,14 @@ var taintSanitizers = []FuncRef{
 	{Pkg: pkgCore, Recv: "Opener", Name: "OpenDocument"},
 	{Pkg: pkgCore, Recv: "Opener", Name: "OpenDocumentNoContext"},
 	{Pkg: pkgCore, Recv: "Opener", Name: "VerifyDetached"},
+	// The shared verification library: a cache hit is only ever a
+	// previously verified verdict (fills run core.Opener.OpenDocument;
+	// unsigned documents bypass the cache but still went through the
+	// opener), so its serving entry points sanitize like core.Open*.
+	{Pkg: pkgLibrary, Recv: "Library", Name: "OpenDocument"},
+	{Pkg: pkgLibrary, Recv: "Library", Name: "OpenDisc"},
+	{Pkg: pkgLibrary, Recv: "Library", Name: "OpenTrack"},
+	{Pkg: pkgLibrary, Recv: "Library", Name: "TrackXML"},
 }
 
 // executionSinks are where content becomes behavior: script evaluation

@@ -1,0 +1,59 @@
+// Fixture for the taintflow analyzer's library sanitizers: content
+// served through the shared verification library (internal/library) is
+// verified — a cache hit is a previously verified verdict — so its
+// entry points sanitize like core.Open*. Content that skips the
+// library (and every other verifier) still flags.
+package fixture
+
+import (
+	"context"
+
+	"discsec/internal/disc"
+	"discsec/internal/library"
+	"discsec/internal/markup"
+)
+
+// Library-served track bytes are verified before release: clean.
+func servedTrack(lib *library.Library, in *markup.Interp) error {
+	body, _, _, err := lib.TrackXML(context.Background(), "disc-a", "t-app-1")
+	if err != nil {
+		return err
+	}
+	return in.RunSource(string(body))
+}
+
+// OpenDocument sanitizes the raw disc bytes it verified: running them
+// afterwards is clean, exactly like core.Opener.Open.
+func cachedOpen(lib *library.Library, im *disc.Image, in *markup.Interp) error {
+	raw, err := im.ReadIndexDocumentBytes()
+	if err != nil {
+		return err
+	}
+	if _, _, err := lib.OpenDocument(context.Background(), raw); err != nil {
+		return err
+	}
+	return in.RunSource(string(raw))
+}
+
+// Skipping the library (and every verifier) still flags: the sanitizer
+// entries must not whitelist the package, only the verified paths.
+func bypassLibrary(im *disc.Image, in *markup.Interp) error {
+	raw, err := im.ReadIndexDocumentBytes()
+	if err != nil {
+		return err
+	}
+	return in.RunSource(string(raw)) // want taintflow
+}
+
+// Mounting alone does not sanitize unrelated bytes: only data that
+// flowed through a serving entry point is verified.
+func mountThenBypass(lib *library.Library, im *disc.Image, in *markup.Interp) error {
+	if err := lib.Mount(context.Background(), "disc-a", im); err != nil {
+		return err
+	}
+	raw, err := im.Get("APP/extra.xml")
+	if err != nil {
+		return err
+	}
+	return in.RunSource(string(raw)) // want taintflow
+}

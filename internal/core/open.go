@@ -3,7 +3,9 @@ package core
 import (
 	"context"
 	"crypto"
+	"crypto/sha256"
 	"crypto/x509"
+	"encoding/hex"
 	"errors"
 	"fmt"
 
@@ -45,6 +47,11 @@ type SignatureReport struct {
 	// SignerCN is the common name of the leaf certificate, when
 	// present.
 	SignerCN string
+	// SignerKeyFingerprint is the SHA-256 of the PKIX encoding of the
+	// public key that validated the signature (empty for HMAC
+	// signatures). This — not the mutable KeyName/CN hints — is the
+	// identity the verification library keys its cache on.
+	SignerKeyFingerprint string
 	// ChainValidated reports whether an X.509 chain to the player
 	// roots was validated.
 	ChainValidated bool
@@ -69,6 +76,22 @@ type OpenResult struct {
 // ErrVerificationRequired is returned when RequireSignature is set and
 // the document carries no signature.
 var ErrVerificationRequired = errors.New("core: document carries no signature but the platform requires one")
+
+// KeyFingerprint derives the stable signer identity used for cache
+// keying and revocation fan-out: the hex SHA-256 of the key's PKIX
+// (SubjectPublicKeyInfo) encoding. Returns "" for a nil key or one the
+// x509 package cannot marshal.
+func KeyFingerprint(pub crypto.PublicKey) string {
+	if pub == nil {
+		return ""
+	}
+	der, err := x509.MarshalPKIXPublicKey(pub)
+	if err != nil {
+		return ""
+	}
+	sum := sha256.Sum256(der)
+	return hex.EncodeToString(sum[:])
+}
 
 // Open processes a protected cluster/manifest document end-to-end:
 //
@@ -150,6 +173,7 @@ func (o *Opener) OpenDocument(ctx context.Context, doc *xmldom.Document) (*OpenR
 			return nil, fmt.Errorf("core: signature %d: %w", i+1, err)
 		}
 		reports[i].ChainValidated = vres.CertificateChainValidated
+		reports[i].SignerKeyFingerprint = KeyFingerprint(vres.SignerKey)
 		if vres.KeyInfo != nil {
 			reports[i].SignerName = vres.KeyInfo.KeyName
 			if len(vres.KeyInfo.Certificates) > 0 {
@@ -208,7 +232,10 @@ func (o *Opener) VerifyDetached(ctx context.Context, im *disc.Image, signaturePa
 		rec.Audit(obs.AuditVerifyFailed, "detached signature %s: %v", signaturePath, err)
 		return nil, err
 	}
-	rep := &SignatureReport{ChainValidated: vres.CertificateChainValidated}
+	rep := &SignatureReport{
+		ChainValidated:       vres.CertificateChainValidated,
+		SignerKeyFingerprint: KeyFingerprint(vres.SignerKey),
+	}
 	if vres.KeyInfo != nil {
 		rep.SignerName = vres.KeyInfo.KeyName
 		if len(vres.KeyInfo.Certificates) > 0 {

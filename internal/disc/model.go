@@ -134,13 +134,15 @@ func (c *InteractiveCluster) Document() *xmldom.Document {
 		root.SetAttr("title", c.Title)
 	}
 	for _, tr := range c.Tracks {
-		root.AppendChild(tr.element())
+		root.AppendChild(tr.Element())
 	}
 	doc.SetRoot(root)
 	return doc
 }
 
-func (t *Track) element() *xmldom.Element {
+// Element renders the track subtree (also used by the library routes to
+// serve one verified track without re-serializing the whole cluster).
+func (t *Track) Element() *xmldom.Element {
 	el := xmldom.NewElement("track")
 	el.SetAttr("Id", t.ID)
 	el.SetAttr("kind", string(t.Kind))

@@ -48,6 +48,7 @@ type Service struct {
 	mu            sync.RWMutex
 	bindings      map[string]*binding
 	intermediates []*x509.Certificate
+	onRevoke      []func(name string)
 }
 
 type binding struct {
@@ -125,9 +126,41 @@ func (s *Service) AddIntermediate(cert *x509.Certificate) {
 	s.intermediates = append(s.intermediates, cert)
 }
 
+// OnRevoke registers a hook fired (synchronously, outside the service
+// lock) after every successful Revoke or Reissue with the affected
+// binding name. Verification caches use it to flush every verdict that
+// depends on the signer before the next lookup can observe the old key.
+func (s *Service) OnRevoke(fn func(name string)) {
+	if fn == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.onRevoke = append(s.onRevoke, fn)
+}
+
+// fireRevoke snapshots the hook list under the read lock and invokes
+// each hook unlocked, so hooks may call back into the service.
+func (s *Service) fireRevoke(name string) {
+	s.mu.RLock()
+	hooks := append([]func(string){}, s.onRevoke...)
+	s.mu.RUnlock()
+	for _, fn := range hooks {
+		fn(name)
+	}
+}
+
 // Revoke marks the binding invalid. The authenticator must match the one
 // presented at registration.
 func (s *Service) Revoke(name, authenticator string) error {
+	if err := s.revoke(name, authenticator); err != nil {
+		return err
+	}
+	s.fireRevoke(name)
+	return nil
+}
+
+func (s *Service) revoke(name, authenticator string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	b, ok := s.bindings[name]
@@ -142,8 +175,17 @@ func (s *Service) Revoke(name, authenticator string) error {
 }
 
 // Reissue replaces the certificate under an existing binding (key
-// rollover), authenticated like Revoke.
+// rollover), authenticated like Revoke. OnRevoke hooks fire because the
+// old key must stop vouching for cached verdicts immediately.
 func (s *Service) Reissue(name string, cert *x509.Certificate, authenticator string) error {
+	if err := s.reissue(name, cert, authenticator); err != nil {
+		return err
+	}
+	s.fireRevoke(name)
+	return nil
+}
+
+func (s *Service) reissue(name string, cert *x509.Certificate, authenticator string) error {
 	if cert == nil {
 		return errors.New("keymgmt: Reissue requires a certificate")
 	}

@@ -1,0 +1,28 @@
+package library
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+
+	"discsec/internal/c14n"
+	"discsec/internal/obs"
+	"discsec/internal/xmldom"
+)
+
+// CanonicalKey derives the content-addressed cache key: the hex SHA-256
+// of the document's exclusive-C14N form. Canonicalizing before hashing
+// is what makes the key wrapping-proof: two serializations of the same
+// infoset key identically, while any structural change an attacker
+// needs for a wrapping substitution (relocated signed subtree, injected
+// sibling) changes the canonical octets and misses the cache.
+//
+// The key is computed over the document as stored (signatures and
+// EncryptedData in place), before any verification mutates it.
+func CanonicalKey(doc *xmldom.Document, rec *obs.Recorder) (string, error) {
+	octets, err := c14n.CanonicalizeDocument(doc, c14n.Options{Exclusive: true, Recorder: rec})
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(octets)
+	return hex.EncodeToString(sum[:]), nil
+}

@@ -1,0 +1,230 @@
+package library_test
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"discsec/internal/core"
+	"discsec/internal/disc"
+	"discsec/internal/experiments"
+	"discsec/internal/faults"
+	"discsec/internal/keymgmt"
+	"discsec/internal/library"
+	"discsec/internal/obs"
+	"discsec/internal/resilience"
+	"discsec/internal/workload"
+	"discsec/internal/xmldsig"
+)
+
+// The prewarm fault matrix: verification and the XKMS trust service are
+// faulted while Mount walks a disc's manifest tree. The invariant in
+// every mode: Mount either recovers within its retry budget or fails
+// closed — a disc whose tree could not be fully verified is never
+// registered, so nothing from it can be served later.
+
+func fastFaultPolicy() *resilience.Policy {
+	return &resilience.Policy{BaseDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond}
+}
+
+// keyNameImage packs a disc whose index carries a KeyName-only
+// signature: Mount's verification must resolve the signer through the
+// trust service, so XKMS faults genuinely gate the prewarm.
+func keyNameImage(t *testing.T, seed uint64) *disc.Image {
+	t.Helper()
+	_, creator := experiments.PKIFixture()
+	cluster, _ := workload.Cluster(workload.ClusterSpec{AVTracks: 1, AppTracks: 1, Seed: seed})
+	doc := cluster.Document()
+	if _, err := xmldsig.SignEnveloped(doc, doc.Root(), xmldsig.SignOptions{
+		Key:     creator.Key,
+		KeyInfo: xmldsig.KeyInfoSpec{KeyName: creator.Name},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	im := disc.NewImage()
+	if err := im.Put(disc.IndexPath, doc.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	return im
+}
+
+// trustFixture stands up a live XKMS service with the creator key
+// registered and returns a client routed through the fault schedule.
+func trustFixture(t *testing.T, schedule []faults.Fault) (*httptest.Server, *keymgmt.Client) {
+	t.Helper()
+	root, creator := experiments.PKIFixture()
+	svc := keymgmt.NewService(root.Pool())
+	if err := svc.Register(creator.Name, creator.Cert, "pw"); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(&keymgmt.Handler{Service: svc})
+	t.Cleanup(srv.Close)
+	kc := &keymgmt.Client{
+		BaseURL: srv.URL,
+		HTTPClient: &http.Client{Timeout: 5 * time.Second, Transport: &faults.Transport{
+			Schedule: faults.NewSchedule(schedule...),
+		}},
+		Retry:    fastFaultPolicy(),
+		MaxStale: time.Hour,
+	}
+	return srv, kc
+}
+
+func hasAudit(rec *obs.Recorder, kind string) bool {
+	for _, ev := range rec.AuditTrail() {
+		if ev.Kind == kind {
+			return true
+		}
+	}
+	return false
+}
+
+func trustLib(rec *obs.Recorder, kc *keymgmt.Client) *library.Library {
+	return library.New(
+		library.WithOpener(core.Opener{
+			RequireSignature: true,
+			KeyByName:        kc.PublicKeyByName,
+		}),
+		library.WithDegradedFunc(kc.Degraded),
+		library.WithRecorder(rec),
+	)
+}
+
+// TestMountRecoversFromTransientXKMSFault: one connection reset during
+// key resolution is absorbed by the trust client's retry budget; the
+// Mount completes and the disc serves.
+func TestMountRecoversFromTransientXKMSFault(t *testing.T) {
+	_, kc := trustFixture(t, []faults.Fault{{Kind: faults.Reset}})
+	lib := trustLib(obs.NewRecorder(), kc)
+
+	if err := lib.Mount(context.Background(), "disc-a", keyNameImage(t, 30)); err != nil {
+		t.Fatalf("mount did not recover from a transient trust fault: %v", err)
+	}
+	v, st, err := lib.OpenDisc(context.Background(), "disc-a")
+	if err != nil || st != library.StatusHit {
+		t.Fatalf("post-mount open: status=%q err=%v", st, err)
+	}
+	if v.Degraded {
+		t.Error("verdict marked degraded after a recovered transient fault")
+	}
+	if kc.Degraded() {
+		t.Error("trust client degraded after successful retry")
+	}
+}
+
+// TestMountFailsClosedOnColdTrustOutage: the trust service is
+// unreachable and the client has no cached resolution to fall back on.
+// The index cannot be verified, Mount fails, and the disc is not
+// registered.
+func TestMountFailsClosedOnColdTrustOutage(t *testing.T) {
+	srv, kc := trustFixture(t, nil)
+	srv.Close() // outage before any resolution warms the client cache
+	lib := trustLib(obs.NewRecorder(), kc)
+
+	if err := lib.Mount(context.Background(), "disc-a", keyNameImage(t, 31)); err == nil {
+		t.Fatal("mount verified a disc with the trust service unreachable and no cache")
+	}
+	if _, _, err := lib.OpenDisc(context.Background(), "disc-a"); !errors.Is(err, library.ErrNotMounted) {
+		t.Fatalf("failed mount left the disc reachable: %v", err)
+	}
+	if _, _, _, err := lib.TrackXML(context.Background(), "disc-a", "t-av-1"); !errors.Is(err, library.ErrNotMounted) {
+		t.Fatalf("failed mount serves tracks: %v", err)
+	}
+}
+
+// TestMountDegradesOnWarmTrustOutage: the client resolved the signer
+// while the service was live, then the service goes down. A later Mount
+// of different content by the same signer succeeds from the stale
+// resolution — but the verdict is marked degraded, served hits are
+// audited, and trust recovery forces re-verification.
+func TestMountDegradesOnWarmTrustOutage(t *testing.T) {
+	srv, kc := trustFixture(t, nil)
+	rec := obs.NewRecorder()
+	lib := trustLib(rec, kc)
+
+	if err := lib.Mount(context.Background(), "disc-a", keyNameImage(t, 32)); err != nil {
+		t.Fatalf("warm-up mount: %v", err)
+	}
+	if kc.Degraded() {
+		t.Fatal("degraded after live resolution")
+	}
+
+	srv.Close() // XKMS outage with a warm client cache
+
+	if err := lib.Mount(context.Background(), "disc-b", keyNameImage(t, 33)); err != nil {
+		t.Fatalf("outage with fresh cache must degrade, not fail: %v", err)
+	}
+	if !kc.Degraded() {
+		t.Fatal("trust client did not report the degraded resolution")
+	}
+	v, _, err := lib.OpenDisc(context.Background(), "disc-b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Degraded {
+		t.Error("verdict filled during the outage not marked degraded")
+	}
+	if rec.Counter("library.degraded_serve") == 0 {
+		t.Error("degraded serve not counted")
+	}
+	if !hasAudit(rec, obs.AuditDegradedServe) {
+		t.Error("degraded serve not audited")
+	}
+}
+
+// TestMountFailsClosedOnCorruptClipSignature: the detached track-payload
+// signature is tampered mid-image; the prewarm's detached verification
+// catches it and the whole Mount fails closed.
+func TestMountFailsClosedOnCorruptClipSignature(t *testing.T) {
+	rec := obs.NewRecorder()
+	lib := newLib(rec)
+	im := buildImage(t, 34)
+	sig, err := im.Get(core.ClipSignaturePath)
+	if err != nil {
+		t.Fatalf("fixture has no detached clip signature: %v", err)
+	}
+	corrupt := append([]byte(nil), sig...)
+	for i := len(corrupt) / 2; i < len(corrupt)/2+8 && i < len(corrupt); i++ {
+		corrupt[i] ^= 0xFF
+	}
+	if err := im.Put(core.ClipSignaturePath, corrupt); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := lib.Mount(context.Background(), "disc-a", im); err == nil {
+		t.Fatal("mount accepted a corrupted detached clip signature")
+	}
+	if !hasAudit(rec, obs.AuditVerifyFailed) {
+		t.Error("prewarm failure not audited")
+	}
+	if _, _, err := lib.OpenDisc(context.Background(), "disc-a"); !errors.Is(err, library.ErrNotMounted) {
+		t.Fatalf("failed mount left the disc reachable: %v", err)
+	}
+}
+
+// TestMountCanceledMidPrewarmThenRecovers: a canceled context aborts the
+// prewarm (fail closed, disc unregistered); the identical Mount under a
+// fresh context succeeds.
+func TestMountCanceledMidPrewarmThenRecovers(t *testing.T) {
+	lib := newLib(obs.NewRecorder(), library.WithPrewarmWorkers(1))
+	im := buildImage(t, 35)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := lib.Mount(ctx, "disc-a", im); err == nil {
+		t.Fatal("mount completed under a canceled context")
+	}
+	if _, _, err := lib.OpenDisc(context.Background(), "disc-a"); !errors.Is(err, library.ErrNotMounted) {
+		t.Fatalf("canceled mount left the disc reachable: %v", err)
+	}
+
+	if err := lib.Mount(context.Background(), "disc-a", im); err != nil {
+		t.Fatalf("fresh-context retry did not recover: %v", err)
+	}
+	if _, st, err := lib.OpenDisc(context.Background(), "disc-a"); err != nil || st != library.StatusHit {
+		t.Fatalf("post-recovery open: status=%q err=%v", st, err)
+	}
+}

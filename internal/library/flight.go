@@ -1,0 +1,51 @@
+package library
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// flightGroup is a minimal singleflight: concurrent calls for the same
+// key share one execution of fn. The zero value is ready to use.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flightCall
+}
+
+type flightCall struct {
+	wg  sync.WaitGroup
+	v   *Verdict
+	err error
+	// waiters counts callers that joined this call (observability and
+	// deterministic tests).
+	waiters atomic.Int32
+}
+
+// do runs fn once per key among concurrent callers. shared reports
+// whether this caller joined an execution another caller led (waiters
+// block until the leader finishes; the leader's context governs the
+// work).
+func (g *flightGroup) do(key string, fn func() (*Verdict, error)) (v *Verdict, err error, shared bool) {
+	g.mu.Lock()
+	if c, ok := g.m[key]; ok {
+		c.waiters.Add(1)
+		g.mu.Unlock()
+		c.wg.Wait()
+		return c.v, c.err, true
+	}
+	if g.m == nil {
+		g.m = make(map[string]*flightCall)
+	}
+	c := &flightCall{}
+	c.wg.Add(1)
+	g.m[key] = c
+	g.mu.Unlock()
+
+	c.v, c.err = fn()
+
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	c.wg.Done()
+	return c.v, c.err, false
+}

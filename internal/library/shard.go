@@ -1,0 +1,113 @@
+package library
+
+import (
+	"container/list"
+	"sync"
+)
+
+// entry is one cached verdict plus the trust epochs it was filled
+// under. Entries are immutable after insertion; validity is judged
+// against the library's current epochs on every lookup.
+type entry struct {
+	key         string
+	v           *Verdict
+	globalEpoch uint64
+	signerEpoch uint64
+}
+
+// shard is one byte-budgeted LRU segment of the cache. Each shard has
+// its own mutex so lookups from many engines contend only within a
+// digest's shard, never globally.
+type shard struct {
+	budget int64
+
+	mu    sync.Mutex
+	bytes int64
+	items map[string]*list.Element // value is *entry
+	lru   *list.List               // front = most recent
+}
+
+func newShards(n int, totalBudget int64) []*shard {
+	per := totalBudget / int64(n)
+	if per < 1 {
+		per = 1
+	}
+	out := make([]*shard, n)
+	for i := range out {
+		out[i] = &shard{
+			budget: per,
+			items:  make(map[string]*list.Element),
+			lru:    list.New(),
+		}
+	}
+	return out
+}
+
+// get returns the entry under key (touching it most-recent) or nil.
+func (s *shard) get(key string) *entry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.items[key]
+	if !ok {
+		return nil
+	}
+	s.lru.MoveToFront(el)
+	return el.Value.(*entry)
+}
+
+// put inserts (or replaces) an entry and evicts from the LRU tail until
+// the shard is back under budget, returning how many entries were
+// evicted. A single entry larger than the whole budget is still
+// admitted alone — the cache must not refuse the content it exists for.
+func (s *shard) put(e *entry) (evicted int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.items[e.key]; ok {
+		old := el.Value.(*entry)
+		s.bytes -= old.v.size
+		el.Value = e
+		s.lru.MoveToFront(el)
+	} else {
+		s.items[e.key] = s.lru.PushFront(e)
+	}
+	s.bytes += e.v.size
+	for s.bytes > s.budget && s.lru.Len() > 1 {
+		tail := s.lru.Back()
+		if tail == nil {
+			break
+		}
+		victim := tail.Value.(*entry)
+		s.lru.Remove(tail)
+		delete(s.items, victim.key)
+		s.bytes -= victim.v.size
+		evicted++
+	}
+	return evicted
+}
+
+// removeEntry drops the entry if it is still the resident one for its
+// key (identity-checked so a concurrent refill is never clobbered).
+func (s *shard) removeEntry(e *entry) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.items[e.key]
+	if !ok || el.Value.(*entry) != e {
+		return false
+	}
+	s.lru.Remove(el)
+	delete(s.items, e.key)
+	s.bytes -= e.v.size
+	return true
+}
+
+func (s *shard) len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lru.Len()
+}
+
+func (s *shard) sizeBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.bytes
+}

@@ -57,6 +57,9 @@ const (
 	StageDownload = "download"
 	// StageXKMS covers one XKMS request round trip.
 	StageXKMS = "xkms"
+	// StageLibrary covers one shared-library track open (cache lookup
+	// plus, on a miss, the full verification fill).
+	StageLibrary = "library"
 )
 
 // Audit event kinds.
@@ -73,6 +76,10 @@ const (
 	AuditDegradedEnter = "degraded-trust-entered"
 	// AuditDegradedExit records recovery to live trust resolution.
 	AuditDegradedExit = "degraded-trust-exited"
+	// AuditDegradedServe records a cached verification verdict served
+	// while the trust service is degraded (the verdict was filled from
+	// live trust, but revocation checks may be stale).
+	AuditDegradedServe = "degraded-trust-serve"
 )
 
 // AuditEvent is one security-relevant decision.

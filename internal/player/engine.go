@@ -17,6 +17,7 @@ import (
 	"discsec/internal/access"
 	"discsec/internal/core"
 	"discsec/internal/disc"
+	"discsec/internal/library"
 	"discsec/internal/markup"
 	"discsec/internal/obs"
 	"discsec/internal/rights"
@@ -47,6 +48,14 @@ type Engine struct {
 	// not carry one of its own (obs.WithRecorder wins). A nil Recorder
 	// with a bare context keeps the engine silent.
 	Recorder *obs.Recorder
+	// Library, when non-nil, is the shared verification library this
+	// engine loads through. The library owns the verification trust
+	// configuration (its core.Opener supersedes the engine's
+	// Roots/DecryptKeys/RequireSignature/KeyByName for loads) — one
+	// trust config per cache is what makes sharing verdicts between
+	// engines sound. Sessions built from library verdicts share the
+	// verified document and cluster read-only.
+	Library *library.Library
 }
 
 // Session is a loaded, verified disc or download.
@@ -126,6 +135,13 @@ func (e *Engine) LoadDocumentNoContext(raw []byte) (*Session, error) {
 }
 
 func (e *Engine) loadDocument(ctx context.Context, rec *obs.Recorder, raw []byte) (*Session, error) {
+	if e.Library != nil {
+		v, _, err := e.Library.OpenDocument(ctx, raw)
+		if err != nil {
+			return nil, fmt.Errorf("player: security processing: %w", err)
+		}
+		return &Session{Cluster: v.Cluster, Doc: v.Doc, OpenResult: v.Result, engine: e, rec: rec}, nil
+	}
 	opener := &core.Opener{
 		Roots:            e.Roots,
 		Decrypt:          e.DecryptKeys,

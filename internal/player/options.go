@@ -6,6 +6,7 @@ import (
 
 	"discsec/internal/access"
 	"discsec/internal/disc"
+	"discsec/internal/library"
 	"discsec/internal/obs"
 	"discsec/internal/xmlenc"
 )
@@ -52,6 +53,15 @@ func WithScriptStepBudget(steps int) Option {
 // when a load context does not carry one.
 func WithRecorder(rec *obs.Recorder) Option {
 	return func(e *Engine) { e.Recorder = rec }
+}
+
+// WithLibrary routes the engine's loads through a shared verification
+// library: N engines loading the same content trigger one verification,
+// and later loads are cache hits. The library's own core.Opener
+// supersedes this engine's trust configuration for loads — configure
+// roots, decrypt keys, and signature policy on the library.
+func WithLibrary(lib *library.Library) Option {
+	return func(e *Engine) { e.Library = lib }
 }
 
 // NewEngine builds a player runtime from functional options. The zero

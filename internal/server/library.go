@@ -1,0 +1,113 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"discsec/internal/library"
+)
+
+// WithLibrary attaches a shared verification library and enables the
+// /library/ routes: the server then serves *verified* tracks from
+// mounted discs — every response body passed the full Fig. 9 pipeline,
+// amortized through the library's cache — with cache-status headers so
+// operators can see hit rates per response.
+func WithLibrary(lib *library.Library) Option {
+	return func(cs *ContentServer) { cs.library = lib }
+}
+
+// Library response headers.
+const (
+	// HeaderLibraryCache reports how the verdict was served:
+	// hit | miss | singleflight-wait | bypass.
+	HeaderLibraryCache = "X-Library-Cache"
+	// HeaderLibrarySigner carries the verified signer-key fingerprint.
+	HeaderLibrarySigner = "X-Library-Signer"
+	// HeaderLibraryDegraded is "true" when the verdict was filled under
+	// degraded trust (stale revocation data; see SECURITY.md).
+	HeaderLibraryDegraded = "X-Library-Degraded"
+)
+
+// serveLibrary handles GET/HEAD under /library/:
+//
+//	/library/                  -> mounted disc names (text)
+//	/library/<disc>            -> verified track listing (text)
+//	/library/<disc>/<track>    -> the verified track XML
+//
+// Verification failures map to 502: the server fails closed rather
+// than serve content it can no longer vouch for.
+func (cs *ContentServer) serveLibrary(w http.ResponseWriter, r *http.Request, rest string) {
+	if cs.library == nil {
+		cs.recorder.Inc("http.notfound")
+		http.NotFound(w, r)
+		return
+	}
+	rest = strings.Trim(rest, "/")
+	if rest == "" {
+		w.Header().Set("Content-Type", "text/plain")
+		for _, n := range cs.library.Mounts() {
+			fmt.Fprintln(w, n)
+		}
+		return
+	}
+	discName, trackID, hasTrack := strings.Cut(rest, "/")
+	if !hasTrack {
+		v, status, err := cs.library.OpenDisc(r.Context(), discName)
+		if err != nil {
+			cs.libraryError(w, r, err)
+			return
+		}
+		cs.libraryHeaders(w, v, status)
+		w.Header().Set("Content-Type", "text/plain")
+		for _, tr := range v.Cluster.Tracks {
+			fmt.Fprintf(w, "%s %s\n", tr.ID, tr.Kind)
+		}
+		return
+	}
+
+	body, v, status, err := cs.library.TrackXML(r.Context(), discName, trackID)
+	if err != nil {
+		cs.libraryError(w, r, err)
+		return
+	}
+	cs.libraryHeaders(w, v, status)
+	w.Header().Set("Content-Type", "application/xml")
+	// The canonical digest is a strong content-addressed validator.
+	w.Header().Set("ETag", `"`+v.Key+`"`)
+	if r.Method == http.MethodGet {
+		cs.download.Add(1)
+	}
+	http.ServeContent(w, r, "", time.Time{}, bytes.NewReader(body))
+}
+
+func (cs *ContentServer) libraryHeaders(w http.ResponseWriter, v *library.Verdict, status library.Status) {
+	w.Header().Set(HeaderLibraryCache, string(status))
+	if v.Fingerprint != "" {
+		w.Header().Set(HeaderLibrarySigner, v.Fingerprint)
+	}
+	if v.Degraded {
+		w.Header().Set(HeaderLibraryDegraded, "true")
+	}
+}
+
+// libraryError maps library failures onto HTTP: unknown names are 404,
+// client cancellation is the client's problem, and anything touching
+// verification is 502 — the route never falls back to unverified bytes.
+func (cs *ContentServer) libraryError(w http.ResponseWriter, r *http.Request, err error) {
+	switch {
+	case errors.Is(err, library.ErrNotMounted), errors.Is(err, library.ErrNoTrack):
+		cs.recorder.Inc("http.notfound")
+		http.NotFound(w, r)
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		cs.recorder.Inc("http.library.canceled")
+		http.Error(w, "request canceled", http.StatusServiceUnavailable)
+	default:
+		cs.recorder.Inc("http.library.failclosed")
+		http.Error(w, "library verification failed", http.StatusBadGateway)
+	}
+}

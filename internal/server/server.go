@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"discsec/internal/disc"
+	"discsec/internal/library"
 	"discsec/internal/obs"
 	"discsec/internal/resilience"
 )
@@ -63,6 +64,9 @@ type ContentServer struct {
 	recorder *obs.Recorder
 	// clock overrides time.Now for latency measurement (tests).
 	clock func() time.Time
+	// library, when set, backs the /library/ routes with verified
+	// tracks from mounted discs (WithLibrary).
+	library *library.Library
 }
 
 // Option configures a ContentServer built by NewContentServer.
@@ -198,6 +202,34 @@ func (cs *ContentServer) observeRoute(route string, start time.Time) {
 	cs.recorder.Observe("http."+route, cs.now().Sub(start))
 }
 
+// acquireSlot admits one request under the MaxInFlight limit, writing
+// the 503 + Retry-After shed response itself when over capacity. The
+// returned release must be called (admitted == true) when the request
+// finishes; with no limit configured it is a no-op.
+func (cs *ContentServer) acquireSlot(w http.ResponseWriter) (release func(), admitted bool) {
+	limit := cs.MaxInFlight
+	if limit <= 0 {
+		return func() {}, true
+	}
+	if cs.inflight.Add(1) > limit {
+		cs.inflight.Add(-1)
+		cs.shed.Add(1)
+		cs.recorder.Inc("http.shed")
+		retryAfter := cs.RetryAfter
+		if retryAfter <= 0 {
+			retryAfter = time.Second
+		}
+		w.Header().Set("Retry-After", strconv.FormatInt(int64((retryAfter+time.Second-1)/time.Second), 10))
+		http.Error(w, "content server over capacity", http.StatusServiceUnavailable)
+		return nil, false
+	}
+	cs.recorder.Inc("http.inflight")
+	return func() {
+		cs.inflight.Add(-1)
+		cs.recorder.Add("http.inflight", -1)
+	}, true
+}
+
 // ServeHTTP implements http.Handler: GET/HEAD /<name> returns the
 // published item (with ETag and Range support for resume); GET
 // /catalog returns a text listing; GET /metricsz and /healthz expose
@@ -228,26 +260,23 @@ func (cs *ContentServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	defer cs.observeRoute("content", cs.now())
-	if limit := cs.MaxInFlight; limit > 0 {
-		if cs.inflight.Add(1) > limit {
-			cs.inflight.Add(-1)
-			cs.shed.Add(1)
-			cs.recorder.Inc("http.shed")
-			retryAfter := cs.RetryAfter
-			if retryAfter <= 0 {
-				retryAfter = time.Second
-			}
-			w.Header().Set("Retry-After", strconv.FormatInt(int64((retryAfter+time.Second-1)/time.Second), 10))
-			http.Error(w, "content server over capacity", http.StatusServiceUnavailable)
+	if rest, isLibrary := strings.CutPrefix(name, "library/"); isLibrary || name == "library" {
+		defer cs.observeRoute("library", cs.now())
+		release, admitted := cs.acquireSlot(w)
+		if !admitted {
 			return
 		}
-		cs.recorder.Inc("http.inflight")
-		defer func() {
-			cs.inflight.Add(-1)
-			cs.recorder.Add("http.inflight", -1)
-		}()
+		defer release()
+		cs.serveLibrary(w, r, rest)
+		return
 	}
+
+	defer cs.observeRoute("content", cs.now())
+	release, admitted := cs.acquireSlot(w)
+	if !admitted {
+		return
+	}
+	defer release()
 
 	e, ok := cs.lookup(name)
 	if !ok {

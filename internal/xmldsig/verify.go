@@ -73,6 +73,11 @@ type VerifyResult struct {
 	References []ReferenceResult
 	// KeyInfo carries the parsed key hints from the signature.
 	KeyInfo *ParsedKeyInfo
+	// SignerKey is the public key that validated SignatureValue (nil
+	// for HMAC signatures). Callers deriving cache or trust identities
+	// should fingerprint this key rather than the KeyInfo hints: it is
+	// the key that actually checked out.
+	SignerKey crypto.PublicKey
 	// CertificateChainValidated reports whether an embedded X.509
 	// chain was validated against the configured roots.
 	CertificateChainValidated bool
@@ -231,6 +236,7 @@ func Verify(doc *xmldom.Document, sig *xmldom.Element, opts VerifyOptions) (*Ver
 	if err != nil {
 		return result, fmt.Errorf("%w: %v", ErrSignatureInvalid, err)
 	}
+	result.SignerKey = pub
 	return result, nil
 }
 
