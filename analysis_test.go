@@ -9,10 +9,14 @@ import (
 // TestDiscvet runs the project's static-analysis suite over the whole
 // module, so `go test ./...` enforces the security invariants
 // (constant-time comparisons, no math/rand key material, %w wrapping,
-// the single-XML-parser rule, lock hygiene, and the interprocedural
+// the single-XML-parser rule, lock hygiene, the interprocedural
 // dataflow rules: taintflow's verify-before-execute, unverifiedwrite's
-// verify-before-persist, auditpath's audited refusals) on every
-// change. The same suite is available standalone as
+// verify-before-persist, auditpath's audited refusals, and the v3
+// concurrency/allocation rules: lockorder's acyclic lock ordering,
+// goroutineleak's terminating goroutines, hotpathalloc's
+// allocation-free //discvet:hotpath closure) on every change. The
+// analyzer package itself is in the analyzed set, so discvet
+// self-hosts. The same suite is available standalone as
 // `go run ./cmd/discvet ./...` and `make lint`; stale suppressions are
 // reported too (uselessignore), so the zero-findings state cannot rot.
 func TestDiscvet(t *testing.T) {

@@ -1,15 +1,36 @@
 #!/bin/sh
 # CI gate: every PR must build cleanly, pass go vet and the discvet
 # static-analysis suite (see internal/analysis), and pass the full
-# test suite under the race detector. The SARIF report is archived
-# next to the BENCH_*.json artifacts for code-scanning upload.
+# test suite under the race detector. The SARIF report — which since
+# discvet v3 also carries the interprocedural concurrency rules
+# (lockorder, goroutineleak) and the hot-path allocation rule
+# (hotpathalloc) — is archived next to the BENCH_*.json artifacts for
+# code-scanning upload.
 set -eux
 
 go build ./...
 go vet ./...
 make lint
 make lint-baseline
+
+# Full-module self-analysis with SARIF, wall-clock-guarded: the
+# interprocedural fixpoints (taint, locksets, call graph) must stay
+# interactive. 60s is ~10x current cost; breaching it means an
+# analyzer regressed to something super-linear.
+lint_start=$(date +%s)
 go run ./cmd/discvet -sarif ./... > discvet.sarif
+lint_end=$(date +%s)
+lint_elapsed=$((lint_end - lint_start))
+echo "discvet -sarif ./... took ${lint_elapsed}s"
+if [ "$lint_elapsed" -gt 60 ]; then
+    echo "discvet self-analysis exceeded the 60s budget (${lint_elapsed}s)" >&2
+    exit 1
+fi
+# The archived report must mention the v3 rule table.
+for rule in lockorder goroutineleak hotpathalloc; do
+    grep -q "\"$rule\"" discvet.sarif || { echo "discvet.sarif is missing rule $rule" >&2; exit 1; }
+done
+
 go test -race ./...
 go test -race ./internal/analysis/...
 make faults

@@ -19,7 +19,9 @@
 //     in internal/xmldom; direct encoding/xml use elsewhere reopens
 //     XXE/wrapping attack surface.
 //   - locksafety: no lock-by-value copies, and no return while a
-//     sync.Mutex/RWMutex is held by a defer-less Lock.
+//     sync.Mutex/RWMutex is held by a defer-less Lock. Since v3 the
+//     held-lock tracking comes from the shared lockset engine
+//     (locksets.go) that also powers lockorder.
 //   - httpclient: the networked packages (server, keymgmt, player)
 //     must never use http.DefaultClient or a zero-Timeout
 //     http.Client; every remote call needs a deadline so failures
@@ -39,6 +41,18 @@
 //   - auditpath: deny/fail-closed branches in core, access, and player
 //     must emit an obs audit event before returning, so the audit ring
 //     records every security refusal.
+//   - lockorder: interprocedural deadlock analysis — per-function
+//     lockset summaries to a fixpoint, a module-wide
+//     lock-acquisition-order graph whose cycles are potential
+//     deadlocks, and no indefinite wait (channel op, blocking sink)
+//     while a mutex is held (locksets.go, lockorder.go).
+//   - goroutineleak: every `go` statement needs a termination signal
+//     reachable from the spawn site — ctx.Done, a channel the spawner
+//     closes, or a WaitGroup join.
+//   - hotpathalloc: functions annotated //discvet:hotpath (and their
+//     static callees, up to a //discvet:coldpath boundary) must not
+//     allocate: no fmt calls, map/slice literals, unpreallocated
+//     append, capturing closures, or interface boxing.
 //
 // Diagnostics carry file:line:col positions. A finding can be
 // suppressed with a justified comment on the same line or the line
@@ -142,6 +156,9 @@ func Analyzers() []*Analyzer {
 		Taintflow,
 		UnverifiedWrite,
 		AuditPath,
+		LockOrder,
+		GoroutineLeak,
+		HotPathAlloc,
 	}
 }
 

@@ -80,7 +80,9 @@ func exprNameMatches(e ast.Expr, vocab map[string]bool) bool {
 }
 
 // calleeFunc resolves a call's callee to its types.Func, or nil for
-// indirect calls, conversions, and builtins.
+// indirect calls, conversions, and builtins. Generic instantiations
+// resolve to their origin declaration so call-graph lookups work for
+// parameterized functions and methods.
 func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
 	var id *ast.Ident
 	switch fn := ast.Unparen(call.Fun).(type) {
@@ -88,10 +90,17 @@ func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
 		id = fn
 	case *ast.SelectorExpr:
 		id = fn.Sel
+	case *ast.IndexExpr: // explicit instantiation: f[T](...)
+		if base, ok := ast.Unparen(fn.X).(*ast.Ident); ok {
+			id = base
+		}
 	default:
 		return nil
 	}
 	f, _ := info.Uses[id].(*types.Func)
+	if f != nil {
+		f = f.Origin()
+	}
 	return f
 }
 

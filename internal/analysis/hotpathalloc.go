@@ -1,0 +1,529 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// HotPathAlloc enforces a zero-allocation discipline on functions
+// annotated `//discvet:hotpath` and everything they statically call.
+//
+// Annotation grammar (full spec in DESIGN.md §12):
+//
+//	//discvet:hotpath [reason]   — this function is a hot-path root:
+//	                               it and every module function it
+//	                               statically calls must not allocate.
+//	//discvet:coldpath [reason]  — this function is an audited escape
+//	                               (error formatting, audit events,
+//	                               first-touch slow paths): enforcement
+//	                               stops at its boundary.
+//
+// The hot set is the transitive closure of the roots over EdgeStatic
+// call edges into module functions, stopping at functions annotated
+// either way (hotpath functions are their own roots; coldpath
+// functions are exempt). Dynamic dispatch (interface and func-value
+// edges) is not followed: a Sink implementation is the integrator's
+// contract, not the library's.
+//
+// Inside a hot function five constructs are flagged:
+//
+//   - any call into package fmt (formatting state always allocates);
+//   - map and slice composite literals;
+//   - append to a slice whose local declaration visibly lacks
+//     capacity (no make with a length/capacity); slices received as
+//     parameters or fields get the benefit of the doubt;
+//   - function literals that capture enclosing variables (the closure
+//     cell is heap-allocated at creation);
+//   - implicit interface boxing — an argument, assignment, or return
+//     that converts a concrete value to an interface type — unless
+//     the concrete type is pointer-shaped (pointers, channels, maps,
+//     funcs fit the interface word without allocating). Calls to
+//     coldpath functions are exempt: the annotation asserts the whole
+//     call belongs to a cold branch.
+var HotPathAlloc = &Analyzer{
+	Name:      "hotpathalloc",
+	Doc:       "//discvet:hotpath functions (and their static callees) must not allocate: no fmt, map/slice literals, unpreallocated append, capturing closures, or interface boxing",
+	RunModule: runHotPathAlloc,
+}
+
+type pathAnnotation int8
+
+const (
+	annNone pathAnnotation = iota
+	annHot
+	annCold
+)
+
+func parsePathAnnotation(text string) pathAnnotation {
+	if rest, ok := strings.CutPrefix(text, "//discvet:hotpath"); ok && directiveEnd(rest) {
+		return annHot
+	}
+	if rest, ok := strings.CutPrefix(text, "//discvet:coldpath"); ok && directiveEnd(rest) {
+		return annCold
+	}
+	return annNone
+}
+
+func directiveEnd(rest string) bool {
+	return rest == "" || rest[0] == ' ' || rest[0] == '\t'
+}
+
+// collectPathAnnotations maps every annotated function declaration to
+// its annotation. A directive lives in the doc comment or on the line
+// directly above the declaration.
+func collectPathAnnotations(pass *ModulePass) map[*types.Func]pathAnnotation {
+	out := map[*types.Func]pathAnnotation{}
+	for _, pkg := range pass.Pkgs {
+		for _, f := range pkg.Files {
+			lineAnn := map[int]pathAnnotation{}
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					if a := parsePathAnnotation(c.Text); a != annNone {
+						lineAnn[pkg.Fset.Position(c.End()).Line] = a
+					}
+				}
+			}
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				ann := annNone
+				if fd.Doc != nil {
+					for _, c := range fd.Doc.List {
+						if a := parsePathAnnotation(c.Text); a != annNone {
+							ann = a
+						}
+					}
+				}
+				if ann == annNone {
+					ann = lineAnn[pkg.Fset.Position(fd.Pos()).Line-1]
+				}
+				if ann == annNone {
+					continue
+				}
+				if fn, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+					out[fn] = ann
+				}
+			}
+		}
+	}
+	return out
+}
+
+func runHotPathAlloc(pass *ModulePass) {
+	ann := collectPathAnnotations(pass)
+
+	cold := map[*types.Func]bool{}
+	var roots []*FuncNode
+	for fn, a := range ann {
+		switch a {
+		case annCold:
+			cold[fn] = true
+		case annHot:
+			if node, ok := pass.Graph.Funcs[fn]; ok {
+				roots = append(roots, node)
+			}
+		}
+	}
+	sort.Slice(roots, func(i, j int) bool {
+		if a, b := funcDisplayName(roots[i].Fn), funcDisplayName(roots[j].Fn); a != b {
+			return a < b
+		}
+		return roots[i].Decl.Pos() < roots[j].Decl.Pos()
+	})
+
+	// hotVia maps every function in the hot set to the root that pulled
+	// it in (first root wins, deterministically).
+	hotVia := map[*types.Func]*FuncNode{}
+	for _, root := range roots {
+		queue := []*FuncNode{root}
+		hotVia[root.Fn] = root
+		for len(queue) > 0 {
+			n := queue[0]
+			queue = queue[1:]
+			for _, e := range n.Out {
+				if e.Kind != EdgeStatic {
+					continue
+				}
+				if _, seen := hotVia[e.Callee]; seen {
+					continue
+				}
+				if ann[e.Callee] != annNone {
+					continue // hot callees are their own roots; cold callees are exempt
+				}
+				callee, ok := pass.Graph.Funcs[e.Callee]
+				if !ok {
+					continue // outside the module: not ours to enforce
+				}
+				hotVia[e.Callee] = root
+				queue = append(queue, callee)
+			}
+		}
+	}
+
+	var hot []*FuncNode
+	for fn := range hotVia {
+		hot = append(hot, pass.Graph.Funcs[fn])
+	}
+	sort.Slice(hot, func(i, j int) bool { return hot[i].Decl.Pos() < hot[j].Decl.Pos() })
+	for _, n := range hot {
+		c := &hotChecker{
+			pass: pass,
+			pkg:  n.Pkg,
+			via:  funcDisplayName(hotVia[n.Fn].Fn),
+			cold: cold,
+		}
+		c.checkFunc(n)
+	}
+}
+
+// hotChecker scans one hot function for forbidden constructs.
+type hotChecker struct {
+	pass *ModulePass
+	pkg  *Package
+	via  string // display name of the hot root that made this function hot
+	cold map[*types.Func]bool
+	defs map[*ast.Ident]ast.Node // lazy index: defining ident -> assign/spec
+}
+
+func (c *hotChecker) reportf(pos ast.Node, format string, args ...any) {
+	c.pass.Reportf(pos.Pos(), "hot path (%s): "+format, append([]any{c.via}, args...)...)
+}
+
+func (c *hotChecker) checkFunc(n *FuncNode) {
+	info := n.Pkg.Info
+	var lits []*ast.FuncLit // innermost-last, for return-signature lookup
+	ast.Inspect(n.Decl.Body, func(nd ast.Node) bool {
+		switch x := nd.(type) {
+		case *ast.FuncLit:
+			lits = append(lits, x)
+			c.checkCapture(x)
+		case *ast.CompositeLit:
+			c.checkComposite(x)
+		case *ast.CallExpr:
+			c.checkCall(x)
+		case *ast.AssignStmt:
+			c.checkAssign(x)
+		case *ast.ValueSpec:
+			c.checkValueSpec(x)
+		case *ast.ReturnStmt:
+			c.checkReturn(x, n, lits)
+		case *ast.SendStmt:
+			if ch, ok := info.Types[x.Chan].Type.Underlying().(*types.Chan); ok {
+				c.checkBox(ch.Elem(), x.Value, "channel send")
+			}
+		}
+		return true
+	})
+}
+
+// checkCapture flags a function literal that closes over enclosing
+// variables: the closure cell is heap-allocated every time the literal
+// is evaluated.
+func (c *hotChecker) checkCapture(lit *ast.FuncLit) {
+	info := c.pkg.Info
+	var captured []string
+	seen := map[*types.Var]bool{}
+	ast.Inspect(lit.Body, func(nd ast.Node) bool {
+		id, ok := nd.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := info.Uses[id].(*types.Var)
+		if !ok || v.IsField() || seen[v] {
+			return true
+		}
+		if v.Pkg() == nil || v.Parent() == v.Pkg().Scope() {
+			return true // package-level: no capture
+		}
+		if v.Pos() >= lit.Pos() && v.Pos() <= lit.End() {
+			return true // declared inside the literal
+		}
+		seen[v] = true
+		captured = append(captured, v.Name())
+		return true
+	})
+	if len(captured) > 0 {
+		sort.Strings(captured)
+		c.reportf(lit, "closure captures %s; the closure cell allocates at every evaluation",
+			strings.Join(captured, ", "))
+	}
+}
+
+func (c *hotChecker) checkComposite(lit *ast.CompositeLit) {
+	tv, ok := c.pkg.Info.Types[lit]
+	if !ok || tv.Type == nil {
+		return
+	}
+	switch tv.Type.Underlying().(type) {
+	case *types.Map:
+		c.reportf(lit, "map literal allocates on every evaluation")
+	case *types.Slice:
+		c.reportf(lit, "slice literal allocates on every evaluation")
+	}
+}
+
+func (c *hotChecker) checkCall(call *ast.CallExpr) {
+	info := c.pkg.Info
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		// Conversion T(x): boxing only when T is an interface.
+		if t := tv.Type; types.IsInterface(t) && len(call.Args) == 1 {
+			c.checkBox(t, call.Args[0], "conversion")
+		}
+		return
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+			if id.Name == "append" {
+				c.checkAppend(call)
+			}
+			return
+		}
+	}
+	fn := calleeFunc(info, call)
+	if fn != nil {
+		if c.cold[fn] {
+			return // coldpath boundary: the whole call is off the hot path
+		}
+		if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+			c.reportf(call, "call to fmt.%s allocates its formatting state", fn.Name())
+		}
+	}
+	tv, ok := info.Types[call.Fun]
+	if !ok || tv.Type == nil {
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // s... passes the slice itself; no per-element boxing
+			}
+			vp, ok := params.At(params.Len() - 1).Type().(*types.Slice)
+			if !ok {
+				continue
+			}
+			pt = vp.Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		c.checkBox(pt, arg, "argument")
+	}
+}
+
+// checkAppend flags append to a slice whose local declaration visibly
+// lacks preallocated capacity. Parameters, fields, and slices built by
+// other calls get the benefit of the doubt.
+func (c *hotChecker) checkAppend(call *ast.CallExpr) {
+	if len(call.Args) == 0 {
+		return
+	}
+	id, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+	if !ok {
+		return
+	}
+	info := c.pkg.Info
+	v, ok := info.Uses[id].(*types.Var)
+	if !ok || v.Pkg() == nil || v.Parent() == v.Pkg().Scope() {
+		return
+	}
+	switch c.sliceOrigin(v) {
+	case sliceNoCapacity:
+		c.reportf(call, "append to %s, which was declared without preallocated capacity (use make with a capacity)", v.Name())
+	}
+}
+
+type sliceOriginKind int8
+
+const (
+	sliceUnknown sliceOriginKind = iota // parameter, field, or built elsewhere
+	slicePreallocated
+	sliceNoCapacity
+)
+
+// sliceOrigin classifies how the local slice variable was created, by
+// finding its defining assignment or var spec in the enclosing file.
+func (c *hotChecker) sliceOrigin(v *types.Var) sliceOriginKind {
+	info := c.pkg.Info
+	for id, obj := range info.Defs {
+		if obj != types.Object(v) {
+			continue
+		}
+		switch p := c.nodeDefining(id).(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range p.Lhs {
+				if lid, ok := lhs.(*ast.Ident); ok && lid == id && i < len(p.Rhs) {
+					return classifySliceRHS(info, p.Rhs[i])
+				}
+			}
+		case *ast.ValueSpec:
+			if len(p.Values) == 0 {
+				return sliceNoCapacity // var x []T: nil, grows by doubling
+			}
+			for i, name := range p.Names {
+				if name == id && i < len(p.Values) {
+					return classifySliceRHS(info, p.Values[i])
+				}
+			}
+		}
+		return sliceUnknown
+	}
+	return sliceUnknown
+}
+
+// defSites indexes, per checker, each defining identifier's enclosing
+// assignment or value spec. Built lazily from the package AST.
+func (c *hotChecker) nodeDefining(id *ast.Ident) ast.Node {
+	if c.defs == nil {
+		c.defs = map[*ast.Ident]ast.Node{}
+		for _, f := range c.pkg.Files {
+			ast.Inspect(f, func(nd ast.Node) bool {
+				switch x := nd.(type) {
+				case *ast.AssignStmt:
+					for _, lhs := range x.Lhs {
+						if lid, ok := lhs.(*ast.Ident); ok {
+							if _, defined := c.pkg.Info.Defs[lid]; defined {
+								c.defs[lid] = x
+							}
+						}
+					}
+				case *ast.ValueSpec:
+					for _, name := range x.Names {
+						c.defs[name] = x
+					}
+				}
+				return true
+			})
+		}
+	}
+	return c.defs[id]
+}
+
+func classifySliceRHS(info *types.Info, e ast.Expr) sliceOriginKind {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.CallExpr:
+		if id, ok := ast.Unparen(x.Fun).(*ast.Ident); ok {
+			if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin && id.Name == "make" {
+				if len(x.Args) >= 2 {
+					return slicePreallocated
+				}
+				return sliceNoCapacity // make([]T) has no capacity... and does not compile; defensive
+			}
+		}
+		return sliceUnknown // built by another function
+	case *ast.CompositeLit:
+		return sliceNoCapacity // []T{...}: capacity = len, first append reallocates
+	case *ast.Ident:
+		if x.Name == "nil" {
+			return sliceNoCapacity
+		}
+	}
+	return sliceUnknown
+}
+
+func (c *hotChecker) checkAssign(s *ast.AssignStmt) {
+	if s.Tok == token.DEFINE || len(s.Lhs) != len(s.Rhs) {
+		return // defines infer types; multi-value unpacking is out of scope
+	}
+	info := c.pkg.Info
+	for i, lhs := range s.Lhs {
+		tv, ok := info.Types[lhs]
+		if !ok || tv.Type == nil {
+			continue
+		}
+		c.checkBox(tv.Type, s.Rhs[i], "assignment")
+	}
+}
+
+func (c *hotChecker) checkValueSpec(vs *ast.ValueSpec) {
+	if vs.Type == nil {
+		return
+	}
+	tv, ok := c.pkg.Info.Types[vs.Type]
+	if !ok || tv.Type == nil {
+		return
+	}
+	for _, v := range vs.Values {
+		c.checkBox(tv.Type, v, "declaration")
+	}
+}
+
+func (c *hotChecker) checkReturn(ret *ast.ReturnStmt, n *FuncNode, lits []*ast.FuncLit) {
+	sig := c.enclosingSignature(ret, n, lits)
+	if sig == nil {
+		return
+	}
+	results := sig.Results()
+	if results == nil || len(ret.Results) != results.Len() {
+		return
+	}
+	for i, r := range ret.Results {
+		c.checkBox(results.At(i).Type(), r, "return")
+	}
+}
+
+// enclosingSignature resolves which function a return belongs to: the
+// innermost function literal containing it, or the declaration.
+func (c *hotChecker) enclosingSignature(ret *ast.ReturnStmt, n *FuncNode, lits []*ast.FuncLit) *types.Signature {
+	info := c.pkg.Info
+	for i := len(lits) - 1; i >= 0; i-- {
+		lit := lits[i]
+		if ret.Pos() >= lit.Pos() && ret.End() <= lit.End() {
+			if tv, ok := info.Types[lit]; ok {
+				if sig, ok := tv.Type.(*types.Signature); ok {
+					return sig
+				}
+			}
+			return nil
+		}
+	}
+	if fn, ok := info.Defs[n.Decl.Name].(*types.Func); ok {
+		return fn.Type().(*types.Signature)
+	}
+	return nil
+}
+
+// checkBox reports an implicit concrete-to-interface conversion that
+// heap-allocates: the destination is an interface and the source a
+// concrete type that does not fit the interface's data word.
+func (c *hotChecker) checkBox(dst types.Type, src ast.Expr, site string) {
+	if dst == nil || !types.IsInterface(dst) {
+		return
+	}
+	tv, ok := c.pkg.Info.Types[src]
+	if !ok || tv.Type == nil {
+		return
+	}
+	st := tv.Type
+	if types.IsInterface(st) || pointerShaped(st) {
+		return
+	}
+	qual := types.RelativeTo(c.pkg.Types)
+	c.reportf(src, "%s boxes %s into %s; boxing allocates",
+		site, types.TypeString(st, qual), types.TypeString(dst, qual))
+}
+
+// pointerShaped reports whether a value of type t fits an interface's
+// data word without allocating: pointers, channels, maps, funcs,
+// unsafe.Pointer, and nil.
+func pointerShaped(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	case *types.Basic:
+		return u.Kind() == types.UnsafePointer || u.Kind() == types.UntypedNil
+	}
+	return false
+}

@@ -1,0 +1,38 @@
+package analysis
+
+// Declarative tables for the concurrency rules (lockorder,
+// goroutineleak), mirroring taintrules.go: the rule engines are
+// generic, the project knowledge lives here.
+
+var pkgResilience = modulePath + "/internal/resilience"
+
+// blockingSinks are calls that can wait indefinitely (or long enough
+// to matter: network round trips, retry backoff). Holding a mutex
+// across one stalls every other goroutine contending for that mutex —
+// on the revocation path that turns fail-closed into fail-hung (see
+// SECURITY.md). The same table tells goroutineleak which unanalyzable
+// callees run until an external shutdown signal.
+var blockingSinks = []FuncRef{
+	// Indefinite synchronization waits.
+	{Pkg: "sync", Recv: "WaitGroup", Name: "Wait"},
+	{Pkg: "sync", Recv: "Cond", Name: "Wait"},
+	// Network I/O: dials, listener accept loops, HTTP round trips.
+	{Pkg: "net", Name: "Dial"},
+	{Pkg: "net", Name: "DialTimeout"},
+	{Pkg: "net", Name: "Listen"},
+	{Pkg: "net", Recv: "Listener", Name: "Accept"},
+	{Pkg: "net/http", Recv: "Client", Name: "Do"},
+	{Pkg: "net/http", Recv: "Client", Name: "Get"},
+	{Pkg: "net/http", Recv: "Client", Name: "Post"},
+	{Pkg: "net/http", Recv: "Client", Name: "PostForm"},
+	{Pkg: "net/http", Recv: "Server", Name: "Serve"},
+	{Pkg: "net/http", Recv: "Server", Name: "ListenAndServe"},
+	{Pkg: "net/http", Name: "ListenAndServe"},
+	// Deliberate sleeps (retry backoff).
+	{Pkg: "time", Name: "Sleep"},
+	// Module-local waits: the library's singleflight blocks every
+	// waiter until the fill completes, and a resilience policy sleeps
+	// between attempts.
+	{Pkg: pkgLibrary, Recv: "flightGroup", Name: "do"},
+	{Pkg: pkgResilience, Recv: "Policy", Name: "Do"},
+}

@@ -12,38 +12,46 @@ import (
 //   - a function parameter or receiver whose (non-pointer) type
 //     contains a sync.Mutex/RWMutex, i.e. a lock copied by value, and
 //   - a return statement executed while a mutex is still held by a
-//     Lock/RLock that was not immediately paired with a deferred
-//     unlock.
+//     Lock/RLock that was not paired with a deferred unlock.
 //
-// The held-lock check is a linear, block-local scan: it follows
-// nested if/for/switch bodies but does not build a full CFG, which is
-// exactly enough for the straight-line Lock();...;return patterns the
-// codebase uses.
+// Since discvet v3 the held-lock tracking comes from the shared
+// lockset engine (locksets.go) that also powers lockorder, so the two
+// rules cannot disagree about what "held" means. The rule keeps its
+// PR 1 name: existing //discvet:ignore locksafety directives and
+// baselines stay valid. Function literals are walked as independent
+// roots with their own (empty) held set.
 var LockSafety = &Analyzer{
-	Name: "locksafety",
-	Doc:  "no lock-by-value copies; no return while a defer-less Lock is held",
-	Run:  runLockSafety,
+	Name:      "locksafety",
+	Doc:       "no lock-by-value copies; no return while a defer-less Lock is held",
+	RunModule: runLockSafety,
 }
 
-func runLockSafety(pass *Pass) {
-	for _, f := range pass.Files {
-		ast.Inspect(f, func(n ast.Node) bool {
-			fd, ok := n.(*ast.FuncDecl)
-			if !ok {
-				return true
+func runLockSafety(pass *ModulePass) {
+	for _, pkg := range pass.Pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				if fd, ok := decl.(*ast.FuncDecl); ok {
+					checkLockCopies(pass, pkg, fd)
+				}
 			}
-			checkLockCopies(pass, fd)
-			if fd.Body != nil {
-				checkHeldReturns(pass, fd.Body.List, map[string]token.Pos{})
-			}
-			return true
-		})
+		}
 	}
+
+	eng := newLockEngine(pass)
+	w := &lockWalker{eng: eng}
+	w.onReturn = func(held []*heldLock, pos token.Pos) {
+		for _, hl := range held {
+			pass.Reportf(pos,
+				"return while %s is locked (Lock at %s has no deferred unlock)",
+				hl.key, pass.Fset.Position(hl.pos))
+		}
+	}
+	w.walkModule()
 }
 
 // checkLockCopies flags by-value receivers and parameters whose type
 // contains a mutex.
-func checkLockCopies(pass *Pass, fd *ast.FuncDecl) {
+func checkLockCopies(pass *ModulePass, pkg *Package, fd *ast.FuncDecl) {
 	var fields []*ast.Field
 	if fd.Recv != nil {
 		fields = append(fields, fd.Recv.List...)
@@ -52,12 +60,12 @@ func checkLockCopies(pass *Pass, fd *ast.FuncDecl) {
 		fields = append(fields, fd.Type.Params.List...)
 	}
 	for _, field := range fields {
-		t := pass.Info.Types[field.Type].Type
+		t := pkg.Info.Types[field.Type].Type
 		if t == nil || !containsLock(t, map[types.Type]bool{}) {
 			continue
 		}
 		pass.Reportf(field.Pos(),
-			"%s passed by value copies its sync.Mutex; pass a pointer", types.TypeString(t, types.RelativeTo(pass.Pkg)))
+			"%s passed by value copies its sync.Mutex; pass a pointer", types.TypeString(t, types.RelativeTo(pkg.Types)))
 	}
 }
 
@@ -88,66 +96,6 @@ func containsLock(t types.Type, seen map[types.Type]bool) bool {
 		return containsLock(u.Elem(), seen)
 	}
 	return false
-}
-
-// checkHeldReturns walks a statement list tracking which mutexes are
-// held by a defer-less Lock, reporting any return reached while one
-// is still held. Nested blocks get a copy of the held set so sibling
-// branches stay independent.
-func checkHeldReturns(pass *Pass, stmts []ast.Stmt, held map[string]token.Pos) {
-	for i, stmt := range stmts {
-		switch s := stmt.(type) {
-		case *ast.ExprStmt:
-			recv, op, ok := lockCall(pass.Info, s.X)
-			if !ok {
-				continue
-			}
-			switch op {
-			case "Lock", "RLock":
-				if i+1 < len(stmts) && deferredUnlock(pass.Info, stmts[i+1], recv) {
-					continue
-				}
-				held[recv] = s.Pos()
-			case "Unlock", "RUnlock":
-				delete(held, recv)
-			}
-		case *ast.DeferStmt:
-			if recv, op, ok := lockCall(pass.Info, s.Call); ok && (op == "Unlock" || op == "RUnlock") {
-				delete(held, recv)
-			}
-		case *ast.ReturnStmt:
-			for recv, pos := range held {
-				pass.Reportf(s.Pos(),
-					"return while %s is locked (Lock at %s has no deferred unlock)",
-					recv, pass.Fset.Position(pos))
-			}
-		case *ast.IfStmt:
-			checkHeldReturns(pass, s.Body.List, cloneHeld(held))
-			if els, ok := s.Else.(*ast.BlockStmt); ok {
-				checkHeldReturns(pass, els.List, cloneHeld(held))
-			}
-		case *ast.ForStmt:
-			checkHeldReturns(pass, s.Body.List, cloneHeld(held))
-		case *ast.RangeStmt:
-			checkHeldReturns(pass, s.Body.List, cloneHeld(held))
-		case *ast.BlockStmt:
-			checkHeldReturns(pass, s.List, cloneHeld(held))
-		case *ast.SwitchStmt:
-			for _, c := range s.Body.List {
-				if cc, ok := c.(*ast.CaseClause); ok {
-					checkHeldReturns(pass, cc.Body, cloneHeld(held))
-				}
-			}
-		}
-	}
-}
-
-func cloneHeld(held map[string]token.Pos) map[string]token.Pos {
-	out := make(map[string]token.Pos, len(held))
-	for k, v := range held {
-		out[k] = v
-	}
-	return out
 }
 
 // lockCall matches a call expression of the form recv.Lock / RLock /

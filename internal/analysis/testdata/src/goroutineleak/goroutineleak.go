@@ -1,0 +1,98 @@
+// Package glfixture exercises the goroutineleak analyzer: spawns with
+// no termination signal are flagged; ctx-dominated, channel-close-
+// dominated, join-dominated, and bounded spawns pass.
+package glfixture
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"sync"
+)
+
+// Leaky spawns a receive loop nothing can end.
+func Leaky(ch chan int) {
+	go func() { // want goroutineleak
+		for {
+			<-ch
+		}
+	}()
+}
+
+// CtxBound's worker exits when the context is cancelled.
+func CtxBound(ctx context.Context, ch chan int) {
+	go func() {
+		for {
+			select {
+			case <-ch:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+}
+
+// Gated workers block on a start signal the spawner closes, and are
+// joined before return: the bounded worker-pool idiom.
+func Gated(n int, start chan struct{}) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+		}()
+	}
+	close(start)
+	wg.Wait()
+}
+
+// Joined sends one result; the spawner waits on the WaitGroup.
+func Joined(results chan int) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		results <- compute()
+	}()
+	wg.Wait()
+}
+
+func compute() int { return 1 }
+
+// Drained ranges over a channel the spawner closes.
+func Drained(jobs chan int) {
+	done := make(chan struct{})
+	go func() {
+		for j := range jobs {
+			_ = j
+		}
+		close(done)
+	}()
+	close(jobs)
+	<-done
+}
+
+// Forever loops unboundedly; spawning it leaks.
+func Forever(ch chan int) {
+	for {
+		<-ch
+	}
+}
+
+func SpawnForever(ch chan int) {
+	go Forever(ch) // want goroutineleak
+}
+
+// finite runs to completion on its own: fine to fire and forget.
+func finite() {}
+
+func SpawnFinite() {
+	go finite()
+}
+
+// ServeUnsupervised hands the listener to a known-blocking call with
+// no shutdown plumbing in sight.
+func ServeUnsupervised(srv *http.Server, ln net.Listener) {
+	go srv.Serve(ln) // want goroutineleak
+}

@@ -1,0 +1,58 @@
+// Package glfixture is the clean twin of the goroutineleak fixture:
+// the same spawn shapes, each tied to a termination signal. The
+// analyzer must stay silent.
+package glfixture
+
+import (
+	"context"
+	"sync"
+)
+
+// ReceiveLoop is Leaky with a cancellation path added.
+func ReceiveLoop(ctx context.Context, ch chan int) {
+	go func() {
+		for {
+			select {
+			case <-ch:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+}
+
+// Pump is SpawnForever with the spawner closing the feed channel.
+func Pump(vals []int) {
+	feed := make(chan int)
+	go consume(feed)
+	for _, v := range vals {
+		feed <- v
+	}
+	close(feed)
+}
+
+func consume(ch chan int) {
+	for v := range ch {
+		_ = v
+	}
+}
+
+// Pool joins every worker before returning.
+func Pool(n int, work func(int)) {
+	var wg sync.WaitGroup
+	results := make(chan int)
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			defer wg.Done()
+			results <- i
+		}(i)
+	}
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+	for r := range results {
+		work(r)
+	}
+}

@@ -1,0 +1,63 @@
+// Package hpfixture exercises the hotpathalloc analyzer: an annotated
+// root with each forbidden construct, a transitively hot helper, a
+// coldpath escape, and a preallocated clean case.
+package hpfixture
+
+import "fmt"
+
+// Sum is a hot-path root containing one of each forbidden construct.
+//
+//discvet:hotpath fixture root
+func Sum(items []int) int {
+	seen := map[int]bool{}                 // want hotpathalloc
+	label := fmt.Sprintf("%d", len(items)) // want hotpathalloc hotpathalloc
+	_ = label
+	var out []int
+	for _, it := range items {
+		out = append(out, it) // want hotpathalloc
+		seen[it] = true
+	}
+	add := func() int { return len(out) } // want hotpathalloc
+	var boxed any = len(items)            // want hotpathalloc
+	_ = boxed
+	return helper(items) + add()
+}
+
+// helper is hot transitively: Sum calls it statically.
+func helper(items []int) int {
+	buf := []int{len(items)} // want hotpathalloc
+	for _, it := range items {
+		buf[0] += it
+	}
+	return buf[0]
+}
+
+// slow is an audited escape: enforcement stops at its boundary.
+//
+//discvet:coldpath fixture escape
+func slow(total int) string {
+	return fmt.Sprintf("total=%d", total)
+}
+
+// Report is hot but only calls the coldpath escape: clean.
+//
+//discvet:hotpath fixture root
+func Report(total int) {
+	_ = slow(total)
+}
+
+// Prealloc appends into a capacity-sized slice: clean.
+//
+//discvet:hotpath fixture root
+func Prealloc(items []int) []int {
+	out := make([]int, 0, len(items))
+	for _, it := range items {
+		out = append(out, it)
+	}
+	return out
+}
+
+// Unannotated is outside the hot set and may allocate freely.
+func Unannotated(items []int) string {
+	return fmt.Sprint(len(items))
+}

@@ -1,0 +1,29 @@
+// Package hpfixture is the unannotated twin of the hotpathalloc
+// fixture: the same allocating constructs with no //discvet:hotpath
+// root anywhere, so the analyzer must stay silent.
+package hpfixture
+
+import "fmt"
+
+func Sum(items []int) int {
+	seen := map[int]bool{}
+	label := fmt.Sprintf("%d", len(items))
+	_ = label
+	var out []int
+	for _, it := range items {
+		out = append(out, it)
+		seen[it] = true
+	}
+	add := func() int { return len(out) }
+	var boxed any = len(items)
+	_ = boxed
+	return helper(items) + add()
+}
+
+func helper(items []int) int {
+	buf := []int{len(items)}
+	for _, it := range items {
+		buf[0] += it
+	}
+	return buf[0]
+}

@@ -1,0 +1,95 @@
+// Package lofixture exercises the lockorder analyzer: an AB-BA
+// acquisition cycle built from interprocedural lockset summaries, a
+// double acquisition of one mutex, and indefinite waits (channel
+// send, network round trip, blocking callee) while a mutex is held.
+package lofixture
+
+import (
+	"net/http"
+	"sync"
+)
+
+// P and Q lock each other's mutexes in opposite orders across four
+// functions; neither function alone acquires out of order.
+type P struct {
+	mu sync.Mutex
+	q  *Q
+}
+
+type Q struct {
+	mu sync.Mutex
+	p  *P
+}
+
+// LockBoth acquires P.mu, then Q.mu through withLock's summary.
+func (p *P) LockBoth() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.q.withLock() // want lockorder
+}
+
+func (q *Q) withLock() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+}
+
+// Reverse acquires Q.mu, then P.mu: the other half of the cycle.
+func (q *Q) Reverse() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.p.direct()
+}
+
+func (p *P) direct() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+}
+
+// S holds one mutex across the waits below.
+type S struct {
+	mu  sync.Mutex
+	ch  chan int
+	cli *http.Client
+}
+
+// SendLocked blocks on an unbuffered send with S.mu held.
+func (s *S) SendLocked(v int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ch <- v // want lockorder
+}
+
+// FetchLocked performs a network round trip with S.mu held.
+func (s *S) FetchLocked(req *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.cli.Do(req) // want lockorder
+}
+
+// CallBlockerLocked reaches a channel receive through a callee whose
+// summary records that it blocks.
+func (s *S) CallBlockerLocked() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	drain(s.ch) // want lockorder
+}
+
+func drain(ch chan int) {
+	<-ch
+}
+
+// Relock re-acquires the mutex it already holds: self-deadlock.
+func (s *S) Relock() {
+	s.mu.Lock()
+	s.mu.Lock() // want lockorder
+	s.mu.Unlock()
+	s.mu.Unlock()
+}
+
+// SendUnlocked releases the mutex before the send: clean.
+func (s *S) SendUnlocked(v int) {
+	s.mu.Lock()
+	ch := s.ch
+	s.mu.Unlock()
+	ch <- v
+}

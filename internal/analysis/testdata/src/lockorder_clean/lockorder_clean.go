@@ -1,0 +1,37 @@
+// Package lofixture is the clean twin of the lockorder fixture: both
+// call paths take A.mu strictly before B.mu, every wait happens after
+// the mutex is released, and an RLock may nest under an RLock of a
+// different lock. The analyzer must stay silent.
+package lofixture
+
+import "sync"
+
+type A struct {
+	mu sync.RWMutex
+	b  *B
+}
+
+type B struct {
+	mu sync.Mutex
+}
+
+// First takes A.mu then B.mu through second's summary.
+func (a *A) First() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.b.second()
+}
+
+func (b *B) second() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+}
+
+// Again repeats the same A.mu -> B.mu order: consistent, no cycle.
+// The send happens strictly after the unlock.
+func (a *A) Again(v int, ch chan int) {
+	a.mu.RLock()
+	a.b.second()
+	a.mu.RUnlock()
+	ch <- v
+}

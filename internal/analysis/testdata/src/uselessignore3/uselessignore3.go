@@ -1,0 +1,44 @@
+// Fixture for stale suppressions naming the discvet v3 rules: every
+// directive below sits on code its rule does not flag, so each must be
+// reported as uselessignore. Assertions live in the test (the
+// directive comment occupies the line, so `// want` markers cannot).
+package fixture
+
+import "sync"
+
+type guard struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Bump locks correctly: nothing for lockorder to report.
+func (g *guard) Bump() {
+	//discvet:ignore lockorder fixture: stale, nothing fires here
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.n++
+}
+
+// Spawn joins its goroutine: nothing for goroutineleak to report.
+func Spawn(ch chan int) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	//discvet:ignore goroutineleak fixture: stale, the join below covers it
+	go func() {
+		defer wg.Done()
+		ch <- 1
+	}()
+	wg.Wait()
+}
+
+// Walk is hot and allocation-free: nothing for hotpathalloc to report.
+//
+//discvet:hotpath fixture root
+func Walk(items []int) int {
+	total := 0
+	for _, it := range items {
+		//discvet:ignore hotpathalloc fixture: stale, additions do not allocate
+		total += it
+	}
+	return total
+}

@@ -455,6 +455,8 @@ func (c *canonicalizer) procInst(pi *xmldom.ProcInst) {
 }
 
 // writeText escapes character data per the canonical form: & < > and CR.
+//
+//discvet:hotpath inner loop of every digest canonicalization; must not allocate per byte
 func writeText(w io.Writer, s string) {
 	last := 0
 	for i := 0; i < len(s); i++ {
@@ -480,6 +482,8 @@ func writeText(w io.Writer, s string) {
 
 // writeAttrValue escapes attribute values per the canonical form:
 // & < " TAB LF CR.
+//
+//discvet:hotpath inner loop of every digest canonicalization; must not allocate per byte
 func writeAttrValue(w io.Writer, s string) {
 	last := 0
 	for i := 0; i < len(s); i++ {

@@ -1,0 +1,135 @@
+// Package cowmap provides a generic copy-on-write map for read-mostly
+// hot paths.
+//
+// sync.Map's Load/Store take `any`, so every string-keyed access on an
+// instrumented hot path boxes the key into an interface — one heap
+// allocation per metric touch. Map[K, V] keeps reads to a single
+// atomic pointer load plus one ordinary typed map lookup: zero
+// allocations, no boxing, no lock. Writers serialize on a mutex and
+// publish a fresh copy of the map, so a write costs O(len) — the right
+// trade for tables like counter and histogram registries that grow to
+// a handful of fixed names at warm-up and are then only read.
+//
+// The zero Map is empty and ready to use. All methods are safe for
+// concurrent use.
+package cowmap
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Map is a copy-on-write map from K to V.
+type Map[K comparable, V any] struct {
+	p  atomic.Pointer[map[K]V]
+	mu sync.Mutex // serializes writers; readers never take it
+}
+
+// Get returns the value stored under k.
+//
+//discvet:hotpath the read path is one atomic load and a typed lookup
+func (m *Map[K, V]) Get(k K) (V, bool) {
+	if p := m.p.Load(); p != nil {
+		v, ok := (*p)[k]
+		return v, ok
+	}
+	var zero V
+	return zero, false
+}
+
+// GetOrCreate returns the value under k, installing create()'s result
+// on first touch. Exactly one stored value ever exists per key: racing
+// creators agree on the winner, and a loser's create() result is
+// discarded. Pass a declared function, not a capturing literal — the
+// steady state is the Get fast path and must not allocate a closure.
+//
+//discvet:hotpath steady state is the Get fast path
+func (m *Map[K, V]) GetOrCreate(k K, create func() V) V {
+	if v, ok := m.Get(k); ok {
+		return v
+	}
+	return m.getOrCreateSlow(k, create)
+}
+
+// getOrCreateSlow is the first-touch path: one copy-write per new key.
+//
+//discvet:coldpath first touch of a key; copies the table once
+func (m *Map[K, V]) getOrCreateSlow(k K, create func() V) V {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if p := m.p.Load(); p != nil {
+		if v, ok := (*p)[k]; ok {
+			return v
+		}
+	}
+	v := create()
+	m.storeLocked(k, v)
+	return v
+}
+
+// Set stores v under k, replacing any existing value.
+func (m *Map[K, V]) Set(k K, v V) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.storeLocked(k, v)
+}
+
+// storeLocked publishes a copy of the table with k set to v. Callers
+// hold m.mu.
+func (m *Map[K, V]) storeLocked(k K, v V) {
+	var cur map[K]V
+	if p := m.p.Load(); p != nil {
+		cur = *p
+	}
+	next := make(map[K]V, len(cur)+1)
+	for ck, cv := range cur {
+		next[ck] = cv
+	}
+	next[k] = v
+	m.p.Store(&next)
+}
+
+// Delete removes k. Deleting an absent key is a no-op that publishes
+// nothing.
+func (m *Map[K, V]) Delete(k K) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	p := m.p.Load()
+	if p == nil {
+		return
+	}
+	cur := *p
+	if _, ok := cur[k]; !ok {
+		return
+	}
+	next := make(map[K]V, len(cur)-1)
+	for ck, cv := range cur {
+		if ck != k {
+			next[ck] = cv
+		}
+	}
+	m.p.Store(&next)
+}
+
+// Len reports the number of stored keys.
+func (m *Map[K, V]) Len() int {
+	if p := m.p.Load(); p != nil {
+		return len(*p)
+	}
+	return 0
+}
+
+// Range calls f for each key/value in an unspecified order, over the
+// table as of the call. Returning false stops the iteration. Writes
+// made during the walk are not observed.
+func (m *Map[K, V]) Range(f func(K, V) bool) {
+	p := m.p.Load()
+	if p == nil {
+		return
+	}
+	for k, v := range *p {
+		if !f(k, v) {
+			return
+		}
+	}
+}

@@ -1,0 +1,160 @@
+package cowmap
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestZeroValueEmpty(t *testing.T) {
+	var m Map[string, int]
+	if v, ok := m.Get("a"); ok || v != 0 {
+		t.Errorf("Get on zero map = (%d, %v), want (0, false)", v, ok)
+	}
+	if n := m.Len(); n != 0 {
+		t.Errorf("Len on zero map = %d, want 0", n)
+	}
+	m.Range(func(string, int) bool {
+		t.Error("Range on zero map visited a key")
+		return true
+	})
+	m.Delete("a") // no-op, must not panic
+}
+
+func TestSetGetDelete(t *testing.T) {
+	var m Map[string, int]
+	m.Set("a", 1)
+	m.Set("b", 2)
+	m.Set("a", 3) // replace
+	if v, ok := m.Get("a"); !ok || v != 3 {
+		t.Errorf("Get(a) = (%d, %v), want (3, true)", v, ok)
+	}
+	if v, ok := m.Get("b"); !ok || v != 2 {
+		t.Errorf("Get(b) = (%d, %v), want (2, true)", v, ok)
+	}
+	if n := m.Len(); n != 2 {
+		t.Errorf("Len = %d, want 2", n)
+	}
+	m.Delete("a")
+	if _, ok := m.Get("a"); ok {
+		t.Error("Get(a) after Delete still present")
+	}
+	if n := m.Len(); n != 1 {
+		t.Errorf("Len after Delete = %d, want 1", n)
+	}
+}
+
+func TestGetOrCreate(t *testing.T) {
+	var m Map[string, *atomic.Int64]
+	calls := 0
+	create := func() *atomic.Int64 {
+		calls++
+		return new(atomic.Int64)
+	}
+	a := m.GetOrCreate("a", create)
+	b := m.GetOrCreate("a", create)
+	if a != b {
+		t.Error("GetOrCreate returned different values for one key")
+	}
+	if calls != 1 {
+		t.Errorf("create ran %d times, want 1", calls)
+	}
+}
+
+func TestRangeSnapshot(t *testing.T) {
+	var m Map[string, int]
+	m.Set("a", 1)
+	m.Set("b", 2)
+	seen := map[string]int{}
+	m.Range(func(k string, v int) bool {
+		// Writes during the walk must not be observed by it.
+		m.Set("c", 3)
+		seen[k] = v
+		return true
+	})
+	if len(seen) != 2 || seen["a"] != 1 || seen["b"] != 2 {
+		t.Errorf("Range saw %v, want the pre-walk table {a:1 b:2}", seen)
+	}
+	if _, ok := m.Get("c"); !ok {
+		t.Error("write made during Range was lost")
+	}
+}
+
+func TestRangeEarlyStop(t *testing.T) {
+	var m Map[int, int]
+	for i := 0; i < 8; i++ {
+		m.Set(i, i)
+	}
+	visits := 0
+	m.Range(func(int, int) bool {
+		visits++
+		return false
+	})
+	if visits != 1 {
+		t.Errorf("Range visited %d keys after returning false, want 1", visits)
+	}
+}
+
+// TestConcurrentAccess hammers one map from readers, writers, and
+// GetOrCreate racers; run under -race this is the package's memory
+// model check. Every GetOrCreate for a key must observe the same
+// counter so the final total is exact.
+func TestConcurrentAccess(t *testing.T) {
+	var m Map[string, *atomic.Int64]
+	keys := []string{"alpha", "beta", "gamma", "delta"}
+	const (
+		workers = 8
+		rounds  = 200
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				k := keys[(w+i)%len(keys)]
+				m.GetOrCreate(k, newCounter).Add(1)
+				m.Get(k)
+				m.Len()
+				m.Range(func(string, *atomic.Int64) bool { return true })
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	var total int64
+	for _, k := range keys {
+		c, ok := m.Get(k)
+		if !ok {
+			t.Fatalf("key %s missing after the race", k)
+		}
+		total += c.Load()
+	}
+	if want := int64(workers * rounds); total != want {
+		t.Errorf("counters total %d, want %d (a GetOrCreate race dropped a winner)", total, want)
+	}
+}
+
+func newCounter() *atomic.Int64 { return new(atomic.Int64) }
+
+func BenchmarkGet(b *testing.B) {
+	var m Map[string, *atomic.Int64]
+	m.Set("library.hit", new(atomic.Int64))
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			m.Get("library.hit")
+		}
+	})
+}
+
+func BenchmarkSyncMapGet(b *testing.B) {
+	var m sync.Map
+	m.Store("library.hit", new(atomic.Int64))
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			m.Load("library.hit")
+		}
+	})
+}

@@ -36,6 +36,7 @@ import (
 	"sync/atomic"
 
 	"discsec/internal/core"
+	"discsec/internal/cowmap"
 	"discsec/internal/disc"
 	"discsec/internal/keymgmt"
 	"discsec/internal/obs"
@@ -112,8 +113,11 @@ type Library struct {
 	// every entry lazily (InvalidateAll).
 	globalEpoch atomic.Uint64
 	// signerEpochs versions each signer independently so one
-	// revocation flushes only that signer's verdicts.
-	signerEpochs sync.Map // fingerprint -> *atomic.Uint64
+	// revocation flushes only that signer's verdicts. Copy-on-write:
+	// every cache lookup reads an epoch, and the signer population is
+	// tiny and stable next to the lookup rate, so reads must not box
+	// the fingerprint key the way sync.Map's Load(any) did.
+	signerEpochs cowmap.Map[string, *atomic.Uint64]
 	// invalGen counts every invalidation of any scope. Fills capture it
 	// before verifying and retry when it moved, so a revocation racing
 	// a fill can never be cached around.
@@ -232,6 +236,7 @@ func (l *Library) shardBudget(total int64) {
 	}
 }
 
+//discvet:hotpath shard routing runs on every open
 func (l *Library) shardFor(key string) *shard {
 	// Keys are hex digests: fold the first two bytes for spread.
 	var h uint32
@@ -315,6 +320,8 @@ func (l *Library) open(ctx context.Context, rec *obs.Recorder, key string, raw [
 // lookup returns a valid cached verdict, lazily evicting entries whose
 // trust epochs moved. Serving a hit while trust is degraded is allowed
 // (the verdict was filled from live trust) but audited.
+//
+//discvet:hotpath the warm-open path: millions of opens resolve here
 func (l *Library) lookup(rec *obs.Recorder, key string) (*Verdict, bool) {
 	sh := l.shardFor(key)
 	e := sh.get(key)
@@ -339,6 +346,8 @@ func (l *Library) lookup(rec *obs.Recorder, key string) (*Verdict, bool) {
 // trust outage — that the outage is still in effect (once trust
 // recovers such verdicts must be re-verified against live revocation
 // data).
+//
+//discvet:hotpath runs on every cache hit
 func (l *Library) entryValid(e *entry) bool {
 	if e.globalEpoch != l.globalEpoch.Load() {
 		return false
@@ -352,19 +361,22 @@ func (l *Library) entryValid(e *entry) bool {
 	return true
 }
 
+//discvet:hotpath epoch check on every warm-open lookup
 func (l *Library) signerEpochOf(fp string) *atomic.Uint64 {
-	if got, ok := l.signerEpochs.Load(fp); ok {
-		return got.(*atomic.Uint64)
-	}
-	got, _ := l.signerEpochs.LoadOrStore(fp, new(atomic.Uint64))
-	return got.(*atomic.Uint64)
+	return l.signerEpochs.GetOrCreate(fp, newEpoch)
 }
+
+// newEpoch is GetOrCreate's first-touch factory: a declared function
+// so the warm lookup path never builds a closure.
+func newEpoch() *atomic.Uint64 { return new(atomic.Uint64) }
 
 // fill runs the real verification and caches the verdict. It captures
 // the invalidation generation first and retries (bounded) whenever an
 // invalidation landed while verifying, so a revocation can never race a
 // fill into caching a stale verdict: the retry re-resolves keys, and a
 // now-revoked signer fails verification.
+//
+//discvet:coldpath a miss runs the full Fig. 9 verification; allocation is inherent
 func (l *Library) fill(ctx context.Context, rec *obs.Recorder, key string, raw []byte, doc *xmldom.Document, resolver *disc.Image) (*Verdict, error) {
 	op := l.opener
 	if resolver != nil {

@@ -27,6 +27,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"discsec/internal/cowmap"
 )
 
 // Stage names used across the pipeline. Packages record spans under
@@ -115,8 +117,12 @@ type Recorder struct {
 	sink    atomic.Pointer[sinkBox]
 	now     func() time.Time
 
-	counters sync.Map // string -> *atomic.Int64
-	hists    sync.Map // string -> *Histogram
+	// counters and hists are copy-on-write: the instrumented hot paths
+	// only ever read them (one atomic load, no key boxing), and the
+	// tables stop growing once every stage and counter name has been
+	// touched. sync.Map here cost one interface allocation per Add.
+	counters cowmap.Map[string, *atomic.Int64]
+	hists    cowmap.Map[string, *Histogram]
 
 	auditMu      sync.Mutex
 	auditSeq     uint64
@@ -202,21 +208,25 @@ func (r *Recorder) loadSink() Sink {
 }
 
 // Add adjusts a named counter by delta.
+//
+//discvet:hotpath counters tick inside verification inner loops
 func (r *Recorder) Add(name string, delta int64) {
 	if !r.live() {
 		return
 	}
-	c, ok := r.counters.Load(name)
-	if !ok {
-		c, _ = r.counters.LoadOrStore(name, new(atomic.Int64))
-	}
-	total := c.(*atomic.Int64).Add(delta)
+	total := r.counters.GetOrCreate(name, newCounter).Add(delta)
 	if s := r.loadSink(); s != nil {
 		s.OnCounter(name, delta, total)
 	}
 }
 
+// newCounter is GetOrCreate's first-touch factory: a declared function
+// so the steady-state Add never builds a closure.
+func newCounter() *atomic.Int64 { return new(atomic.Int64) }
+
 // Inc increments a named counter.
+//
+//discvet:hotpath counters tick inside verification inner loops
 func (r *Recorder) Inc(name string) { r.Add(name, 1) }
 
 // Counter returns the current value of a named counter (0 if never
@@ -225,13 +235,15 @@ func (r *Recorder) Counter(name string) int64 {
 	if r == nil {
 		return 0
 	}
-	if c, ok := r.counters.Load(name); ok {
-		return c.(*atomic.Int64).Load()
+	if c, ok := r.counters.Get(name); ok {
+		return c.Load()
 	}
 	return 0
 }
 
 // Observe records one duration sample for a stage.
+//
+//discvet:hotpath one sample per reference validation / c14n pass
 func (r *Recorder) Observe(stage string, d time.Duration) {
 	if !r.live() {
 		return
@@ -240,11 +252,7 @@ func (r *Recorder) Observe(stage string, d time.Duration) {
 }
 
 func (r *Recorder) histogram(stage string) *Histogram {
-	h, ok := r.hists.Load(stage)
-	if !ok {
-		h, _ = r.hists.LoadOrStore(stage, newHistogram())
-	}
-	return h.(*Histogram)
+	return r.hists.GetOrCreate(stage, newHistogram)
 }
 
 // Span is an in-flight stage measurement. The zero Span (from a nil or
@@ -256,6 +264,8 @@ type Span struct {
 }
 
 // Start begins a span for the stage. Call End exactly once.
+//
+//discvet:hotpath spans wrap every pipeline stage, including cache hits
 func (r *Recorder) Start(stage string) Span {
 	if !r.live() {
 		return Span{}
@@ -264,6 +274,8 @@ func (r *Recorder) Start(stage string) Span {
 }
 
 // End completes the span, recording its duration.
+//
+//discvet:hotpath spans wrap every pipeline stage, including cache hits
 func (s Span) End() {
 	if s.r == nil {
 		return
@@ -280,6 +292,8 @@ func (s Span) End() {
 
 // Audit records a security-relevant decision in the bounded audit ring
 // and streams it to the sink.
+//
+//discvet:coldpath audit events are rare security decisions; formatting may allocate
 func (r *Recorder) Audit(kind, format string, args ...any) {
 	if !r.live() {
 		return

@@ -53,13 +53,13 @@ func (r *Recorder) Snapshot() Snapshot {
 	if r == nil {
 		return snap
 	}
-	r.hists.Range(func(k, v any) bool {
-		snap.Stages = append(snap.Stages, v.(*Histogram).stat(k.(string)))
+	r.hists.Range(func(stage string, h *Histogram) bool {
+		snap.Stages = append(snap.Stages, h.stat(stage))
 		return true
 	})
 	sort.Slice(snap.Stages, func(i, j int) bool { return snap.Stages[i].Stage < snap.Stages[j].Stage })
-	r.counters.Range(func(k, v any) bool {
-		snap.Counters = append(snap.Counters, CounterStat{Name: k.(string), Value: v.(*atomic.Int64).Load()})
+	r.counters.Range(func(name string, c *atomic.Int64) bool {
+		snap.Counters = append(snap.Counters, CounterStat{Name: name, Value: c.Load()})
 		return true
 	})
 	sort.Slice(snap.Counters, func(i, j int) bool { return snap.Counters[i].Name < snap.Counters[j].Name })

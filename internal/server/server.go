@@ -299,6 +299,7 @@ func (cs *ContentServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 // function that drains in-flight requests up to ShutdownTimeout
 // before forcing connections closed.
 func (cs *ContentServer) serve(scheme string, ln net.Listener, srv *http.Server) (string, func() error) {
+	//discvet:ignore goroutineleak Serve returns when the shutdown func below calls srv.Shutdown/Close, which closes ln
 	go srv.Serve(ln) //nolint:errcheck // shutdown path returns ErrServerClosed
 	shutdown := func() error {
 		timeout := cs.ShutdownTimeout
