@@ -34,5 +34,6 @@ done
 go test -race ./...
 go test -race ./internal/analysis/...
 make faults
+make chaos
 make metrics
 make library-bench

@@ -134,6 +134,42 @@ func Seeded(seed int64, n int, kinds ...Kind) *Schedule {
 	return &Schedule{faults: faults}
 }
 
+// Flap scripts a flapping dependency: alternating blocks of down
+// (fault-injected) and up (clean) requests, starting down, for cycles
+// repetitions. A 50%-available service is Flap(n, k, k, f): k failed
+// requests, k clean, k failed, ... — the convergence pattern the
+// breaker chaos matrix drives. The zero Fault defaults to Reset so a
+// "down" block always injects a real failure.
+func Flap(cycles, down, up int, fail Fault) *Schedule {
+	if fail.Kind == None {
+		fail.Kind = Reset
+	}
+	var faults []Fault
+	for c := 0; c < cycles; c++ {
+		for i := 0; i < down; i++ {
+			faults = append(faults, fail)
+		}
+		for i := 0; i < up; i++ {
+			faults = append(faults, Fault{})
+		}
+	}
+	return &Schedule{faults: faults}
+}
+
+// Brownout scripts a bounded outage: n consecutive Status responses
+// (code, default 503) advertising retryAfter, then clean — a service
+// shedding load that recovers once the pressure passes.
+func Brownout(n, code int, retryAfter time.Duration) *Schedule {
+	if code == 0 {
+		code = http.StatusServiceUnavailable
+	}
+	faults := make([]Fault, n)
+	for i := range faults {
+		faults[i] = Fault{Kind: Status, Code: code, RetryAfter: retryAfter}
+	}
+	return &Schedule{faults: faults}
+}
+
 // Take consumes and returns the next scheduled fault ({Kind: None}
 // once exhausted).
 func (s *Schedule) Take() Fault {

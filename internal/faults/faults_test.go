@@ -269,3 +269,40 @@ func TestListenerTruncate(t *testing.T) {
 		}
 	}
 }
+
+func TestFlapSchedule(t *testing.T) {
+	s := Flap(2, 3, 2, Fault{Kind: Timeout})
+	want := []Kind{Timeout, Timeout, Timeout, None, None, Timeout, Timeout, Timeout, None, None}
+	if s.Remaining() != len(want) {
+		t.Fatalf("Remaining = %d, want %d", s.Remaining(), len(want))
+	}
+	for i, k := range want {
+		if got := s.Take().Kind; got != k {
+			t.Fatalf("fault %d = %v, want %v", i, got, k)
+		}
+	}
+	// Exhausted: everything after the script passes clean.
+	if got := s.Take().Kind; got != None {
+		t.Errorf("post-script fault = %v", got)
+	}
+}
+
+func TestFlapDefaultsToReset(t *testing.T) {
+	s := Flap(1, 1, 0, Fault{})
+	if got := s.Take().Kind; got != Reset {
+		t.Errorf("zero-fault flap injects %v, want Reset", got)
+	}
+}
+
+func TestBrownoutSchedule(t *testing.T) {
+	s := Brownout(3, 0, 2*time.Second)
+	for i := 0; i < 3; i++ {
+		f := s.Take()
+		if f.Kind != Status || f.Code != http.StatusServiceUnavailable || f.RetryAfter != 2*time.Second {
+			t.Fatalf("brownout fault %d = %+v", i, f)
+		}
+	}
+	if got := s.Take().Kind; got != None {
+		t.Errorf("brownout did not recover: %v", got)
+	}
+}

@@ -1,0 +1,363 @@
+// Package health is the player's dependency-health supervisor: one
+// state machine per guarded component (trust service, content origin,
+// title library) deriving Healthy / Degraded / Down from circuit
+// breaker transitions, active probe outcomes, and the trust client's
+// degraded-cache signal. The snapshot it exposes is what /healthz
+// serves and what the serve-degraded versus fail-closed decision table
+// in SECURITY.md keys on: a Degraded trust service still serves warm,
+// audited verdicts, while a Down one fails cold fills closed.
+package health
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"discsec/internal/obs"
+	"discsec/internal/resilience"
+)
+
+// Canonical component names for the three dependency edges the
+// pipeline guards. Callers may register others (the monitor is not a
+// closed set), but these are the names the server and chaos matrix use.
+const (
+	// ComponentXKMS is the XKMS trust service edge (keymgmt).
+	ComponentXKMS = "xkms"
+	// ComponentOrigin is the content-origin download edge.
+	ComponentOrigin = "origin"
+	// ComponentLibrary is the verified title library fill path.
+	ComponentLibrary = "library"
+)
+
+// State is a component's effective health.
+type State int
+
+// Health states, ordered by severity so "worst of" is a max.
+const (
+	// Healthy: the dependency answers and nothing is stale.
+	Healthy State = iota
+	// Degraded: usable with reduced trust — a half-open breaker, a
+	// stale-cache fallback in effect, or recent probe failures. Warm
+	// reads continue (audited); expensive or trust-establishing work
+	// should be avoided.
+	Degraded
+	// Down: the dependency is unavailable — its breaker is open or
+	// probes have failed past the threshold. Work that requires it
+	// fails closed.
+	Down
+)
+
+func (s State) String() string {
+	switch s {
+	case Healthy:
+		return "healthy"
+	case Degraded:
+		return "degraded"
+	case Down:
+		return "down"
+	default:
+		return fmt.Sprintf("State(%d)", int(s))
+	}
+}
+
+// ComponentStatus is one component's row in a snapshot.
+type ComponentStatus struct {
+	Name  string    `json:"name"`
+	State string    `json:"state"`
+	Since time.Time `json:"since"`
+	// Cause is the human-readable reason for the current non-healthy
+	// state (empty while healthy).
+	Cause string `json:"cause,omitempty"`
+}
+
+// Snapshot is a point-in-time view of every registered component,
+// ordered by name. It is the /healthz response body.
+type Snapshot struct {
+	Overall    string            `json:"overall"`
+	Components []ComponentStatus `json:"components"`
+}
+
+// component carries the raw inputs and the state derived from them.
+type component struct {
+	breaker  resilience.BreakerState
+	degraded bool // external stale-cache / degraded-trust flag
+	probes   int  // consecutive probe failures
+	state    State
+	since    time.Time
+	cause    string
+}
+
+// Monitor supervises a set of named components. A nil *Monitor is a
+// pass-through that reports everything Healthy, so wiring is optional
+// at every call site. All methods are safe for concurrent use;
+// observability (counters, audit events) fires outside the lock.
+type Monitor struct {
+	rec            *obs.Recorder
+	clock          func() time.Time
+	probeThreshold int
+
+	mu         sync.Mutex
+	components map[string]*component
+}
+
+// Option configures a Monitor.
+type Option func(*Monitor)
+
+// WithRecorder wires counters and audit events for every breaker and
+// health transition.
+func WithRecorder(r *obs.Recorder) Option {
+	return func(m *Monitor) { m.rec = r }
+}
+
+// WithClock overrides time.Now for deterministic snapshots.
+func WithClock(fn func() time.Time) Option {
+	return func(m *Monitor) { m.clock = fn }
+}
+
+// WithProbeThreshold sets the consecutive probe-failure count that
+// marks a component Down (default 3; any failures short of it mark
+// Degraded).
+func WithProbeThreshold(n int) Option {
+	return func(m *Monitor) {
+		if n > 0 {
+			m.probeThreshold = n
+		}
+	}
+}
+
+// New builds a Monitor.
+func New(opts ...Option) *Monitor {
+	m := &Monitor{
+		probeThreshold: 3,
+		components:     make(map[string]*component),
+	}
+	for _, o := range opts {
+		o(m)
+	}
+	return m
+}
+
+func (m *Monitor) now() time.Time {
+	if m.clock != nil {
+		return m.clock()
+	}
+	return time.Now()
+}
+
+// change is one recorded health transition, emitted after the lock
+// drops (callbacks never run under m.mu).
+type change struct {
+	name     string
+	from, to State
+	cause    string
+}
+
+func (m *Monitor) emit(changes []change) {
+	for _, c := range changes {
+		m.rec.Inc("health." + c.name + "." + c.to.String())
+		m.rec.Audit(obs.AuditHealthChanged, "component %s: %s -> %s%s",
+			c.name, c.from, c.to, causeSuffix(c.cause))
+	}
+}
+
+func causeSuffix(cause string) string {
+	if cause == "" {
+		return ""
+	}
+	return ": " + cause
+}
+
+// ensureLocked returns the named component, creating it Healthy.
+func (m *Monitor) ensureLocked(name string) *component {
+	c, ok := m.components[name]
+	if !ok {
+		c = &component{since: m.now()}
+		m.components[name] = c
+	}
+	return c
+}
+
+// deriveLocked recomputes a component's effective state as the worst
+// of its inputs and records the transition if it moved.
+func (m *Monitor) deriveLocked(name string, c *component, cause string, changes *[]change) {
+	next := Healthy
+	switch c.breaker {
+	case resilience.StateOpen:
+		next = Down
+	case resilience.StateHalfOpen:
+		next = Degraded
+	}
+	if c.degraded && next < Degraded {
+		next = Degraded
+	}
+	if c.probes >= m.probeThreshold {
+		next = Down
+	} else if c.probes > 0 && next < Degraded {
+		next = Degraded
+	}
+	if next == c.state {
+		return
+	}
+	*changes = append(*changes, change{name: name, from: c.state, to: next, cause: cause})
+	c.state = next
+	c.since = m.now()
+	if next == Healthy {
+		c.cause = ""
+	} else {
+		c.cause = cause
+	}
+}
+
+// Register declares components up front so they appear Healthy in
+// snapshots before any signal arrives.
+func (m *Monitor) Register(names ...string) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, n := range names {
+		m.ensureLocked(n)
+	}
+}
+
+// BindBreaker subscribes the monitor to a breaker's transitions and
+// folds the breaker's current state into the named component. Any
+// OnTransition already on the breaker keeps firing first. Bind before
+// the breaker carries traffic.
+func (m *Monitor) BindBreaker(name string, b *resilience.Breaker) {
+	if m == nil || b == nil {
+		return
+	}
+	prev := b.OnTransition
+	b.OnTransition = func(bname string, from, to resilience.BreakerState, cause error) {
+		if prev != nil {
+			prev(bname, from, to, cause)
+		}
+		m.rec.Inc("breaker." + bname + "." + to.String())
+		m.rec.Audit(obs.AuditBreakerTransition, "breaker %s: %s -> %s%s",
+			bname, from, to, causeSuffix(errString(cause)))
+		m.observeBreaker(name, to, errString(cause))
+	}
+	m.observeBreaker(name, b.State(), "")
+}
+
+func errString(err error) string {
+	if err == nil {
+		return ""
+	}
+	return err.Error()
+}
+
+func (m *Monitor) observeBreaker(name string, s resilience.BreakerState, cause string) {
+	var changes []change
+	m.mu.Lock()
+	c := m.ensureLocked(name)
+	c.breaker = s
+	m.deriveLocked(name, c, cause, &changes)
+	m.mu.Unlock()
+	m.emit(changes)
+}
+
+// SetDegraded sets or clears the external degraded flag (keymgmt's
+// stale-cache fallback entering or exiting).
+func (m *Monitor) SetDegraded(name string, degraded bool, cause string) {
+	if m == nil {
+		return
+	}
+	var changes []change
+	m.mu.Lock()
+	c := m.ensureLocked(name)
+	c.degraded = degraded
+	m.deriveLocked(name, c, cause, &changes)
+	m.mu.Unlock()
+	m.emit(changes)
+}
+
+// ReportProbe feeds one active-probe outcome: nil resets the failure
+// streak, non-nil extends it.
+func (m *Monitor) ReportProbe(name string, err error) {
+	if m == nil {
+		return
+	}
+	var changes []change
+	m.mu.Lock()
+	c := m.ensureLocked(name)
+	if err == nil {
+		c.probes = 0
+	} else {
+		c.probes++
+	}
+	m.deriveLocked(name, c, errString(err), &changes)
+	m.mu.Unlock()
+	m.emit(changes)
+}
+
+// State reports a component's effective state (Healthy if unknown or
+// the monitor is nil).
+func (m *Monitor) State(name string) State {
+	if m == nil {
+		return Healthy
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if c, ok := m.components[name]; ok {
+		return c.state
+	}
+	return Healthy
+}
+
+// Overall reports the worst state across all components.
+func (m *Monitor) Overall() State {
+	if m == nil {
+		return Healthy
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	worst := Healthy
+	for _, c := range m.components {
+		if c.state > worst {
+			worst = c.state
+		}
+	}
+	return worst
+}
+
+// DegradedFunc adapts a component to the library's degraded-serve
+// hook: true whenever the component is anything but Healthy, so warm
+// serves are tainted and audited while the dependency recovers.
+func (m *Monitor) DegradedFunc(name string) func() bool {
+	return func() bool { return m.State(name) != Healthy }
+}
+
+// Snapshot returns the current view of every component, sorted by
+// name.
+func (m *Monitor) Snapshot() Snapshot {
+	if m == nil {
+		return Snapshot{Overall: Healthy.String()}
+	}
+	m.mu.Lock()
+	names := make([]string, 0, len(m.components))
+	for n := range m.components {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	snap := Snapshot{Overall: Healthy.String()}
+	worst := Healthy
+	for _, n := range names {
+		c := m.components[n]
+		if c.state > worst {
+			worst = c.state
+		}
+		snap.Components = append(snap.Components, ComponentStatus{
+			Name:  n,
+			State: c.state.String(),
+			Since: c.since,
+			Cause: c.cause,
+		})
+	}
+	m.mu.Unlock()
+	snap.Overall = worst.String()
+	return snap
+}

@@ -1,0 +1,222 @@
+package health
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"discsec/internal/obs"
+	"discsec/internal/resilience"
+)
+
+type manualClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newManualClock() *manualClock {
+	return &manualClock{t: time.Unix(1700000000, 0)}
+}
+
+func (c *manualClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *manualClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t = c.t.Add(d)
+}
+
+func hasAudit(rec *obs.Recorder, kind string) bool {
+	for _, ev := range rec.AuditTrail() {
+		if ev.Kind == kind {
+			return true
+		}
+	}
+	return false
+}
+
+func TestNilMonitorPassThrough(t *testing.T) {
+	var m *Monitor
+	m.Register("x")
+	m.SetDegraded("x", true, "boom")
+	m.ReportProbe("x", errors.New("boom"))
+	if m.State("x") != Healthy || m.Overall() != Healthy {
+		t.Error("nil monitor not Healthy")
+	}
+	if m.DegradedFunc("x")() {
+		t.Error("nil monitor degraded func fired")
+	}
+	if s := m.Snapshot(); s.Overall != "healthy" || len(s.Components) != 0 {
+		t.Errorf("nil snapshot = %+v", s)
+	}
+}
+
+func TestRegisterStartsHealthy(t *testing.T) {
+	clk := newManualClock()
+	m := New(WithClock(clk.Now))
+	m.Register(ComponentXKMS, ComponentOrigin)
+	snap := m.Snapshot()
+	if snap.Overall != "healthy" || len(snap.Components) != 2 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	// Sorted by name: origin before xkms.
+	if snap.Components[0].Name != ComponentOrigin || snap.Components[1].Name != ComponentXKMS {
+		t.Errorf("order = %s, %s", snap.Components[0].Name, snap.Components[1].Name)
+	}
+}
+
+func TestBreakerDrivesComponentState(t *testing.T) {
+	clk := newManualClock()
+	rec := obs.NewRecorder()
+	m := New(WithClock(clk.Now), WithRecorder(rec))
+	b := &resilience.Breaker{
+		Name:             "xkms",
+		FailureThreshold: 2,
+		SuccessThreshold: 1,
+		OpenTimeout:      time.Second,
+		Clock:            clk.Now,
+	}
+	m.BindBreaker(ComponentXKMS, b)
+	if m.State(ComponentXKMS) != Healthy {
+		t.Fatalf("state after bind = %v", m.State(ComponentXKMS))
+	}
+
+	fail := func() {
+		b.Do(context.Background(), func(context.Context) error { //nolint:errcheck
+			return resilience.Transient(errors.New("down"))
+		})
+	}
+	fail()
+	fail()
+	if m.State(ComponentXKMS) != Down {
+		t.Fatalf("state with open breaker = %v, want Down", m.State(ComponentXKMS))
+	}
+	if m.Overall() != Down {
+		t.Errorf("overall = %v", m.Overall())
+	}
+
+	// Past the open window, the first probe flips half-open → Degraded.
+	clk.Advance(time.Second)
+	done, err := b.Allow()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.State(ComponentXKMS) != Degraded {
+		t.Fatalf("state while half-open = %v, want Degraded", m.State(ComponentXKMS))
+	}
+	done(nil)
+	if m.State(ComponentXKMS) != Healthy {
+		t.Fatalf("state after recovery = %v, want Healthy", m.State(ComponentXKMS))
+	}
+
+	if rec.Counter("breaker.xkms.open") != 1 || rec.Counter("breaker.xkms.closed") != 1 {
+		t.Errorf("breaker counters: open=%d closed=%d",
+			rec.Counter("breaker.xkms.open"), rec.Counter("breaker.xkms.closed"))
+	}
+	if rec.Counter("health.xkms.down") != 1 || rec.Counter("health.xkms.healthy") != 1 {
+		t.Errorf("health counters: down=%d healthy=%d",
+			rec.Counter("health.xkms.down"), rec.Counter("health.xkms.healthy"))
+	}
+	if !hasAudit(rec, obs.AuditBreakerTransition) || !hasAudit(rec, obs.AuditHealthChanged) {
+		t.Error("missing transition audit events")
+	}
+}
+
+func TestBindBreakerChainsExistingCallback(t *testing.T) {
+	clk := newManualClock()
+	m := New(WithClock(clk.Now))
+	b := &resilience.Breaker{Name: "dep", FailureThreshold: 1, Clock: clk.Now}
+	called := 0
+	b.OnTransition = func(string, resilience.BreakerState, resilience.BreakerState, error) { called++ }
+	m.BindBreaker("dep", b)
+	b.Do(context.Background(), func(context.Context) error { //nolint:errcheck
+		return resilience.Transient(errors.New("down"))
+	})
+	if called != 1 {
+		t.Errorf("prior OnTransition called %d times, want 1", called)
+	}
+	if m.State("dep") != Down {
+		t.Errorf("state = %v", m.State("dep"))
+	}
+}
+
+func TestDegradedFlag(t *testing.T) {
+	clk := newManualClock()
+	rec := obs.NewRecorder()
+	m := New(WithClock(clk.Now), WithRecorder(rec))
+	m.SetDegraded(ComponentXKMS, true, "stale cache fallback")
+	if m.State(ComponentXKMS) != Degraded {
+		t.Fatalf("state = %v", m.State(ComponentXKMS))
+	}
+	if !m.DegradedFunc(ComponentXKMS)() {
+		t.Error("DegradedFunc false while degraded")
+	}
+	snap := m.Snapshot()
+	if snap.Overall != "degraded" || snap.Components[0].Cause != "stale cache fallback" {
+		t.Errorf("snapshot = %+v", snap)
+	}
+	m.SetDegraded(ComponentXKMS, false, "")
+	if m.State(ComponentXKMS) != Healthy {
+		t.Fatalf("state after clear = %v", m.State(ComponentXKMS))
+	}
+	if got := m.Snapshot().Components[0].Cause; got != "" {
+		t.Errorf("cause after recovery = %q", got)
+	}
+}
+
+func TestProbeFailureLadder(t *testing.T) {
+	clk := newManualClock()
+	m := New(WithClock(clk.Now), WithProbeThreshold(3))
+	boom := errors.New("probe refused")
+	m.ReportProbe(ComponentOrigin, boom)
+	if m.State(ComponentOrigin) != Degraded {
+		t.Fatalf("state after 1 failure = %v, want Degraded", m.State(ComponentOrigin))
+	}
+	m.ReportProbe(ComponentOrigin, boom)
+	m.ReportProbe(ComponentOrigin, boom)
+	if m.State(ComponentOrigin) != Down {
+		t.Fatalf("state after 3 failures = %v, want Down", m.State(ComponentOrigin))
+	}
+	m.ReportProbe(ComponentOrigin, nil)
+	if m.State(ComponentOrigin) != Healthy {
+		t.Fatalf("state after success = %v, want Healthy", m.State(ComponentOrigin))
+	}
+}
+
+func TestSinceTracksTransitionTime(t *testing.T) {
+	clk := newManualClock()
+	m := New(WithClock(clk.Now))
+	m.Register(ComponentXKMS)
+	t0 := clk.Now()
+	clk.Advance(time.Minute)
+	m.SetDegraded(ComponentXKMS, true, "outage")
+	snap := m.Snapshot()
+	if !snap.Components[0].Since.Equal(t0.Add(time.Minute)) {
+		t.Errorf("since = %v, want transition time %v", snap.Components[0].Since, t0.Add(time.Minute))
+	}
+}
+
+func TestWorstOfComposition(t *testing.T) {
+	clk := newManualClock()
+	m := New(WithClock(clk.Now))
+	// Degraded flag plus a probe-failure streak past the threshold:
+	// Down wins; clearing the probes leaves Degraded.
+	m.SetDegraded(ComponentXKMS, true, "stale")
+	boom := errors.New("probe refused")
+	m.ReportProbe(ComponentXKMS, boom)
+	m.ReportProbe(ComponentXKMS, boom)
+	m.ReportProbe(ComponentXKMS, boom)
+	if m.State(ComponentXKMS) != Down {
+		t.Fatalf("state = %v, want Down", m.State(ComponentXKMS))
+	}
+	m.ReportProbe(ComponentXKMS, nil)
+	if m.State(ComponentXKMS) != Degraded {
+		t.Fatalf("state = %v, want Degraded (flag still set)", m.State(ComponentXKMS))
+	}
+}

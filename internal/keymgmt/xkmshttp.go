@@ -10,7 +10,6 @@ import (
 	"fmt"
 	"io"
 	"net/http"
-	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -193,9 +192,20 @@ type Client struct {
 	// the fallback entirely (strict mode: unreachable service fails
 	// closed).
 	MaxStale time.Duration
+	// Breaker, if set, guards every wire request: while the circuit is
+	// open, requests fail immediately with ErrCircuitOpen instead of
+	// timing out against a dead service, and the stale-cache fallback
+	// applies exactly as it does for transient transport failures.
+	Breaker *resilience.Breaker
+	// Bulkhead, if set, caps concurrent wire requests so a slow trust
+	// service saturates its own compartment, not the whole player.
+	Bulkhead *resilience.Bulkhead
 	// OnDegraded, if set, observes each degraded trust decision: the
 	// binding name served stale and the outage error that forced it.
 	OnDegraded func(name string, cause error)
+	// OnRestored, if set, observes recovery: the first live service
+	// answer after a degraded stretch.
+	OnRestored func()
 	// Recorder receives XKMS request spans/counters and the
 	// degraded-trust audit transitions; nil records nothing.
 	Recorder *obs.Recorder
@@ -285,10 +295,37 @@ func (c *Client) degrade(name string, cause error) {
 func (c *Client) restore() {
 	if c.degraded.Swap(false) {
 		c.Recorder.Audit(obs.AuditDegradedExit, "live trust service answer")
+		if c.OnRestored != nil {
+			c.OnRestored()
+		}
 	}
 }
 
+// post sends one request document under the client's bulkhead and
+// breaker: a full compartment waits (or fails with the caller's ctx),
+// an open circuit rejects immediately without touching the wire.
 func (c *Client) post(ctx context.Context, doc *xmldom.Document) (*xmldom.Element, error) {
+	release, err := c.Bulkhead.Acquire(ctx)
+	if err != nil {
+		c.Recorder.Inc("xkms.bulkhead_rejected")
+		return nil, err
+	}
+	defer release()
+	var root *xmldom.Element
+	err = c.Breaker.Do(ctx, func(ctx context.Context) error {
+		var perr error
+		root, perr = c.postOnce(ctx, doc)
+		return perr
+	})
+	if err != nil {
+		return nil, err
+	}
+	return root, nil
+}
+
+// postOnce is one wire round trip; xkms.requests counts these, so the
+// counter is the ground truth for retry-amplification checks.
+func (c *Client) postOnce(ctx context.Context, doc *xmldom.Document) (*xmldom.Element, error) {
 	defer c.Recorder.Start(obs.StageXKMS).End()
 	c.Recorder.Inc("xkms.requests")
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL, bytes.NewReader(doc.Bytes()))
@@ -309,7 +346,7 @@ func (c *Client) post(ctx context.Context, doc *xmldom.Document) (*xmldom.Elemen
 		rerr := fmt.Errorf("keymgmt: endpoint returned %s: %s", resp.Status, bytes.TrimSpace(body))
 		if resp.StatusCode >= 500 || resp.StatusCode == http.StatusTooManyRequests {
 			return nil, resilience.WithRetryAfter(resilience.Transient(rerr),
-				parseRetryAfterHeader(resp.Header.Get("Retry-After")))
+				resilience.ParseRetryAfter(resp.Header.Get("Retry-After")))
 		}
 		return nil, resilience.Terminal(rerr)
 	}
@@ -324,19 +361,6 @@ func (c *Client) post(ctx context.Context, doc *xmldom.Document) (*xmldom.Elemen
 		return nil, resilience.Terminal(fmt.Errorf("keymgmt: %s: %s", major, root.AttrValue("ResultMinor")))
 	}
 	return root, nil
-}
-
-// parseRetryAfterHeader reads a delay-seconds Retry-After value; 0
-// means absent or unusable.
-func parseRetryAfterHeader(h string) time.Duration {
-	if h == "" {
-		return 0
-	}
-	secs, err := strconv.ParseInt(h, 10, 64)
-	if err != nil || secs < 0 {
-		return 0
-	}
-	return time.Duration(secs) * time.Second
 }
 
 func newRequest(local string, name string) *xmldom.Document {
@@ -376,13 +400,22 @@ func (c *Client) LocateContext(ctx context.Context, name string) (*KeyBinding, e
 		c.restore()
 		return kb, nil
 	}
-	if resilience.IsTransient(err) {
+	if dependencyUnavailable(err) {
 		if cached, ok := c.cachedFresh(name); ok {
 			c.degrade(name, err)
 			return cached, nil
 		}
 	}
 	return nil, err
+}
+
+// dependencyUnavailable reports whether err means the trust service
+// could not be reached at all — transient transport failure after
+// retries, or the circuit breaker rejecting locally while open. Both
+// justify the bounded-staleness fallback; terminal service *answers*
+// (revoked, invalid, malformed) never do.
+func dependencyUnavailable(err error) bool {
+	return resilience.IsTransient(err) || errors.Is(err, resilience.ErrCircuitOpen)
 }
 
 func (c *Client) locateOnce(ctx context.Context, name string) (*KeyBinding, error) {
@@ -484,7 +517,7 @@ func (c *Client) PublicKeyByName(name string) (crypto.PublicKey, error) {
 func (c *Client) PublicKeyByNameContext(ctx context.Context, name string) (crypto.PublicKey, error) {
 	status, reason, err := c.ValidateContext(ctx, name)
 	if err != nil {
-		if resilience.IsTransient(err) {
+		if dependencyUnavailable(err) {
 			if cached, ok := c.cachedFresh(name); ok && !cached.Revoked {
 				c.degrade(name, err)
 				return cached.Certificate.PublicKey, nil

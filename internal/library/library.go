@@ -40,6 +40,7 @@ import (
 	"discsec/internal/disc"
 	"discsec/internal/keymgmt"
 	"discsec/internal/obs"
+	"discsec/internal/resilience"
 	"discsec/internal/xmldom"
 )
 
@@ -73,6 +74,13 @@ var (
 	ErrTrustChanged = errors.New("library: trust changed during verification; verdict discarded")
 	// ErrNoTrack indicates the mounted disc has no such track.
 	ErrNoTrack = errors.New("library: no such track")
+	// ErrDependencyDown indicates a cold fill was refused outright
+	// because a dependency the verification needs (the trust service)
+	// is down — its circuit breaker is open. Warm hits keep serving
+	// (degraded, audited); only uncached verification fails closed,
+	// immediately instead of timing out. See the SECURITY.md decision
+	// table.
+	ErrDependencyDown = errors.New("library: dependency down; cold fill refused")
 )
 
 // Verdict is one fully verified, immutable cache entry: the decrypted
@@ -130,6 +138,9 @@ type Library struct {
 
 	prewarmSem chan struct{}
 	mounts     sync.Map // name -> *mounted
+
+	// fillGate, when set, caps concurrent cold fills (WithFillLimit).
+	fillGate *resilience.Bulkhead
 }
 
 // Option configures a Library built by New.
@@ -200,6 +211,19 @@ func WithPrewarmWorkers(n int) Option {
 	return func(l *Library) {
 		if n > 0 {
 			l.prewarmSem = make(chan struct{}, n)
+		}
+	}
+}
+
+// WithFillLimit caps concurrent cold-fill verifications with a
+// bulkhead. Fills are the expensive path (full Fig. 9 pipeline plus
+// trust-service round trips); the cap keeps a burst of distinct misses
+// from saturating the verifier while warm hits stay unaffected. 0
+// leaves fills uncapped.
+func WithFillLimit(n int) Option {
+	return func(l *Library) {
+		if n > 0 {
+			l.fillGate = resilience.NewBulkhead("library-fill", n)
 		}
 	}
 }
@@ -378,6 +402,12 @@ func newEpoch() *atomic.Uint64 { return new(atomic.Uint64) }
 //
 //discvet:coldpath a miss runs the full Fig. 9 verification; allocation is inherent
 func (l *Library) fill(ctx context.Context, rec *obs.Recorder, key string, raw []byte, doc *xmldom.Document, resolver *disc.Image) (*Verdict, error) {
+	release, err := l.fillGate.Acquire(ctx)
+	if err != nil {
+		rec.Inc("library.fill_rejected")
+		return nil, fmt.Errorf("library: fill: %w", err)
+	}
+	defer release()
 	op := l.opener
 	if resolver != nil {
 		op.Resolver = resolver
@@ -400,6 +430,14 @@ func (l *Library) fill(ctx context.Context, rec *obs.Recorder, key string, raw [
 		res, err := op.OpenDocument(ctx, doc)
 		doc = nil // consumed (verification mutates it); retries re-parse
 		if err != nil {
+			if errors.Is(err, resilience.ErrCircuitOpen) {
+				// The trust service's breaker is open: nothing can be
+				// verified fresh right now, so the fill fails closed with
+				// a typed error instead of letting callers time out.
+				rec.Inc("library.fill_failclosed")
+				rec.Audit(obs.AuditFailClosed, "cold fill %.12s refused: trust dependency down: %v", key, err)
+				return nil, fmt.Errorf("library: verification: %w: %w", ErrDependencyDown, err)
+			}
 			return nil, fmt.Errorf("library: verification: %w", err)
 		}
 		cluster, err := decodeCluster(res.Doc)

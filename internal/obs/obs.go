@@ -82,6 +82,16 @@ const (
 	// while the trust service is degraded (the verdict was filled from
 	// live trust, but revocation checks may be stale).
 	AuditDegradedServe = "degraded-trust-serve"
+	// AuditBreakerTransition records a dependency circuit breaker
+	// changing state (closed / open / half-open).
+	AuditBreakerTransition = "breaker-transition"
+	// AuditHealthChanged records a supervised component moving between
+	// Healthy, Degraded, and Down.
+	AuditHealthChanged = "component-health-changed"
+	// AuditFailClosed records work refused outright because a
+	// dependency it requires is down (e.g. a cold library fill while
+	// the trust service's breaker is open).
+	AuditFailClosed = "fail-closed"
 )
 
 // AuditEvent is one security-relevant decision.

@@ -1,0 +1,70 @@
+package player
+
+import (
+	"discsec/internal/health"
+	"discsec/internal/keymgmt"
+	"discsec/internal/resilience"
+	"discsec/internal/server"
+)
+
+// Default compartment sizes for the supervised dependency edges. Trust
+// lookups are small and bursty (every cold verification needs one);
+// origin fetches are few but heavy.
+const (
+	defaultTrustConcurrency  = 8
+	defaultOriginConcurrency = 4
+)
+
+// Supervise wires the player's dependency clients into one
+// health.Monitor — the standard harness every deployment (and the
+// chaos matrix) composes:
+//
+//   - the trust client gets a circuit breaker and bulkhead on its wire
+//     path (unless it already has them), the breaker is bound to the
+//     "xkms" component, and the client's degraded-cache enter/exit
+//     signals drive that component's Degraded flag;
+//   - the downloader gets a breaker and bulkhead bound to "origin".
+//
+// Existing breakers, bulkheads, and callbacks on the clients are kept:
+// Supervise chains rather than replaces. Call before the clients carry
+// traffic. Either client may be nil; a nil monitor makes Supervise a
+// no-op.
+func Supervise(m *health.Monitor, trust *keymgmt.Client, origin *server.Downloader) {
+	if m == nil {
+		return
+	}
+	if trust != nil {
+		m.Register(health.ComponentXKMS)
+		if trust.Breaker == nil {
+			trust.Breaker = &resilience.Breaker{Name: health.ComponentXKMS}
+		}
+		if trust.Bulkhead == nil {
+			trust.Bulkhead = resilience.NewBulkhead(health.ComponentXKMS, defaultTrustConcurrency)
+		}
+		m.BindBreaker(health.ComponentXKMS, trust.Breaker)
+		prevDegraded := trust.OnDegraded
+		trust.OnDegraded = func(name string, cause error) {
+			if prevDegraded != nil {
+				prevDegraded(name, cause)
+			}
+			m.SetDegraded(health.ComponentXKMS, true, cause.Error())
+		}
+		prevRestored := trust.OnRestored
+		trust.OnRestored = func() {
+			if prevRestored != nil {
+				prevRestored()
+			}
+			m.SetDegraded(health.ComponentXKMS, false, "")
+		}
+	}
+	if origin != nil {
+		m.Register(health.ComponentOrigin)
+		if origin.Breaker == nil {
+			origin.Breaker = &resilience.Breaker{Name: health.ComponentOrigin}
+		}
+		if origin.Bulkhead == nil {
+			origin.Bulkhead = resilience.NewBulkhead(health.ComponentOrigin, defaultOriginConcurrency)
+		}
+		m.BindBreaker(health.ComponentOrigin, origin.Breaker)
+	}
+}

@@ -1,0 +1,308 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// ErrCircuitOpen marks a request rejected locally because the
+// dependency's circuit breaker is open (or its half-open probe budget
+// is spent). It is always classified terminal: an open circuit is the
+// breaker's promise that the dependency is down *right now*, so the
+// retry layer must not burn its attempt budget hammering it — callers
+// fall back (degraded serve, fail closed) instead.
+var ErrCircuitOpen = errors.New("resilience: circuit open")
+
+// BreakerState enumerates the circuit states.
+type BreakerState int32
+
+// Circuit states.
+const (
+	// StateClosed: requests flow; consecutive transient failures are
+	// counted toward the opening threshold.
+	StateClosed BreakerState = iota
+	// StateOpen: requests are rejected locally with ErrCircuitOpen
+	// until OpenTimeout has elapsed on the breaker's clock.
+	StateOpen
+	// StateHalfOpen: a bounded number of concurrent probe requests may
+	// pass; a probe failure reopens the circuit, enough successes
+	// close it.
+	StateHalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case StateClosed:
+		return "closed"
+	case StateOpen:
+		return "open"
+	case StateHalfOpen:
+		return "half-open"
+	default:
+		return fmt.Sprintf("BreakerState(%d)", int32(s))
+	}
+}
+
+// Breaker is a deterministic, clock-injectable circuit breaker guarding
+// one remote dependency. The zero value is usable (defaults documented
+// per field); a nil *Breaker is the universal pass-through, so call
+// sites thread an optional breaker without branching.
+//
+// Failure accounting follows the package's transient/terminal taxonomy:
+// only transient-classified errors (resets, timeouts, 5xx — the
+// dependency misbehaving) count toward opening; nil results count as
+// success; terminal errors (4xx, malformed payloads, the caller's own
+// cancellation) move the breaker in neither direction, because they
+// prove nothing about dependency health worth acting on.
+type Breaker struct {
+	// Name identifies the guarded dependency in errors and transitions.
+	Name string
+	// FailureThreshold is the consecutive transient-failure count that
+	// opens a closed circuit; 0 means 5.
+	FailureThreshold int
+	// SuccessThreshold is the consecutive probe-success count that
+	// closes a half-open circuit; 0 means 2.
+	SuccessThreshold int
+	// OpenTimeout is how long an open circuit rejects before admitting
+	// half-open probes; 0 means 5s.
+	OpenTimeout time.Duration
+	// ProbeBudget bounds concurrent half-open probes; 0 means 1. This
+	// is the ceiling on upstream attempts while the breaker recovers —
+	// the anti-amplification guarantee the chaos tests pin.
+	ProbeBudget int
+	// Clock overrides time.Now (deterministic tests).
+	Clock func() time.Time
+	// Classify maps a completion error to transient/terminal; nil uses
+	// the package default Classify.
+	Classify func(error) error
+	// OnTransition, if set, observes every state change. It is called
+	// without the breaker's lock held; cause is the error that forced
+	// the transition (nil for recovery transitions). Set it before the
+	// breaker carries traffic.
+	OnTransition func(name string, from, to BreakerState, cause error)
+
+	mu        sync.Mutex
+	state     BreakerState
+	failures  int // consecutive transient failures while closed
+	successes int // consecutive probe successes while half-open
+	probes    int // in-flight half-open probes
+	openedAt  time.Time
+}
+
+func (b *Breaker) name() string {
+	if b.Name != "" {
+		return b.Name
+	}
+	return "dependency"
+}
+
+func (b *Breaker) failureThreshold() int {
+	if b.FailureThreshold > 0 {
+		return b.FailureThreshold
+	}
+	return 5
+}
+
+func (b *Breaker) successThreshold() int {
+	if b.SuccessThreshold > 0 {
+		return b.SuccessThreshold
+	}
+	return 2
+}
+
+func (b *Breaker) openTimeout() time.Duration {
+	if b.OpenTimeout > 0 {
+		return b.OpenTimeout
+	}
+	return 5 * time.Second
+}
+
+func (b *Breaker) probeBudget() int {
+	if b.ProbeBudget > 0 {
+		return b.ProbeBudget
+	}
+	return 1
+}
+
+func (b *Breaker) now() time.Time {
+	if b.Clock != nil {
+		return b.Clock()
+	}
+	return time.Now()
+}
+
+func (b *Breaker) classify(err error) error {
+	if b.Classify != nil {
+		return b.Classify(err)
+	}
+	return Classify(err)
+}
+
+// State reports the current circuit state. An expired open circuit
+// still reports StateOpen until the next Allow promotes it — state
+// changes only happen on the request path, keeping the machine
+// deterministic under an injected clock.
+func (b *Breaker) State() BreakerState {
+	if b == nil {
+		return StateClosed
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// transition is one recorded state change, fired after the lock drops.
+type transition struct {
+	from, to BreakerState
+	cause    error
+}
+
+func (b *Breaker) fire(ts []transition) {
+	if b.OnTransition == nil {
+		return
+	}
+	for _, t := range ts {
+		b.OnTransition(b.name(), t.from, t.to, t.cause)
+	}
+}
+
+// setStateLocked moves the machine and resets the counters the target
+// state starts from.
+func (b *Breaker) setStateLocked(to BreakerState, cause error, ts *[]transition) {
+	if b.state == to {
+		return
+	}
+	*ts = append(*ts, transition{from: b.state, to: to, cause: cause})
+	b.state = to
+	switch to {
+	case StateOpen:
+		b.openedAt = b.now()
+		b.failures = 0
+		b.successes = 0
+	case StateHalfOpen:
+		b.probes = 0
+		b.successes = 0
+	case StateClosed:
+		b.failures = 0
+		b.successes = 0
+	}
+}
+
+// promoteLocked moves an expired open circuit to half-open.
+func (b *Breaker) promoteLocked(ts *[]transition) {
+	if b.state == StateOpen && b.now().Sub(b.openedAt) >= b.openTimeout() {
+		b.setStateLocked(StateHalfOpen, nil, ts)
+	}
+}
+
+// noopDone is Allow's completion callback for a nil breaker.
+func noopDone(error) {}
+
+// Allow asks the breaker to admit one request. On admission it returns
+// a completion callback that MUST be called exactly once with the
+// request's outcome. On rejection it returns a terminal error wrapping
+// ErrCircuitOpen (and the done callback is nil).
+func (b *Breaker) Allow() (done func(error), err error) {
+	if b == nil {
+		return noopDone, nil
+	}
+	var ts []transition
+	b.mu.Lock()
+	b.promoteLocked(&ts)
+	switch b.state {
+	case StateOpen:
+		b.mu.Unlock()
+		b.fire(ts)
+		return nil, Terminal(fmt.Errorf("%w: %s", ErrCircuitOpen, b.name()))
+	case StateHalfOpen:
+		if b.probes >= b.probeBudget() {
+			b.mu.Unlock()
+			b.fire(ts)
+			return nil, Terminal(fmt.Errorf("%w: %s: probe budget exhausted", ErrCircuitOpen, b.name()))
+		}
+		b.probes++
+		b.mu.Unlock()
+		b.fire(ts)
+		return b.probeDone, nil
+	default:
+		b.mu.Unlock()
+		b.fire(ts)
+		return b.closedDone, nil
+	}
+}
+
+// outcome classifies a completion error: +1 success, -1 failure, 0
+// neutral (no health signal).
+func (b *Breaker) outcome(err error) int {
+	if err == nil {
+		return +1
+	}
+	if errors.Is(b.classify(err), ErrTransient) {
+		return -1
+	}
+	return 0
+}
+
+// closedDone records the outcome of a request admitted while closed.
+func (b *Breaker) closedDone(err error) {
+	var ts []transition
+	b.mu.Lock()
+	if b.state == StateClosed {
+		switch b.outcome(err) {
+		case -1:
+			b.failures++
+			if b.failures >= b.failureThreshold() {
+				b.setStateLocked(StateOpen, err, &ts)
+			}
+		case +1:
+			b.failures = 0
+		}
+	}
+	// A completion arriving after the circuit already moved on (another
+	// request tripped it) carries no further signal.
+	b.mu.Unlock()
+	b.fire(ts)
+}
+
+// probeDone records the outcome of a half-open probe.
+func (b *Breaker) probeDone(err error) {
+	var ts []transition
+	b.mu.Lock()
+	if b.probes > 0 {
+		b.probes--
+	}
+	if b.state == StateHalfOpen {
+		switch b.outcome(err) {
+		case -1:
+			// The dependency is still failing: reopen and restart the
+			// OpenTimeout window.
+			b.setStateLocked(StateOpen, err, &ts)
+		case +1:
+			b.successes++
+			if b.successes >= b.successThreshold() {
+				b.setStateLocked(StateClosed, nil, &ts)
+			}
+		}
+	}
+	b.mu.Unlock()
+	b.fire(ts)
+}
+
+// Do runs op under the breaker: rejected immediately with a terminal
+// ErrCircuitOpen when the circuit is open, otherwise op's outcome feeds
+// the state machine and is returned unchanged. A nil breaker just runs
+// op. Compose inside a retry policy's op so every attempt consults the
+// circuit and an opening circuit stops the attempt loop (ErrCircuitOpen
+// is terminal).
+func (b *Breaker) Do(ctx context.Context, op func(ctx context.Context) error) error {
+	done, err := b.Allow()
+	if err != nil {
+		return err
+	}
+	err = op(ctx)
+	done(err)
+	return err
+}

@@ -1,0 +1,367 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"net"
+	"net/http"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// manualClock is a deterministic, manually advanced clock.
+type manualClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newManualClock() *manualClock {
+	return &manualClock{t: time.Unix(1700000000, 0)}
+}
+
+func (c *manualClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *manualClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t = c.t.Add(d)
+}
+
+func transientErr() error {
+	return &net.OpError{Op: "read", Err: syscall.ECONNRESET}
+}
+
+func testBreaker(clk *manualClock) *Breaker {
+	return &Breaker{
+		Name:             "dep",
+		FailureThreshold: 3,
+		SuccessThreshold: 2,
+		OpenTimeout:      10 * time.Second,
+		ProbeBudget:      1,
+		Clock:            clk.Now,
+	}
+}
+
+func breakerFail(t *testing.T, b *Breaker) {
+	t.Helper()
+	err := b.Do(context.Background(), func(context.Context) error { return transientErr() })
+	if err == nil {
+		t.Fatal("injected failure vanished")
+	}
+}
+
+func TestBreakerOpensAfterConsecutiveTransientFailures(t *testing.T) {
+	clk := newManualClock()
+	b := testBreaker(clk)
+	for i := 0; i < 3; i++ {
+		if b.State() != StateClosed {
+			t.Fatalf("state before failure %d = %v", i, b.State())
+		}
+		breakerFail(t, b)
+	}
+	if b.State() != StateOpen {
+		t.Fatalf("state after threshold = %v, want open", b.State())
+	}
+	ran := false
+	err := b.Do(context.Background(), func(context.Context) error { ran = true; return nil })
+	if ran {
+		t.Error("open circuit admitted a request")
+	}
+	if !errors.Is(err, ErrCircuitOpen) || !IsTerminal(err) {
+		t.Errorf("open-circuit rejection = %v; want terminal ErrCircuitOpen", err)
+	}
+}
+
+func TestBreakerSuccessResetsFailureStreak(t *testing.T) {
+	clk := newManualClock()
+	b := testBreaker(clk)
+	breakerFail(t, b)
+	breakerFail(t, b)
+	if err := b.Do(context.Background(), func(context.Context) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	breakerFail(t, b)
+	breakerFail(t, b)
+	if b.State() != StateClosed {
+		t.Fatalf("streak did not reset: state = %v", b.State())
+	}
+	breakerFail(t, b)
+	if b.State() != StateOpen {
+		t.Fatalf("state = %v, want open after fresh streak of 3", b.State())
+	}
+}
+
+func TestBreakerTerminalErrorsAreNeutral(t *testing.T) {
+	clk := newManualClock()
+	b := testBreaker(clk)
+	for i := 0; i < 10; i++ {
+		b.Do(context.Background(), func(context.Context) error { //nolint:errcheck
+			return Terminal(errors.New("404"))
+		})
+	}
+	if b.State() != StateClosed {
+		t.Fatalf("terminal errors opened the circuit: %v", b.State())
+	}
+	// Neutral outcomes do not reset a transient streak either.
+	breakerFail(t, b)
+	breakerFail(t, b)
+	b.Do(context.Background(), func(context.Context) error { return Terminal(errors.New("404")) }) //nolint:errcheck
+	breakerFail(t, b)
+	if b.State() != StateOpen {
+		t.Fatalf("state = %v, want open (terminal must not reset the streak)", b.State())
+	}
+}
+
+func TestBreakerHalfOpenProbeBudgetAndRecovery(t *testing.T) {
+	clk := newManualClock()
+	b := testBreaker(clk)
+	for i := 0; i < 3; i++ {
+		breakerFail(t, b)
+	}
+	if b.State() != StateOpen {
+		t.Fatalf("state = %v", b.State())
+	}
+
+	// Still open inside the window.
+	clk.Advance(9 * time.Second)
+	if _, err := b.Allow(); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("admitted inside the open window: %v", err)
+	}
+
+	// Past the window: exactly ProbeBudget concurrent probes pass.
+	clk.Advance(time.Second)
+	done1, err := b.Allow()
+	if err != nil {
+		t.Fatalf("first probe rejected: %v", err)
+	}
+	if b.State() != StateHalfOpen {
+		t.Fatalf("state = %v, want half-open", b.State())
+	}
+	if _, err := b.Allow(); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("probe budget not enforced: %v", err)
+	}
+
+	// Two successful probes close the circuit.
+	done1(nil)
+	done2, err := b.Allow()
+	if err != nil {
+		t.Fatalf("second probe rejected: %v", err)
+	}
+	if b.State() != StateHalfOpen {
+		t.Fatalf("closed after %d successes, want %d", 1, 2)
+	}
+	done2(nil)
+	if b.State() != StateClosed {
+		t.Fatalf("state after probe successes = %v, want closed", b.State())
+	}
+}
+
+func TestBreakerProbeFailureReopens(t *testing.T) {
+	clk := newManualClock()
+	b := testBreaker(clk)
+	for i := 0; i < 3; i++ {
+		breakerFail(t, b)
+	}
+	clk.Advance(10 * time.Second)
+	done, err := b.Allow()
+	if err != nil {
+		t.Fatalf("probe rejected: %v", err)
+	}
+	done(transientErr())
+	if b.State() != StateOpen {
+		t.Fatalf("state after failed probe = %v, want open", b.State())
+	}
+	// The OpenTimeout window restarted at the failed probe.
+	clk.Advance(9 * time.Second)
+	if _, err := b.Allow(); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatal("open window did not restart after a failed probe")
+	}
+	clk.Advance(time.Second)
+	if done, err := b.Allow(); err != nil {
+		t.Fatalf("probe after restarted window rejected: %v", err)
+	} else {
+		done(nil)
+	}
+}
+
+func TestBreakerTransitionsObserved(t *testing.T) {
+	clk := newManualClock()
+	b := testBreaker(clk)
+	type tr struct{ from, to BreakerState }
+	var mu sync.Mutex
+	var seen []tr
+	b.OnTransition = func(name string, from, to BreakerState, cause error) {
+		if name != "dep" {
+			t.Errorf("transition name = %q", name)
+		}
+		mu.Lock()
+		seen = append(seen, tr{from, to})
+		mu.Unlock()
+	}
+	for i := 0; i < 3; i++ {
+		breakerFail(t, b)
+	}
+	clk.Advance(10 * time.Second)
+	done, _ := b.Allow()
+	done(nil)
+	done, _ = b.Allow()
+	done(nil)
+
+	want := []tr{
+		{StateClosed, StateOpen},
+		{StateOpen, StateHalfOpen},
+		{StateHalfOpen, StateClosed},
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(seen) != len(want) {
+		t.Fatalf("transitions = %v, want %v", seen, want)
+	}
+	for i := range want {
+		if seen[i] != want[i] {
+			t.Fatalf("transition %d = %v, want %v", i, seen[i], want[i])
+		}
+	}
+}
+
+func TestBreakerNilPassThrough(t *testing.T) {
+	var b *Breaker
+	if b.State() != StateClosed {
+		t.Error("nil breaker not closed")
+	}
+	ran := false
+	if err := b.Do(context.Background(), func(context.Context) error { ran = true; return nil }); err != nil || !ran {
+		t.Errorf("nil breaker blocked: ran=%v err=%v", ran, err)
+	}
+}
+
+// TestBreakerStopsRetryLoop pins the anti-amplification contract: an
+// open circuit is terminal, so a retry policy gives up after one
+// rejected attempt instead of burning its budget against the breaker.
+func TestBreakerStopsRetryLoop(t *testing.T) {
+	clk := newManualClock()
+	b := testBreaker(clk)
+	for i := 0; i < 3; i++ {
+		breakerFail(t, b)
+	}
+	p := &Policy{MaxAttempts: 10, BaseDelay: time.Microsecond}
+	attempts := 0
+	err := p.Do(context.Background(), func(ctx context.Context) error {
+		attempts++
+		return b.Do(ctx, func(context.Context) error { return transientErr() })
+	})
+	if attempts != 1 {
+		t.Errorf("retry hammered an open circuit: %d attempts", attempts)
+	}
+	if !errors.Is(err, ErrCircuitOpen) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestBulkheadCapAndRelease(t *testing.T) {
+	b := NewBulkhead("dep", 2)
+	r1, ok := b.TryAcquire()
+	r2, ok2 := b.TryAcquire()
+	if !ok || !ok2 {
+		t.Fatal("could not fill the compartment")
+	}
+	if _, ok := b.TryAcquire(); ok {
+		t.Fatal("admitted past capacity")
+	}
+	if b.InFlight() != 2 || b.Capacity() != 2 {
+		t.Errorf("inflight=%d cap=%d", b.InFlight(), b.Capacity())
+	}
+	r1()
+	if r3, ok := b.TryAcquire(); !ok {
+		t.Fatal("release did not free a slot")
+	} else {
+		r3()
+	}
+	r2()
+	if b.InFlight() != 0 {
+		t.Errorf("inflight after release = %d", b.InFlight())
+	}
+}
+
+func TestBulkheadAcquireWaitsForSlot(t *testing.T) {
+	b := NewBulkhead("dep", 1)
+	r1, err := b.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan error, 1)
+	go func() {
+		r2, err := b.Acquire(context.Background())
+		if err == nil {
+			r2()
+		}
+		got <- err
+	}()
+	r1()
+	select {
+	case err := <-got:
+		if err != nil {
+			t.Fatalf("waiter failed after release: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("waiter never admitted after release")
+	}
+}
+
+func TestBulkheadAcquireCancelled(t *testing.T) {
+	b := NewBulkhead("dep", 1)
+	r1, err := b.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r1()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err = b.Acquire(ctx)
+	if !errors.Is(err, ErrBulkheadFull) || !errors.Is(err, context.Canceled) || !IsTerminal(err) {
+		t.Fatalf("cancelled acquire = %v; want terminal ErrBulkheadFull wrapping ctx.Err()", err)
+	}
+}
+
+func TestBulkheadNilPassThrough(t *testing.T) {
+	var b *Bulkhead
+	release, err := b.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	release()
+	r2, ok := b.TryAcquire()
+	if !ok {
+		t.Fatal("nil bulkhead refused")
+	}
+	r2()
+}
+
+func TestParseRetryAfterBothForms(t *testing.T) {
+	now := time.Date(2026, time.August, 7, 12, 0, 0, 0, time.UTC)
+	cases := []struct {
+		name string
+		h    string
+		want time.Duration
+	}{
+		{"delta-seconds", "42", 42 * time.Second},
+		{"zero seconds", "0", 0},
+		{"negative seconds", "-3", 0},
+		{"http-date future", now.Add(90 * time.Second).Format(http.TimeFormat), 90 * time.Second},
+		{"http-date past", now.Add(-time.Minute).Format(http.TimeFormat), 0},
+		{"garbage", "soon", 0},
+		{"empty", "", 0},
+		{"padded delta", "  7  ", 7 * time.Second},
+	}
+	for _, c := range cases {
+		if got := ParseRetryAfterAt(c.h, now); got != c.want {
+			t.Errorf("%s: ParseRetryAfterAt(%q) = %v, want %v", c.name, c.h, got, c.want)
+		}
+	}
+}

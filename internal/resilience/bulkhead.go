@@ -1,0 +1,92 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// ErrBulkheadFull marks an acquisition that could not get a slot: the
+// dependency's concurrency compartment is at capacity and the caller's
+// context ended while waiting (Acquire) or no wait was allowed
+// (TryAcquire). Like ErrCircuitOpen it signals local back-pressure,
+// not a dependency failure.
+var ErrBulkheadFull = errors.New("resilience: bulkhead full")
+
+// Bulkhead is a per-dependency concurrency compartment: at most
+// capacity requests touch the dependency at once, so one slow or
+// wedged dependency saturates its own compartment instead of every
+// goroutine in the process (the ship-bulkhead isolation pattern). A
+// nil *Bulkhead is the universal pass-through.
+type Bulkhead struct {
+	name  string
+	slots chan struct{}
+}
+
+// NewBulkhead builds a compartment admitting capacity concurrent
+// holders (minimum 1).
+func NewBulkhead(name string, capacity int) *Bulkhead {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Bulkhead{name: name, slots: make(chan struct{}, capacity)}
+}
+
+// Acquire reserves a slot, waiting until one frees or ctx ends. On
+// success the returned release must be called exactly once. On a
+// cancelled wait it returns a terminal error wrapping both
+// ErrBulkheadFull and ctx's error.
+func (b *Bulkhead) Acquire(ctx context.Context) (release func(), err error) {
+	if b == nil {
+		return noopRelease, nil
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	select {
+	case b.slots <- struct{}{}:
+		return b.release, nil
+	default:
+	}
+	select {
+	case b.slots <- struct{}{}:
+		return b.release, nil
+	case <-ctx.Done():
+		return nil, Terminal(fmt.Errorf("%w: %s at capacity %d: %w", ErrBulkheadFull, b.name, cap(b.slots), ctx.Err()))
+	}
+}
+
+// TryAcquire reserves a slot without waiting, reporting whether it
+// succeeded.
+func (b *Bulkhead) TryAcquire() (release func(), ok bool) {
+	if b == nil {
+		return noopRelease, true
+	}
+	select {
+	case b.slots <- struct{}{}:
+		return b.release, true
+	default:
+		return nil, false
+	}
+}
+
+// InFlight reports current slot holders (diagnostics and tests).
+func (b *Bulkhead) InFlight() int {
+	if b == nil {
+		return 0
+	}
+	return len(b.slots)
+}
+
+// Capacity reports the compartment size (0 for the nil pass-through).
+func (b *Bulkhead) Capacity() int {
+	if b == nil {
+		return 0
+	}
+	return cap(b.slots)
+}
+
+func (b *Bulkhead) release() { <-b.slots }
+
+// noopRelease is Acquire's release for a nil bulkhead.
+func noopRelease() {}

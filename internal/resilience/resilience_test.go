@@ -7,6 +7,7 @@ import (
 	"io"
 	"math/rand"
 	"net"
+	"runtime"
 	"syscall"
 	"testing"
 	"time"
@@ -207,6 +208,38 @@ func TestDoCancelledDuringBackoff(t *testing.T) {
 		}
 	case <-time.After(5 * time.Second):
 		t.Fatal("Do did not return after cancellation mid-backoff")
+	}
+}
+
+// TestDoCancelledDuringBackoffNoGoroutineLeak cancels precisely inside
+// the backoff sleep (the OnRetry hook fires immediately before it) and
+// asserts Do returns promptly and leaves no stray timer goroutine
+// behind — the process goroutine count settles back to its baseline.
+func TestDoCancelledDuringBackoffNoGoroutineLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for i := 0; i < 20; i++ {
+		p := &Policy{BaseDelay: time.Hour, MaxDelay: time.Hour}
+		ctx, cancel := context.WithCancel(context.Background())
+		p.OnRetry = func(int, error, time.Duration) { cancel() }
+		start := time.Now()
+		err := p.Do(ctx, func(context.Context) error {
+			return Transient(errors.New("flaky"))
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want ctx.Err() from mid-backoff cancel", err)
+		}
+		if elapsed := time.Since(start); elapsed > 5*time.Second {
+			t.Fatalf("Do took %v to notice cancellation during a 1h backoff", elapsed)
+		}
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	after := runtime.NumGoroutine()
+	for after > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+		after = runtime.NumGoroutine()
+	}
+	if after > before {
+		t.Errorf("goroutines grew %d -> %d after cancelled backoffs", before, after)
 	}
 }
 

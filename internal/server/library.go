@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"discsec/internal/library"
+	"discsec/internal/resilience"
 )
 
 // WithLibrary attaches a shared verification library and enables the
@@ -103,6 +104,13 @@ func (cs *ContentServer) libraryError(w http.ResponseWriter, r *http.Request, er
 	case errors.Is(err, library.ErrNotMounted), errors.Is(err, library.ErrNoTrack):
 		cs.recorder.Inc("http.notfound")
 		http.NotFound(w, r)
+	case errors.Is(err, library.ErrDependencyDown), errors.Is(err, resilience.ErrCircuitOpen):
+		// A dependency the fill needs is down: 503 + Retry-After so
+		// well-behaved clients back off until the breaker recovers,
+		// rather than 502 (nothing is wrong with the content itself).
+		cs.recorder.Inc("http.library.dependency_down")
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "library dependency down; cold fill refused", http.StatusServiceUnavailable)
 	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
 		cs.recorder.Inc("http.library.canceled")
 		http.Error(w, "request canceled", http.StatusServiceUnavailable)

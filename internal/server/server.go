@@ -22,6 +22,7 @@ import (
 	"crypto/tls"
 	"crypto/x509"
 	"encoding/hex"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -35,6 +36,7 @@ import (
 	"time"
 
 	"discsec/internal/disc"
+	"discsec/internal/health"
 	"discsec/internal/library"
 	"discsec/internal/obs"
 	"discsec/internal/resilience"
@@ -67,6 +69,16 @@ type ContentServer struct {
 	// library, when set, backs the /library/ routes with verified
 	// tracks from mounted discs (WithLibrary).
 	library *library.Library
+	// health, when set, turns /healthz into a per-component JSON body
+	// (WithHealth); non-200 when any component is Down.
+	health *health.Monitor
+	// draining flips true the moment graceful shutdown starts — before
+	// the listener stops accepting — so /healthz turns non-200 and load
+	// balancers stop routing while in-flight requests still drain.
+	draining atomic.Bool
+	// drainHook, when set, runs after draining flips and before the
+	// listener shuts down (tests pin the ordering through it).
+	drainHook func()
 }
 
 // Option configures a ContentServer built by NewContentServer.
@@ -101,6 +113,13 @@ func WithRetryAfter(d time.Duration) Option {
 // WithShutdownTimeout bounds graceful drain on shutdown.
 func WithShutdownTimeout(d time.Duration) Option {
 	return func(cs *ContentServer) { cs.ShutdownTimeout = d }
+}
+
+// WithHealth attaches the dependency-health monitor: /healthz then
+// serves its per-component snapshot as JSON, returning 503 whenever
+// any component is Down (or the server is draining).
+func WithHealth(m *health.Monitor) Option {
+	return func(cs *ContentServer) { cs.health = m }
 }
 
 // entry is immutable once published: publish installs a fresh pointer
@@ -247,9 +266,7 @@ func (cs *ContentServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		cs.recorder.Snapshot().WriteMetrics(w)
 		return
 	case "healthz":
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprintf(w, "ok\ncatalog %d\ninflight %d\nshed %d\ndownloads %d\n",
-			len(cs.Catalog()), cs.inflight.Load(), cs.shed.Load(), cs.download.Load())
+		cs.serveHealthz(w)
 		return
 	case "catalog":
 		defer cs.observeRoute("catalog", cs.now())
@@ -295,6 +312,36 @@ func (cs *ContentServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	http.ServeContent(w, r, "", time.Time{}, bytes.NewReader(e.data))
 }
 
+// serveHealthz reports liveness. With a health monitor attached the
+// body is the per-component JSON snapshot (503 when any component is
+// Down); without one it is the legacy counter text. A draining server
+// answers 503 in either form so load balancers stop routing before
+// the listener closes.
+func (cs *ContentServer) serveHealthz(w http.ResponseWriter) {
+	if cs.health != nil {
+		snap := cs.health.Snapshot()
+		status := http.StatusOK
+		if cs.draining.Load() {
+			snap.Overall = "draining"
+			status = http.StatusServiceUnavailable
+		} else if snap.Overall == health.Down.String() {
+			status = http.StatusServiceUnavailable
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(status)
+		json.NewEncoder(w).Encode(snap) //nolint:errcheck // best-effort health body
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if cs.draining.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+		return
+	}
+	fmt.Fprintf(w, "ok\ncatalog %d\ninflight %d\nshed %d\ndownloads %d\n",
+		len(cs.Catalog()), cs.inflight.Load(), cs.shed.Load(), cs.download.Load())
+}
+
 // serve starts srv on ln and returns the base URL plus a shutdown
 // function that drains in-flight requests up to ShutdownTimeout
 // before forcing connections closed.
@@ -302,6 +349,13 @@ func (cs *ContentServer) serve(scheme string, ln net.Listener, srv *http.Server)
 	//discvet:ignore goroutineleak Serve returns when the shutdown func below calls srv.Shutdown/Close, which closes ln
 	go srv.Serve(ln) //nolint:errcheck // shutdown path returns ErrServerClosed
 	shutdown := func() error {
+		// Flip /healthz to draining/503 strictly before the listener
+		// stops accepting: load balancers see the failing health check
+		// and stop routing while in-flight requests still drain.
+		cs.draining.Store(true)
+		if cs.drainHook != nil {
+			cs.drainHook()
+		}
 		timeout := cs.ShutdownTimeout
 		if timeout <= 0 {
 			timeout = 5 * time.Second
@@ -370,6 +424,13 @@ type Downloader struct {
 	// resilience defaults (4 attempts, 100ms base full-jitter
 	// backoff).
 	Retry *resilience.Policy
+	// Breaker, if set, guards the origin: while open, attempts fail
+	// immediately with a terminal ErrCircuitOpen (which also stops the
+	// Retry loop) instead of timing out against a dead origin.
+	Breaker *resilience.Breaker
+	// Bulkhead, if set, caps concurrent wire fetches so a slow origin
+	// saturates its own compartment, not every caller.
+	Bulkhead *resilience.Bulkhead
 	// Recorder receives download spans and retry/resume counters; nil
 	// records nothing.
 	Recorder *obs.Recorder
@@ -424,12 +485,20 @@ func (d *Downloader) FetchContext(ctx context.Context, baseURL, name string) ([]
 	st := &fetchState{}
 	attempts := 0
 	err := d.retry().Do(ctx, func(ctx context.Context) error {
-		attempts++
-		d.Recorder.Inc("download.attempts")
-		if attempts > 1 {
-			d.Recorder.Inc("download.retries")
+		release, aerr := d.Bulkhead.Acquire(ctx)
+		if aerr != nil {
+			d.Recorder.Inc("download.bulkhead_rejected")
+			return aerr
 		}
-		return d.fetchOnce(ctx, url, st)
+		defer release()
+		return d.Breaker.Do(ctx, func(ctx context.Context) error {
+			attempts++
+			d.Recorder.Inc("download.attempts")
+			if attempts > 1 {
+				d.Recorder.Inc("download.retries")
+			}
+			return d.fetchOnce(ctx, url, st)
+		})
 	})
 	if err != nil {
 		d.Recorder.Inc("download.err")
@@ -498,7 +567,7 @@ func (d *Downloader) fetchOnce(ctx context.Context, url string, st *fetchState) 
 		return resilience.Terminal(fmt.Errorf("server: GET %s: %w", url, ErrNotFound))
 	case resp.StatusCode >= 500 || resp.StatusCode == http.StatusTooManyRequests:
 		err := fmt.Errorf("server: GET %s: %s%s", url, resp.Status, bodySnippet(resp.Body))
-		return resilience.WithRetryAfter(resilience.Transient(err), parseRetryAfter(resp.Header.Get("Retry-After")))
+		return resilience.WithRetryAfter(resilience.Transient(err), resilience.ParseRetryAfter(resp.Header.Get("Retry-After")))
 	default:
 		return resilience.Terminal(fmt.Errorf("server: GET %s: %s%s", url, resp.Status, bodySnippet(resp.Body)))
 	}
@@ -564,23 +633,6 @@ func parseContentRangeStart(h string) (int64, error) {
 		return 0, fmt.Errorf("server: malformed Content-Range %q", h)
 	}
 	return strconv.ParseInt(rest[:dash], 10, 64)
-}
-
-// parseRetryAfter reads a Retry-After header in either delay-seconds
-// or HTTP-date form; 0 means absent or unusable.
-func parseRetryAfter(h string) time.Duration {
-	if h == "" {
-		return 0
-	}
-	if secs, err := strconv.ParseInt(h, 10, 64); err == nil && secs >= 0 {
-		return time.Duration(secs) * time.Second
-	}
-	if t, err := http.ParseTime(h); err == nil {
-		if d := time.Until(t); d > 0 {
-			return d
-		}
-	}
-	return 0
 }
 
 // bodySnippet reads a bounded prefix of an error response body for
