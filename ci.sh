@@ -4,8 +4,9 @@
 # test suite under the race detector. The SARIF report — which since
 # discvet v3 also carries the interprocedural concurrency rules
 # (lockorder, goroutineleak) and the hot-path allocation rule
-# (hotpathalloc) — is archived next to the BENCH_*.json artifacts for
-# code-scanning upload.
+# (hotpathalloc) and the reader-first streaming rule (readerfirst) —
+# is archived next to the BENCH_*.json artifacts for code-scanning
+# upload.
 set -eux
 
 go build ./...
@@ -27,7 +28,7 @@ if [ "$lint_elapsed" -gt 60 ]; then
     exit 1
 fi
 # The archived report must mention the v3 rule table.
-for rule in lockorder goroutineleak hotpathalloc; do
+for rule in lockorder goroutineleak hotpathalloc readerfirst; do
     grep -q "\"$rule\"" discvet.sarif || { echo "discvet.sarif is missing rule $rule" >&2; exit 1; }
 done
 
@@ -37,3 +38,4 @@ make faults
 make chaos
 make metrics
 make library-bench
+make stream-bench

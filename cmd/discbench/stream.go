@@ -1,0 +1,218 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+
+	"discsec/internal/c14n"
+	"discsec/internal/core"
+	"discsec/internal/experiments"
+	"discsec/internal/workload"
+	"discsec/internal/xmldom"
+	"discsec/internal/xmlenc"
+	"discsec/internal/xmlsecuri"
+	"discsec/internal/xmlstream"
+)
+
+// streamKeyRow compares canonical-key derivation — the front half of
+// every cold library fill — between the DOM two-pass (parse the tree,
+// canonicalize it into a buffer, hash the buffer) and the single-pass
+// streaming pipeline (tokens feed the DOM builder and the incremental
+// canonicalizer/digest in the same read).
+type streamKeyRow struct {
+	DocBytes     int     `json:"doc_bytes"`
+	DOMNS        int64   `json:"dom_2pass_ns"`
+	StreamNS     int64   `json:"stream_1pass_ns"`
+	Speedup      float64 `json:"speedup"`
+	DOMAllocs    float64 `json:"dom_allocs"`
+	StreamAllocs float64 `json:"stream_allocs"`
+}
+
+// streamColdOpen compares a full cold verification (key derivation +
+// the Fig. 9 verify/decrypt pipeline) on a signed cluster document.
+type streamColdOpen struct {
+	DocBytes int     `json:"doc_bytes"`
+	DOMNS    int64   `json:"dom_2pass_ns"`
+	StreamNS int64   `json:"stream_1pass_ns"`
+	Speedup  float64 `json:"speedup"`
+}
+
+type streamReport struct {
+	KeyRows  []streamKeyRow `json:"key_rows"`
+	ColdOpen streamColdOpen `json:"cold_open"`
+}
+
+// domKey is the pre-streaming cold path: two passes over the document
+// (tree build, then a canonical serialization materialized only to be
+// hashed and thrown away).
+func domKey(raw []byte) (*xmldom.Document, string, error) {
+	doc, err := xmldom.ParseBytes(raw)
+	if err != nil {
+		return nil, "", err
+	}
+	canon, err := c14n.CanonicalizeDocument(doc, c14n.Options{Exclusive: true})
+	if err != nil {
+		return nil, "", err
+	}
+	sum := sha256.Sum256(canon)
+	return doc, fmt.Sprintf("%x", sum), nil
+}
+
+// streamKey is the reader-first cold path: one pass feeds the DOM
+// builder, the incremental canonicalizer, and the digest together; no
+// canonical byte buffer ever exists.
+func streamKey(raw []byte) (*xmldom.Document, string, error) {
+	b := xmldom.NewStreamBuilder()
+	h := sha256.New()
+	st, err := c14n.NewStream(h, c14n.Options{Exclusive: true})
+	if err != nil {
+		return nil, "", err
+	}
+	if err := xmlstream.Parse(bytes.NewReader(raw), xmlstream.Options{}, b, st); err != nil {
+		return nil, "", err
+	}
+	if err := st.Close(); err != nil {
+		return nil, "", err
+	}
+	return b.Document(), fmt.Sprintf("%x", h.Sum(nil)), nil
+}
+
+// tableStream benchmarks the streaming verification engine against the
+// DOM two-pass it replaced and (with -streamjson) merges the numbers
+// into the committed metrics artifact under the "streaming" key.
+func tableStream() {
+	header("STREAM", "single-pass streaming cold path vs DOM two-pass (DESIGN.md §14)")
+
+	sizes := []int{64 << 10, 512 << 10, 4 << 20}
+	if *quickFlag {
+		sizes = []int{64 << 10, 512 << 10}
+	}
+	report := streamReport{}
+
+	fmt.Println("canonical key derivation (parse + exclusive C14N + SHA-256):")
+	fmt.Printf("%-12s %12s %12s %8s %12s %14s\n",
+		"doc-bytes", "dom-2pass", "stream-1pass", "speedup", "dom-allocs", "stream-allocs")
+	for _, size := range sizes {
+		raw := workload.XMLDocument(size, uint64(size)).Bytes()
+
+		// Both paths must agree before either is worth timing.
+		_, dk, err := domKey(raw)
+		if err != nil {
+			fatal(err)
+		}
+		_, sk, err := streamKey(raw)
+		if err != nil {
+			fatal(err)
+		}
+		if dk != sk {
+			fatal(fmt.Errorf("stream key %s != dom key %s at %d bytes", sk, dk, size))
+		}
+
+		domTime := measure(func() error { _, _, err := domKey(raw); return err })
+		streamTime := measure(func() error { _, _, err := streamKey(raw); return err })
+		domAllocs := testing.AllocsPerRun(3, func() { domKey(raw) })       //nolint:errcheck // timed above
+		streamAllocs := testing.AllocsPerRun(3, func() { streamKey(raw) }) //nolint:errcheck // timed above
+
+		row := streamKeyRow{
+			DocBytes:     len(raw),
+			DOMNS:        domTime.Nanoseconds(),
+			StreamNS:     streamTime.Nanoseconds(),
+			Speedup:      float64(domTime) / float64(streamTime),
+			DOMAllocs:    domAllocs,
+			StreamAllocs: streamAllocs,
+		}
+		report.KeyRows = append(report.KeyRows, row)
+		fmt.Printf("%-12d %12s %12s %8.2f %12.0f %14.0f\n",
+			row.DocBytes, domTime, streamTime, row.Speedup, domAllocs, streamAllocs)
+	}
+
+	// Full cold open on a signed, partially encrypted cluster: key
+	// derivation plus the whole verify/decrypt pipeline. Each
+	// iteration re-opens from raw bytes, exactly like a library miss.
+	root, creator := experiments.PKIFixture()
+	cluster, clips := workload.Cluster(workload.ClusterSpec{
+		AVTracks: 2, AppTracks: 2,
+		Manifest: workload.ManifestSpec{Regions: 4, MediaItems: 8, Scripts: 2, ScriptStatements: 120},
+		Seed:     77,
+	})
+	p := &core.Protector{Identity: creator}
+	im, err := p.Package(core.PackageSpec{
+		Cluster: cluster, Clips: clips,
+		Sign: true, SignLevel: core.LevelCluster,
+		EncryptPaths: []string{"//manifest/code"},
+		Encryption:   xmlenc.EncryptOptions{Algorithm: xmlsecuri.EncAES128CBC, Key: experiments.EncKey},
+	})
+	if err != nil {
+		fatal(err)
+	}
+	raw, err := im.ReadIndexDocumentBytes()
+	if err != nil {
+		fatal(err)
+	}
+	opener := &core.Opener{
+		Roots:            root.Pool(),
+		Decrypt:          xmlenc.DecryptOptions{Key: experiments.EncKey},
+		RequireSignature: true,
+	}
+	ctx := context.Background()
+	domCold := measure(func() error {
+		doc, _, err := domKey(raw)
+		if err != nil {
+			return err
+		}
+		_, err = opener.OpenDocument(ctx, doc)
+		return err
+	})
+	streamCold := measure(func() error {
+		doc, _, err := streamKey(raw)
+		if err != nil {
+			return err
+		}
+		_, err = opener.OpenDocument(ctx, doc)
+		return err
+	})
+	report.ColdOpen = streamColdOpen{
+		DocBytes: len(raw),
+		DOMNS:    domCold.Nanoseconds(),
+		StreamNS: streamCold.Nanoseconds(),
+		Speedup:  float64(domCold) / float64(streamCold),
+	}
+	fmt.Println("\ncold open, signed cluster (key + full Fig. 9 verify/decrypt):")
+	fmt.Printf("%-12s %12s %12s %8s\n", "doc-bytes", "dom-2pass", "stream-1pass", "speedup")
+	fmt.Printf("%-12d %12s %12s %8.2f\n", len(raw), domCold, streamCold, report.ColdOpen.Speedup)
+
+	if *streamJSONFlag != "" {
+		if err := mergeStreamJSON(*streamJSONFlag, report); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nmerged streaming section -> %s\n", *streamJSONFlag)
+	}
+}
+
+// mergeStreamJSON updates only the "streaming" key of the metrics
+// artifact, preserving whatever the obs table last wrote: `make
+// metrics` refreshes the stage spans, `make stream-bench` refreshes
+// this section, and neither clobbers the other.
+func mergeStreamJSON(path string, report streamReport) error {
+	doc := map[string]json.RawMessage{}
+	if existing, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(existing, &doc); err != nil {
+			return fmt.Errorf("existing %s is not a JSON object: %w", path, err)
+		}
+	}
+	section, err := json.Marshal(report)
+	if err != nil {
+		return err
+	}
+	doc["streaming"] = section
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}

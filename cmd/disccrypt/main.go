@@ -245,13 +245,20 @@ func cmdDecryptBin(args []string) error {
 	if err != nil {
 		return err
 	}
-	pt, err := xmlenc.DecryptOctets(doc.Root(), xmlenc.DecryptOptions{Key: key})
+	f, err := os.OpenFile(*out, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return err
 	}
-	if err := os.WriteFile(*out, pt, 0o644); err != nil {
+	// Stream the plaintext straight to the file; an error mid-stream
+	// leaves a partial file, so remove it rather than hand garbage on.
+	n, err := xmlenc.DecryptOctetsTo(f, doc.Root(), xmlenc.DecryptOptions{Key: key})
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(*out)
 		return err
 	}
-	fmt.Printf("decrypted %d bytes: %s -> %s\n", len(pt), *in, *out)
+	fmt.Printf("decrypted %d bytes: %s -> %s\n", n, *in, *out)
 	return nil
 }

@@ -155,12 +155,13 @@ func cmdVerify(args []string) error {
 	if err != nil {
 		return err
 	}
-	raw, err := os.ReadFile(*in)
+	f, err := os.Open(*in)
 	if err != nil {
 		return err
 	}
+	defer f.Close()
 	opener := &core.Opener{Roots: pool, RequireSignature: *require}
-	res, err := opener.Open(context.Background(), raw)
+	res, err := opener.OpenReader(context.Background(), f)
 	if err != nil {
 		return fmt.Errorf("VERIFICATION FAILED: %w", err)
 	}

@@ -29,6 +29,7 @@ import (
 	"context"
 	"crypto"
 	"crypto/x509"
+	"io"
 
 	"discsec/internal/access"
 	"discsec/internal/core"
@@ -254,6 +255,14 @@ func (p *Player) LoadDocumentContext(ctx context.Context, raw []byte) (*Session,
 	return p.engine.LoadDocument(ctx, raw)
 }
 
+// LoadFrom streams a downloaded cluster document straight into the
+// single-pass verification pipeline without materializing it first
+// (see DESIGN.md §14). Prefer this over LoadDocument when the payload
+// arrives as a stream (network body, file).
+func (p *Player) LoadFrom(ctx context.Context, r io.Reader) (*Session, error) {
+	return p.engine.LoadFrom(ctx, r)
+}
+
 // Storage exposes the player's local storage (inspection, tests).
 func (p *Player) Storage() *disc.LocalStorage {
 	return p.engine.Storage
@@ -263,4 +272,10 @@ func (p *Player) Storage() *disc.LocalStorage {
 // defaults (no doctype, bounded depth).
 func ParseDocument(raw []byte) (*Document, error) {
 	return xmldom.ParseBytes(raw)
+}
+
+// ParseDocumentReader parses an XML document from a stream in a single
+// pass, with the same hardened defaults as ParseDocument.
+func ParseDocumentReader(r io.Reader) (*Document, error) {
+	return xmldom.Parse(r)
 }

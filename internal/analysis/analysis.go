@@ -53,6 +53,11 @@
 //     static callees, up to a //discvet:coldpath boundary) must not
 //     allocate: no fmt calls, map/slice literals, unpreallocated
 //     append, capturing closures, or interface boxing.
+//   - readerfirst: payloads buffered with io.ReadAll must not be
+//     re-wrapped in a bytes/strings reader just to call a streaming
+//     verification entry (core.Opener.OpenReader, library OpenReader,
+//     player LoadFrom, xmldom.Parse, xmldsig digest streams); pass
+//     the original reader through, or use the []byte API form.
 //
 // Diagnostics carry file:line:col positions. A finding can be
 // suppressed with a justified comment on the same line or the line
@@ -159,6 +164,7 @@ func Analyzers() []*Analyzer {
 		LockOrder,
 		GoroutineLeak,
 		HotPathAlloc,
+		ReaderFirst,
 	}
 }
 

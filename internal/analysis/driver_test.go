@@ -232,3 +232,15 @@ func TestSplitWords(t *testing.T) {
 		}
 	}
 }
+
+func TestReaderFirstFixture(t *testing.T) {
+	pkg := loadFixture(t, "readerfirst", "discsec/internal/player/rffixture")
+	checkFixture(t, pkg, ReaderFirst)
+}
+
+func TestReaderFirstCleanFixture(t *testing.T) {
+	pkg := loadFixture(t, "readerfirst_clean", "discsec/internal/player/rffixtureclean")
+	if diags := Run([]*Package{pkg}, []*Analyzer{ReaderFirst}); len(diags) != 0 {
+		t.Errorf("got %d diagnostics on decoupled buffering, want 0: %v", len(diags), diags)
+	}
+}

@@ -1,0 +1,37 @@
+// Negative twin of the readerfirst fixture: the same shapes with the
+// buffer and the re-stream decoupled — the rule must stay silent.
+package fixture
+
+import (
+	"bytes"
+	"context"
+	"io"
+
+	"discsec/internal/core"
+	"discsec/internal/library"
+)
+
+// The ReadAll result feeds the []byte API; a different, resident
+// buffer feeds the reader API.
+func split(ctx context.Context, op *core.Opener, lib *library.Library, r io.Reader, resident []byte) error {
+	buf, err := io.ReadAll(r)
+	if err != nil {
+		return err
+	}
+	if _, err := op.Open(ctx, buf); err != nil {
+		return err
+	}
+	_, _, err = lib.OpenReader(ctx, bytes.NewReader(resident))
+	return err
+}
+
+// Wrapping an io.ReadAll buffer for a non-verification consumer is
+// fine; the rule is scoped to the streaming entries.
+func otherConsumer(r io.Reader, w io.Writer) error {
+	buf, err := io.ReadAll(r)
+	if err != nil {
+		return err
+	}
+	_, err = io.Copy(w, bytes.NewReader(buf))
+	return err
+}

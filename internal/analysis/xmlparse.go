@@ -5,21 +5,25 @@ import (
 	"strings"
 )
 
-// XMLParse enforces the single-parser rule: only internal/xmldom may
-// import encoding/xml. The hardened DOM parser rejects DOCTYPE
-// declarations, bounds nesting depth and token counts, and produces
-// the node identity model the signature wrapping defences depend on.
-// A stray xml.Unmarshal elsewhere bypasses all of that and reopens
-// the XXE and wrapping regressions the paper's Verifier assumes away.
+// XMLParse enforces the single-parser rule: only the hardened parsing
+// layer — internal/xmlstream (the streaming tokenizer) and
+// internal/xmldom (the DOM built on it) — may import encoding/xml.
+// That layer rejects DOCTYPE declarations, bounds nesting depth and
+// token counts, and produces the node identity model the signature
+// wrapping defences depend on. A stray xml.Unmarshal elsewhere
+// bypasses all of that and reopens the XXE and wrapping regressions
+// the paper's Verifier assumes away.
 var XMLParse = &Analyzer{
 	Name: "xmlparse",
-	Doc:  "only internal/xmldom may import encoding/xml; untrusted XML goes through the hardened parser",
+	Doc:  "only internal/xmlstream and internal/xmldom may import encoding/xml; untrusted XML goes through the hardened parsing layer",
 	Run:  runXMLParse,
 }
 
 func runXMLParse(pass *Pass) {
-	if seg := "/internal/xmldom"; strings.HasSuffix(pass.Path, seg) || strings.Contains(pass.Path, seg+"/") {
-		return
+	for _, seg := range []string{"/internal/xmldom", "/internal/xmlstream"} {
+		if strings.HasSuffix(pass.Path, seg) || strings.Contains(pass.Path, seg+"/") {
+			return
+		}
 	}
 	for _, f := range pass.Files {
 		for _, imp := range f.Imports {
@@ -28,7 +32,7 @@ func runXMLParse(pass *Pass) {
 				continue
 			}
 			pass.Reportf(imp.Pos(),
-				"encoding/xml imported outside internal/xmldom; parse untrusted XML with the hardened internal/xmldom parser (doctype rejection, depth/token limits)")
+				"encoding/xml imported outside the hardened parsing layer; parse untrusted XML with internal/xmldom or stream it through internal/xmlstream (doctype rejection, depth/token limits)")
 		}
 	}
 }

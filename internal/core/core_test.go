@@ -1,6 +1,7 @@
 package core
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"strings"
@@ -425,4 +426,50 @@ func workloadClusterForTest() (*disc.InteractiveCluster, map[string][]byte) {
 		"CLIPS/clip-1.m2ts": disc.GenerateClip(disc.ClipSpec{DurationMS: 50, BitrateKbps: 1000, Seed: 8}),
 	}
 	return c, clips
+}
+
+// TestOpenReaderMatchesOpen: the streaming entry and the byte-slice
+// entry agree on accept/reject and on the report for the same input —
+// signed, tampered, unsigned, and malformed.
+func TestOpenReaderMatchesOpen(t *testing.T) {
+	signed := sampleClusterDoc(t)
+	if _, err := protector().Sign(signed, LevelCluster, ""); err != nil {
+		t.Fatal(err)
+	}
+	tampered := []byte(strings.Replace(string(signed.Bytes()), "var hs = 9000;", "var hs = 9001;", 1))
+
+	cases := []struct {
+		name string
+		raw  []byte
+	}{
+		{"signed", signed.Bytes()},
+		{"tampered", tampered},
+		{"unsigned", []byte(`<cluster/>`)},
+		{"malformed", []byte(`<cluster>`)},
+		{"doctype", []byte(`<!DOCTYPE c []><cluster/>`)},
+	}
+	opener := &Opener{Roots: rootCA.Pool(), RequireSignature: true}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			byteRes, byteErr := opener.Open(context.Background(), tc.raw)
+			streamRes, streamErr := opener.OpenReader(context.Background(), bytes.NewReader(tc.raw))
+			if (byteErr == nil) != (streamErr == nil) {
+				t.Fatalf("verdict divergence: Open err=%v, OpenReader err=%v", byteErr, streamErr)
+			}
+			if byteErr != nil {
+				return
+			}
+			if len(byteRes.Signatures) != len(streamRes.Signatures) {
+				t.Fatalf("signature counts diverge: %d vs %d", len(byteRes.Signatures), len(streamRes.Signatures))
+			}
+			for i := range byteRes.Signatures {
+				if byteRes.Signatures[i].SignerKeyFingerprint != streamRes.Signatures[i].SignerKeyFingerprint {
+					t.Errorf("signature %d fingerprint diverges", i)
+				}
+			}
+			if !bytes.Equal(byteRes.Doc.Bytes(), streamRes.Doc.Bytes()) {
+				t.Error("verified documents diverge between entries")
+			}
+		})
+	}
 }

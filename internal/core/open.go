@@ -1,6 +1,7 @@
 package core
 
 import (
+	"bytes"
 	"context"
 	"crypto"
 	"crypto/sha256"
@@ -8,6 +9,7 @@ import (
 	"encoding/hex"
 	"errors"
 	"fmt"
+	"io"
 
 	"discsec/internal/dectrans"
 	"discsec/internal/disc"
@@ -93,7 +95,21 @@ func KeyFingerprint(pub crypto.PublicKey) string {
 	return hex.EncodeToString(sum[:])
 }
 
-// Open processes a protected cluster/manifest document end-to-end:
+// OpenOption configures one OpenReader call.
+type OpenOption func(*openConfig)
+
+type openConfig struct {
+	parse xmldom.ParseOptions
+}
+
+// WithParseOptions overrides the streaming parser's security limits
+// (depth, token count, doctype policy) for one open.
+func WithParseOptions(po xmldom.ParseOptions) OpenOption {
+	return func(c *openConfig) { c.parse = po }
+}
+
+// OpenReader processes a protected cluster/manifest document streamed
+// from r end-to-end:
 //
 //  1. For each signature, run the decryption transform pass (decrypt
 //     everything encrypted after signing, leave dcrpt:Except regions).
@@ -101,13 +117,19 @@ func KeyFingerprint(pub crypto.PublicKey) string {
 //  3. Decrypt remaining (excepted) regions so the application is
 //     executable.
 //
-// The context carries cancellation intent and the obs.Recorder that
-// receives per-stage spans (parse, dectrans, digest, signature,
+// The document is tokenized in a single hardened streaming pass
+// (internal/xmlstream); r is read exactly once and never buffered
+// whole. The context carries cancellation intent and the obs.Recorder
+// that receives per-stage spans (parse, dectrans, digest, signature,
 // decrypt) and security-audit events.
-func (o *Opener) Open(ctx context.Context, docBytes []byte) (*OpenResult, error) {
+func (o *Opener) OpenReader(ctx context.Context, r io.Reader, opts ...OpenOption) (*OpenResult, error) {
+	var cfg openConfig
+	for _, opt := range opts {
+		opt(&cfg)
+	}
 	rec := obs.FromContext(ctx)
 	sp := rec.Start(obs.StageParse)
-	doc, err := xmldom.ParseBytes(docBytes)
+	doc, err := xmldom.ParseWithOptions(r, cfg.parse)
 	sp.End()
 	if err != nil {
 		return nil, fmt.Errorf("core: parse: %w", err)
@@ -115,12 +137,9 @@ func (o *Opener) Open(ctx context.Context, docBytes []byte) (*OpenResult, error)
 	return o.OpenDocument(ctx, doc)
 }
 
-// OpenNoContext is Open without a context.
-//
-// Deprecated: use Open with a context carrying cancellation and the
-// observability recorder.
-func (o *Opener) OpenNoContext(docBytes []byte) (*OpenResult, error) {
-	return o.Open(context.Background(), docBytes)
+// Open is OpenReader over an in-memory document.
+func (o *Opener) Open(ctx context.Context, docBytes []byte) (*OpenResult, error) {
+	return o.OpenReader(ctx, bytes.NewReader(docBytes))
 }
 
 // OpenDocument is Open over an already-parsed document (which it
@@ -195,24 +214,27 @@ func (o *Opener) OpenDocument(ctx context.Context, doc *xmldom.Document) (*OpenR
 	return res, nil
 }
 
-// OpenDocumentNoContext is OpenDocument without a context.
-//
-// Deprecated: use OpenDocument with a context carrying cancellation and
-// the observability recorder.
-func (o *Opener) OpenDocumentNoContext(doc *xmldom.Document) (*OpenResult, error) {
-	return o.OpenDocument(context.Background(), doc)
-}
-
 // VerifyDetached validates a detached signature file from the disc image
 // against the image contents (track payload integrity, §5.3).
 func (o *Opener) VerifyDetached(ctx context.Context, im *disc.Image, signaturePath string) (*SignatureReport, error) {
-	rec := obs.FromContext(ctx)
 	raw, err := im.Get(signaturePath)
 	if err != nil {
 		return nil, err
 	}
+	return o.verifyDetachedReader(ctx, bytes.NewReader(raw), im, signaturePath)
+}
+
+// VerifyDetachedReader validates a detached signature document streamed
+// from r, dereferencing its reference URIs through resolver (usually
+// the disc image). It is the reader-first form of VerifyDetached.
+func (o *Opener) VerifyDetachedReader(ctx context.Context, r io.Reader, resolver xmldsig.ExternalResolver) (*SignatureReport, error) {
+	return o.verifyDetachedReader(ctx, r, resolver, "(reader)")
+}
+
+func (o *Opener) verifyDetachedReader(ctx context.Context, r io.Reader, resolver xmldsig.ExternalResolver, label string) (*SignatureReport, error) {
+	rec := obs.FromContext(ctx)
 	sp := rec.Start(obs.StageParse)
-	doc, err := xmldom.ParseBytes(raw)
+	doc, err := xmldom.Parse(r)
 	sp.End()
 	if err != nil {
 		return nil, fmt.Errorf("core: parse detached signature: %w", err)
@@ -223,13 +245,13 @@ func (o *Opener) VerifyDetached(ctx context.Context, im *disc.Image, signaturePa
 	}
 	vres, err := xmldsig.Verify(doc, sig, xmldsig.VerifyOptions{
 		Roots:                    o.Roots,
-		Resolver:                 im,
+		Resolver:                 resolver,
 		KeyByName:                o.KeyByName,
 		AcceptedSignatureMethods: o.AcceptedSignatureMethods,
 		Recorder:                 rec,
 	})
 	if err != nil {
-		rec.Audit(obs.AuditVerifyFailed, "detached signature %s: %v", signaturePath, err)
+		rec.Audit(obs.AuditVerifyFailed, "detached signature %s: %v", label, err)
 		return nil, err
 	}
 	rep := &SignatureReport{

@@ -2,12 +2,15 @@ package library_test
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"errors"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
 
+	"discsec/internal/c14n"
 	"discsec/internal/core"
 	"discsec/internal/disc"
 	"discsec/internal/experiments"
@@ -472,5 +475,67 @@ func TestCanonicalKeyIgnoresSerializationChangesKeyDetectsStructural(t *testing.
 	}
 	if k3 == k1 {
 		t.Error("canonical key blind to an injected sibling element")
+	}
+}
+
+// TestOpenReaderSharesVerdictWithOpenDocument: the streaming and
+// byte-slice entries key on the same exclusive-C14N digest, so a
+// document opened one way is a cache hit the other way — the core
+// differential contract of the reader-first cold path.
+func TestOpenReaderSharesVerdictWithOpenDocument(t *testing.T) {
+	im := buildImage(t, 70)
+	raw := indexBytes(t, im)
+	rec := obs.NewRecorder()
+	lib := newLib(rec)
+
+	v1, st1, err := lib.OpenDocument(context.Background(), raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st1 != library.StatusMiss {
+		t.Fatalf("first open status = %v, want miss", st1)
+	}
+
+	v2, st2, err := lib.OpenReader(context.Background(), strings.NewReader(string(raw)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2 != library.StatusHit {
+		t.Errorf("streamed re-open status = %v, want hit", st2)
+	}
+	if v2.Key != v1.Key {
+		t.Errorf("streaming key %q != DOM key %q", v2.Key, v1.Key)
+	}
+	if v2 != v1 {
+		t.Error("streamed open did not return the shared verdict")
+	}
+
+	// The key is the canonical digest of the tree-walking
+	// canonicalizer: hex SHA-256 over c14n.CanonicalizeDocument.
+	doc, err := xmldom.ParseBytes(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	canon, err := c14n.CanonicalizeDocument(doc, c14n.Options{Exclusive: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := sha256.Sum256(canon)
+	if want := hex.EncodeToString(sum[:]); v1.Key != want {
+		t.Errorf("cache key %q != tree-walker canonical digest %q", v1.Key, want)
+	}
+}
+
+// TestOpenReaderBadDocument: tokenizer rejections surface as
+// ErrBadDocument from both entries — the server's 400 contract.
+func TestOpenReaderBadDocument(t *testing.T) {
+	lib := newLib(obs.NewRecorder())
+	for _, bad := range []string{"<open>unclosed", `<!DOCTYPE a []><a/>`, ""} {
+		if _, _, err := lib.OpenReader(context.Background(), strings.NewReader(bad)); !errors.Is(err, library.ErrBadDocument) {
+			t.Errorf("OpenReader(%q) err = %v, want ErrBadDocument", bad, err)
+		}
+		if _, _, err := lib.OpenDocument(context.Background(), []byte(bad)); !errors.Is(err, library.ErrBadDocument) {
+			t.Errorf("OpenDocument(%q) err = %v, want ErrBadDocument", bad, err)
+		}
 	}
 }

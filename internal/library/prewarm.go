@@ -1,6 +1,7 @@
 package library
 
 import (
+	"bytes"
 	"context"
 	"fmt"
 	"sync"
@@ -129,22 +130,18 @@ func (l *Library) Mounts() []string {
 // hit — with no parse or canonicalization; that is the whole point of
 // mounting.
 func (l *Library) openMounted(ctx context.Context, rec *obs.Recorder, m *mounted) (*Verdict, Status, error) {
+	reparse := func() (*xmldom.Document, error) { return reparseBytes(rec, m.raw) }
 	if k, ok := m.key.Load().(string); ok && k != "" {
-		return l.open(ctx, rec, k, m.raw, nil, m.im)
+		return l.open(ctx, rec, k, nil, reparse, int64(len(m.raw)), m.im)
 	}
-	// First touch: parse the snapshot to learn the canonical key.
-	sp := rec.Start(obs.StageParse)
-	doc, err := xmldom.ParseBytes(m.raw)
-	sp.End()
+	// First touch: one streaming pass over the snapshot builds the
+	// fill's private parse and learns the canonical key.
+	doc, key, size, err := parseAndKey(rec, bytes.NewReader(m.raw))
 	if err != nil {
 		return nil, StatusMiss, fmt.Errorf("parse index: %w", err)
 	}
-	key, err := CanonicalKey(doc, rec)
-	if err != nil {
-		return nil, StatusMiss, fmt.Errorf("canonicalize index: %w", err)
-	}
 	m.key.Store(key)
-	return l.open(ctx, rec, key, m.raw, doc, m.im)
+	return l.open(ctx, rec, key, doc, reparse, size, m.im)
 }
 
 // OpenDisc returns the verified verdict for a mounted disc's index: the

@@ -8,11 +8,13 @@
 package player
 
 import (
+	"bytes"
 	"context"
 	"crypto"
 	"crypto/x509"
 	"errors"
 	"fmt"
+	"io"
 
 	"discsec/internal/access"
 	"discsec/internal/core"
@@ -104,19 +106,14 @@ func (e *Engine) Load(ctx context.Context, im *disc.Image) (*Session, error) {
 	return s, nil
 }
 
-// LoadNoContext is Load without a context.
-//
-// Deprecated: use Load with a context carrying cancellation and the
-// observability recorder.
-func (e *Engine) LoadNoContext(im *disc.Image) (*Session, error) {
-	return e.Load(context.Background(), im)
-}
-
-// LoadDocument opens a bare cluster document (downloaded application).
-func (e *Engine) LoadDocument(ctx context.Context, raw []byte) (*Session, error) {
+// LoadFrom opens a bare cluster document streamed from r (a downloaded
+// application body, a request body, an open file): the single-pass
+// streaming verification path. The reader is consumed exactly once and
+// never buffered whole.
+func (e *Engine) LoadFrom(ctx context.Context, r io.Reader) (*Session, error) {
 	ctx, rec := e.obsContext(ctx)
 	sp := rec.Start(obs.StageLoad)
-	s, err := e.loadDocument(ctx, rec, raw)
+	s, err := e.loadFrom(ctx, rec, r)
 	sp.End()
 	if err != nil {
 		rec.Inc("load.err")
@@ -126,17 +123,14 @@ func (e *Engine) LoadDocument(ctx context.Context, raw []byte) (*Session, error)
 	return s, nil
 }
 
-// LoadDocumentNoContext is LoadDocument without a context.
-//
-// Deprecated: use LoadDocument with a context carrying cancellation and
-// the observability recorder.
-func (e *Engine) LoadDocumentNoContext(raw []byte) (*Session, error) {
-	return e.LoadDocument(context.Background(), raw)
+// LoadDocument is LoadFrom over an in-memory document.
+func (e *Engine) LoadDocument(ctx context.Context, raw []byte) (*Session, error) {
+	return e.LoadFrom(ctx, bytes.NewReader(raw))
 }
 
-func (e *Engine) loadDocument(ctx context.Context, rec *obs.Recorder, raw []byte) (*Session, error) {
+func (e *Engine) loadFrom(ctx context.Context, rec *obs.Recorder, r io.Reader) (*Session, error) {
 	if e.Library != nil {
-		v, _, err := e.Library.OpenDocument(ctx, raw)
+		v, _, err := e.Library.OpenReader(ctx, r)
 		if err != nil {
 			return nil, fmt.Errorf("player: security processing: %w", err)
 		}
@@ -148,7 +142,7 @@ func (e *Engine) loadDocument(ctx context.Context, rec *obs.Recorder, raw []byte
 		RequireSignature: e.RequireSignature,
 		KeyByName:        e.KeyByName,
 	}
-	res, err := opener.Open(ctx, raw)
+	res, err := opener.OpenReader(ctx, r)
 	if err != nil {
 		return nil, fmt.Errorf("player: security processing: %w", err)
 	}

@@ -3,6 +3,7 @@ package server
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
@@ -86,6 +87,61 @@ func (cs *ContentServer) serveLibrary(w http.ResponseWriter, r *http.Request, re
 	http.ServeContent(w, r, "", time.Time{}, bytes.NewReader(body))
 }
 
+// verifyMaxBytes bounds a POST /verify request body; past it the read
+// fails and the route answers 413 instead of buffering without limit.
+const verifyMaxBytes = 64 << 20
+
+// verifyResponse is the JSON body of a successful POST /verify.
+type verifyResponse struct {
+	// Key is the exclusive-C14N digest the verdict is cached under.
+	Key string `json:"key"`
+	// Cache reports how the verdict was served (hit, miss, ...).
+	Cache string `json:"cache"`
+	// Signer is the verified signer-key fingerprint, if signed.
+	Signer string `json:"signer,omitempty"`
+	// Signatures counts validated signatures.
+	Signatures int `json:"signatures"`
+	// Degraded is true when the verdict was filled under degraded trust.
+	Degraded bool `json:"degraded,omitempty"`
+}
+
+// serveVerify handles POST /verify: the request body is streamed
+// straight into the verification library — tokenizer, canonicalizer,
+// and digest run as the bytes arrive, never buffering the whole
+// document — and the verdict comes back as JSON with the usual
+// X-Library-* headers. Malformed documents are the client's fault
+// (400); a trust invalidation racing the one-shot body is answered
+// 503 + Retry-After so the client simply re-POSTs.
+func (cs *ContentServer) serveVerify(w http.ResponseWriter, r *http.Request) {
+	if cs.library == nil {
+		cs.recorder.Inc("http.notfound")
+		http.NotFound(w, r)
+		return
+	}
+	body := http.MaxBytesReader(w, r.Body, verifyMaxBytes)
+	v, status, err := cs.library.OpenReader(r.Context(), body)
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			cs.recorder.Inc("http.library.toolarge")
+			http.Error(w, "document exceeds verification size limit", http.StatusRequestEntityTooLarge)
+			return
+		}
+		cs.libraryError(w, r, err)
+		return
+	}
+	cs.libraryHeaders(w, v, status)
+	w.Header().Set("Content-Type", "application/json")
+	resp := verifyResponse{
+		Key:        v.Key,
+		Cache:      string(status),
+		Signer:     v.Fingerprint,
+		Signatures: len(v.Result.Signatures),
+		Degraded:   v.Degraded,
+	}
+	json.NewEncoder(w).Encode(resp) //nolint:errcheck // best-effort body; verdict already served via headers
+}
+
 func (cs *ContentServer) libraryHeaders(w http.ResponseWriter, v *library.Verdict, status library.Status) {
 	w.Header().Set(HeaderLibraryCache, string(status))
 	if v.Fingerprint != "" {
@@ -104,6 +160,18 @@ func (cs *ContentServer) libraryError(w http.ResponseWriter, r *http.Request, er
 	case errors.Is(err, library.ErrNotMounted), errors.Is(err, library.ErrNoTrack):
 		cs.recorder.Inc("http.notfound")
 		http.NotFound(w, r)
+	case errors.Is(err, library.ErrBadDocument):
+		// The tokenizer rejected the input itself (malformed XML,
+		// DOCTYPE, depth/token limits): a client error, not a
+		// verification failure.
+		cs.recorder.Inc("http.library.baddocument")
+		http.Error(w, "malformed document", http.StatusBadRequest)
+	case errors.Is(err, library.ErrTrustChanged):
+		// A trust invalidation raced a one-shot reader fill; the input
+		// cannot be replayed server-side, but the client can re-POST.
+		cs.recorder.Inc("http.library.trustchanged")
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "trust changed during verification; retry", http.StatusServiceUnavailable)
 	case errors.Is(err, library.ErrDependencyDown), errors.Is(err, resilience.ErrCircuitOpen):
 		// A dependency the fill needs is down: 503 + Retry-After so
 		// well-behaved clients back off until the breaker recovers,

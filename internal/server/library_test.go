@@ -1,7 +1,9 @@
 package server
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -234,6 +236,121 @@ func TestLibraryRouteNoLibrary(t *testing.T) {
 	srv := httptest.NewServer(cs)
 	defer srv.Close()
 	resp, err := http.Get(srv.URL + "/library/disc-a/t-av-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status = %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestVerifyRoute: POST /verify streams an arbitrary document through
+// the shared verification library and returns the verdict as JSON —
+// the reader-first cold path exposed over HTTP.
+func TestVerifyRoute(t *testing.T) {
+	root, creator := libraryPKI(t)
+	cluster, _ := workload.Cluster(workload.ClusterSpec{AVTracks: 1, Seed: 43})
+	doc := cluster.Document()
+	if _, err := xmldsig.SignEnveloped(doc, doc.Root(), xmldsig.SignOptions{
+		Key:     creator.Key,
+		KeyInfo: xmldsig.KeyInfoSpec{Certificates: [][]byte{creator.Cert.Raw}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	raw := doc.Bytes()
+
+	rec := obs.NewRecorder()
+	lib := library.New(
+		library.WithOpener(core.Opener{Roots: root.Pool(), RequireSignature: true}),
+		library.WithRecorder(rec),
+	)
+	srvRec := obs.NewRecorder()
+	cs := NewContentServer(WithLibrary(lib), WithRecorder(srvRec))
+	srv := httptest.NewServer(cs)
+	defer srv.Close()
+
+	post := func(body []byte) (*http.Response, verifyResponse) {
+		t.Helper()
+		resp, err := http.Post(srv.URL+"/verify", "application/xml", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var vr verifyResponse
+		if resp.StatusCode == http.StatusOK {
+			if err := json.NewDecoder(resp.Body).Decode(&vr); err != nil {
+				t.Fatalf("decoding verify response: %v", err)
+			}
+		}
+		resp.Body.Close()
+		return resp, vr
+	}
+
+	// Cold: the body streams through the full pipeline and fills the
+	// cache.
+	resp, vr := post(raw)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cold verify status = %d", resp.StatusCode)
+	}
+	if vr.Cache != string(library.StatusMiss) {
+		t.Errorf("cold verify cache = %q, want miss", vr.Cache)
+	}
+	if vr.Signatures != 1 || vr.Signer == "" || len(vr.Key) != 64 {
+		t.Errorf("verify response = %+v, want 1 signature, a signer, a 64-hex key", vr)
+	}
+	if got := resp.Header.Get(HeaderLibraryCache); got != string(library.StatusMiss) {
+		t.Errorf("%s = %q, want miss", HeaderLibraryCache, got)
+	}
+
+	// Warm: the same bytes hit the cached verdict by canonical digest.
+	resp, vr2 := post(raw)
+	if resp.StatusCode != http.StatusOK || vr2.Cache != string(library.StatusHit) {
+		t.Errorf("warm verify status=%d cache=%q, want 200 hit", resp.StatusCode, vr2.Cache)
+	}
+	if vr2.Key != vr.Key {
+		t.Errorf("warm key %q != cold key %q", vr2.Key, vr.Key)
+	}
+
+	// Malformed XML is the client's fault: 400, not 502.
+	resp, _ = post([]byte("<open>unclosed"))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed doc status = %d, want 400", resp.StatusCode)
+	}
+	if got := srvRec.Counter("http.library.baddocument"); got != 1 {
+		t.Errorf("baddocument counter = %d, want 1", got)
+	}
+
+	// A DOCTYPE is rejected by the hardened tokenizer, same contract.
+	resp, _ = post([]byte(`<!DOCTYPE a []><a/>`))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("doctype doc status = %d, want 400", resp.StatusCode)
+	}
+
+	// An unsigned document under RequireSignature fails verification:
+	// fail-closed 502.
+	resp, _ = post([]byte(`<a/>`))
+	if resp.StatusCode != http.StatusBadGateway {
+		t.Errorf("unsigned doc status = %d, want 502", resp.StatusCode)
+	}
+
+	// POST anywhere else stays a method error.
+	r2, err := http.Post(srv.URL+"/catalog", "text/plain", strings.NewReader("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2.Body.Close()
+	if r2.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST /catalog status = %d, want 405", r2.StatusCode)
+	}
+}
+
+// TestVerifyRouteNoLibrary: POST /verify without an attached library is
+// a plain 404.
+func TestVerifyRouteNoLibrary(t *testing.T) {
+	cs := NewContentServer()
+	srv := httptest.NewServer(cs)
+	defer srv.Close()
+	resp, err := http.Post(srv.URL+"/verify", "application/xml", strings.NewReader("<a/>"))
 	if err != nil {
 		t.Fatal(err)
 	}

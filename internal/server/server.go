@@ -252,14 +252,26 @@ func (cs *ContentServer) acquireSlot(w http.ResponseWriter) (release func(), adm
 // ServeHTTP implements http.Handler: GET/HEAD /<name> returns the
 // published item (with ETag and Range support for resume); GET
 // /catalog returns a text listing; GET /metricsz and /healthz expose
-// the observability recorder and liveness counters.
+// the observability recorder and liveness counters; POST /verify
+// streams the request body through the verification library and
+// returns the verdict as JSON.
 func (cs *ContentServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	name := strings.TrimPrefix(r.URL.Path, "/")
 	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		if r.Method == http.MethodPost && name == "verify" {
+			defer cs.observeRoute("verify", cs.now())
+			release, admitted := cs.acquireSlot(w)
+			if !admitted {
+				return
+			}
+			defer release()
+			cs.serveVerify(w, r)
+			return
+		}
 		cs.recorder.Inc("http.badmethod")
-		http.Error(w, "content server accepts GET and HEAD only", http.StatusMethodNotAllowed)
+		http.Error(w, "content server accepts GET and HEAD only (and POST /verify)", http.StatusMethodNotAllowed)
 		return
 	}
-	name := strings.TrimPrefix(r.URL.Path, "/")
 	switch name {
 	case "metricsz":
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")

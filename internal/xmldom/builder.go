@@ -1,0 +1,86 @@
+package xmldom
+
+import "discsec/internal/xmlstream"
+
+// StreamBuilder is an xmlstream.Handler that materializes the token
+// stream as a Document. It is how ParseWithOptions builds its tree, and
+// it composes with other handlers so a single tokenization pass can
+// build the DOM while, say, incremental canonicalization digests the
+// same tokens (the verification library's single-pass cold open).
+//
+// Well-formedness and security limits are enforced by xmlstream.Parse
+// before tokens reach the builder, so the builder itself cannot fail.
+type StreamBuilder struct {
+	doc   *Document
+	stack []*Element
+}
+
+// NewStreamBuilder returns a builder for one document.
+func NewStreamBuilder() *StreamBuilder {
+	return &StreamBuilder{doc: &Document{}}
+}
+
+// Document returns the built tree. Valid after a successful
+// xmlstream.Parse pass.
+func (b *StreamBuilder) Document() *Document { return b.doc }
+
+// StartElement implements xmlstream.Handler.
+func (b *StreamBuilder) StartElement(prefix, local string, attrs []xmlstream.Attr) error {
+	e := &Element{Prefix: prefix, Local: local}
+	if len(attrs) > 0 {
+		e.Attrs = make([]Attr, len(attrs))
+		for i, a := range attrs {
+			e.Attrs[i] = Attr{Prefix: a.Prefix, Local: a.Local, Value: a.Value}
+		}
+	}
+	if len(b.stack) == 0 {
+		b.doc.Children = append(b.doc.Children, e)
+	} else {
+		b.stack[len(b.stack)-1].AppendChild(e)
+	}
+	b.stack = append(b.stack, e)
+	return nil
+}
+
+// EndElement implements xmlstream.Handler.
+func (b *StreamBuilder) EndElement(prefix, local string) error {
+	b.stack = b.stack[:len(b.stack)-1]
+	return nil
+}
+
+// Text implements xmlstream.Handler. Adjacent character data chunks
+// (around CDATA boundaries or entity references) merge into one node so
+// the tree has a normal form.
+func (b *StreamBuilder) Text(data []byte) error {
+	parent := b.stack[len(b.stack)-1]
+	if n := len(parent.Children); n > 0 {
+		if prev, ok := parent.Children[n-1].(*Text); ok {
+			prev.Data += string(data)
+			return nil
+		}
+	}
+	parent.AppendChild(&Text{Data: string(data)})
+	return nil
+}
+
+// Comment implements xmlstream.Handler.
+func (b *StreamBuilder) Comment(data []byte) error {
+	c := &Comment{Data: string(data)}
+	if len(b.stack) == 0 {
+		b.doc.Children = append(b.doc.Children, c)
+	} else {
+		b.stack[len(b.stack)-1].AppendChild(c)
+	}
+	return nil
+}
+
+// ProcInst implements xmlstream.Handler.
+func (b *StreamBuilder) ProcInst(target string, data []byte) error {
+	pi := &ProcInst{Target: target, Data: string(data)}
+	if len(b.stack) == 0 {
+		b.doc.Children = append(b.doc.Children, pi)
+	} else {
+		b.stack[len(b.stack)-1].AppendChild(pi)
+	}
+	return nil
+}

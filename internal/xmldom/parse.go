@@ -2,11 +2,10 @@ package xmldom
 
 import (
 	"bytes"
-	"encoding/xml"
-	"errors"
-	"fmt"
 	"io"
 	"strings"
+
+	"discsec/internal/xmlstream"
 )
 
 // ParseOptions controls document parsing.
@@ -23,14 +22,10 @@ type ParseOptions struct {
 	MaxTokens int
 }
 
-const (
-	defaultMaxDepth  = 512
-	defaultMaxTokens = 4 << 20
-)
-
 // ErrDoctype is returned when a document contains a DOCTYPE declaration
-// and ParseOptions.AllowDoctype is false.
-var ErrDoctype = errors.New("xmldom: document type declarations are not allowed")
+// and ParseOptions.AllowDoctype is false. It is the xmlstream sentinel:
+// the tokenizer under this parser is where the rejection happens.
+var ErrDoctype = xmlstream.ErrDoctype
 
 // Parse reads an XML document with default options.
 func Parse(r io.Reader) (*Document, error) {
@@ -48,150 +43,22 @@ func ParseBytes(b []byte) (*Document, error) {
 	return Parse(bytes.NewReader(b))
 }
 
-// ParseWithOptions reads an XML document using the raw tokenizer of
-// encoding/xml so that namespace prefixes are preserved exactly as
-// written. Well-formedness that the raw tokenizer does not enforce
-// (matching end tags, single document element) is enforced here.
+// ParseWithOptions reads an XML document through the hardened streaming
+// tokenizer (internal/xmlstream), which preserves namespace prefixes
+// exactly as written and enforces the well-formedness the raw tokenizer
+// does not (matching end tags, single document element, duplicate
+// attribute rejection) plus the security limits in opts. The tree is
+// materialized by a StreamBuilder, so a DOM parse and a streaming pass
+// over the same input see the identical token stream.
 func ParseWithOptions(r io.Reader, opts ParseOptions) (*Document, error) {
-	maxDepth := opts.MaxDepth
-	if maxDepth <= 0 {
-		maxDepth = defaultMaxDepth
+	b := NewStreamBuilder()
+	err := xmlstream.Parse(r, xmlstream.Options{
+		AllowDoctype: opts.AllowDoctype,
+		MaxDepth:     opts.MaxDepth,
+		MaxTokens:    opts.MaxTokens,
+	}, b)
+	if err != nil {
+		return nil, err
 	}
-	maxTokens := opts.MaxTokens
-	if maxTokens <= 0 {
-		maxTokens = defaultMaxTokens
-	}
-
-	dec := xml.NewDecoder(r)
-	dec.Strict = true
-
-	doc := &Document{}
-	var stack []*Element
-	tokens := 0
-	sawRoot := false
-
-	for {
-		tok, err := dec.RawToken()
-		if err == io.EOF {
-			break
-		}
-		if err != nil {
-			return nil, fmt.Errorf("xmldom: parse: %w", err)
-		}
-		tokens++
-		if tokens > maxTokens {
-			return nil, fmt.Errorf("xmldom: parse: token limit %d exceeded", maxTokens)
-		}
-
-		switch t := tok.(type) {
-		case xml.StartElement:
-			if len(stack) == 0 && sawRoot {
-				return nil, errors.New("xmldom: parse: multiple document elements")
-			}
-			if len(stack) >= maxDepth {
-				return nil, fmt.Errorf("xmldom: parse: nesting depth limit %d exceeded", maxDepth)
-			}
-			e := &Element{Prefix: t.Name.Space, Local: t.Name.Local}
-			for _, a := range t.Attr {
-				e.Attrs = append(e.Attrs, Attr{Prefix: a.Name.Space, Local: a.Name.Local, Value: a.Value})
-			}
-			if err := checkDuplicateAttrs(e); err != nil {
-				return nil, err
-			}
-			if len(stack) == 0 {
-				doc.Children = append(doc.Children, e)
-				sawRoot = true
-			} else {
-				stack[len(stack)-1].AppendChild(e)
-			}
-			stack = append(stack, e)
-
-		case xml.EndElement:
-			if len(stack) == 0 {
-				return nil, fmt.Errorf("xmldom: parse: unexpected end tag </%s>", rawName(t.Name))
-			}
-			top := stack[len(stack)-1]
-			if top.Prefix != t.Name.Space || top.Local != t.Name.Local {
-				return nil, fmt.Errorf("xmldom: parse: end tag </%s> does not match <%s>", rawName(t.Name), top.Name())
-			}
-			stack = stack[:len(stack)-1]
-
-		case xml.CharData:
-			if len(stack) == 0 {
-				if len(bytes.TrimSpace(t)) > 0 {
-					return nil, errors.New("xmldom: parse: character data outside document element")
-				}
-				continue
-			}
-			parent := stack[len(stack)-1]
-			// Merge adjacent character data (e.g. around CDATA
-			// boundaries or entity references) into one node so the
-			// tree has a normal form.
-			if n := len(parent.Children); n > 0 {
-				if prev, ok := parent.Children[n-1].(*Text); ok {
-					prev.Data += string(t)
-					continue
-				}
-			}
-			parent.AppendChild(&Text{Data: string(t)})
-
-		case xml.Comment:
-			c := &Comment{Data: string(t)}
-			if len(stack) == 0 {
-				doc.Children = append(doc.Children, c)
-			} else {
-				stack[len(stack)-1].AppendChild(c)
-			}
-
-		case xml.ProcInst:
-			if t.Target == "xml" {
-				// The XML declaration is not part of the data model.
-				continue
-			}
-			pi := &ProcInst{Target: t.Target, Data: string(t.Inst)}
-			if len(stack) == 0 {
-				doc.Children = append(doc.Children, pi)
-			} else {
-				stack[len(stack)-1].AppendChild(pi)
-			}
-
-		case xml.Directive:
-			if !opts.AllowDoctype {
-				return nil, ErrDoctype
-			}
-			// Permitted doctypes are not retained in the tree.
-		}
-	}
-
-	if len(stack) != 0 {
-		return nil, fmt.Errorf("xmldom: parse: unclosed element <%s>", stack[len(stack)-1].Name())
-	}
-	if !sawRoot {
-		return nil, errors.New("xmldom: parse: no document element")
-	}
-	return doc, nil
-}
-
-func rawName(n xml.Name) string {
-	if n.Space == "" {
-		return n.Local
-	}
-	return n.Space + ":" + n.Local
-}
-
-// checkDuplicateAttrs rejects repeated attribute names, which the raw
-// tokenizer does not police.
-func checkDuplicateAttrs(e *Element) error {
-	if len(e.Attrs) < 2 {
-		return nil
-	}
-	seen := make(map[string]struct{}, len(e.Attrs))
-	for _, a := range e.Attrs {
-		k := a.Prefix + ":" + a.Local
-		if _, dup := seen[k]; dup {
-			return fmt.Errorf("xmldom: parse: duplicate attribute %q on <%s>", a.Name(), e.Name())
-		}
-		seen[k] = struct{}{}
-	}
-	return nil
+	return b.Document(), nil
 }

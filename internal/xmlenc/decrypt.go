@@ -5,6 +5,7 @@ import (
 	"encoding/base64"
 	"errors"
 	"fmt"
+	"io"
 
 	"discsec/internal/obs"
 	"discsec/internal/xmldom"
@@ -26,6 +27,10 @@ type DecryptOptions struct {
 	// CipherResolver dereferences xenc:CipherReference URIs (ciphertext
 	// stored outside the document, e.g. in the disc image).
 	CipherResolver func(uri string) ([]byte, error)
+	// CipherStreamResolver, when set, dereferences CipherReference URIs
+	// as a stream; DecryptOctetsTo prefers it over CipherResolver so a
+	// large clip's ciphertext is never materialized whole.
+	CipherStreamResolver func(uri string) (io.ReadCloser, error)
 	// Recorder, when non-nil, receives one obs.StageDecrypt span per
 	// EncryptedData decryption.
 	Recorder *obs.Recorder

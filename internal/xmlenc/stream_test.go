@@ -1,0 +1,161 @@
+package xmlenc
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"discsec/internal/xmlsecuri"
+)
+
+// slowReader feeds one byte per Read so the streaming decrypter's
+// chunk-assembly (io.ReadFull) is exercised across arbitrary split
+// points.
+type slowReader struct{ r io.Reader }
+
+func (s slowReader) Read(p []byte) (int, error) {
+	if len(p) > 1 {
+		p = p[:1]
+	}
+	return s.r.Read(p)
+}
+
+func testKey(n int) []byte {
+	k := make([]byte, n)
+	for i := range k {
+		k[i] = byte(i*7 + 3)
+	}
+	return k
+}
+
+func testPlaintext(n int) []byte {
+	pt := make([]byte, n)
+	for i := range pt {
+		pt[i] = byte(i * 31)
+	}
+	return pt
+}
+
+// TestDecryptOctetsToMatchesDecryptOctets: the streaming decrypter is
+// byte-identical to the in-memory one for every algorithm and for
+// sizes around every boundary (empty, sub-block, exact blocks, chunk
+// edges, multi-chunk).
+func TestDecryptOctetsToMatchesDecryptOctets(t *testing.T) {
+	sizes := []int{0, 1, 15, 16, 17, 4096,
+		decryptCBCChunk - 16, decryptCBCChunk, decryptCBCChunk + 16, 3*decryptCBCChunk + 5}
+	algs := []struct {
+		name string
+		uri  string
+		klen int
+	}{
+		{"aes128-cbc", xmlsecuri.EncAES128CBC, 16},
+		{"aes256-cbc", xmlsecuri.EncAES256CBC, 32},
+		{"aes128-gcm", xmlsecuri.EncAES128GCM, 16},
+	}
+	for _, alg := range algs {
+		for _, n := range sizes {
+			key := testKey(alg.klen)
+			pt := testPlaintext(n)
+			doc, err := EncryptOctets(pt, EncryptOptions{Algorithm: alg.uri, Key: key})
+			if err != nil {
+				t.Fatalf("%s/%d: encrypt: %v", alg.name, n, err)
+			}
+			want, err := DecryptOctets(doc.Root(), DecryptOptions{Key: key})
+			if err != nil {
+				t.Fatalf("%s/%d: DecryptOctets: %v", alg.name, n, err)
+			}
+			var got bytes.Buffer
+			wrote, err := DecryptOctetsTo(&got, doc.Root(), DecryptOptions{Key: key})
+			if err != nil {
+				t.Fatalf("%s/%d: DecryptOctetsTo: %v", alg.name, n, err)
+			}
+			if wrote != int64(len(want)) || !bytes.Equal(got.Bytes(), want) {
+				t.Errorf("%s/%d: streamed %d bytes, want %d identical bytes", alg.name, n, wrote, len(want))
+			}
+		}
+	}
+}
+
+// TestDecryptOctetsToCipherReferenceStream: an external reference is
+// pulled through CipherStreamResolver — never materialized via the
+// byte-slice resolver — and survives adversarial read fragmentation.
+func TestDecryptOctetsToCipherReferenceStream(t *testing.T) {
+	key := testKey(16)
+	pt := testPlaintext(decryptCBCChunk + 300)
+	doc, payload, err := EncryptOctetsToReference(pt, "urn:clip:1", EncryptOptions{
+		Algorithm: xmlsecuri.EncAES128CBC, Key: key,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var got bytes.Buffer
+	n, err := DecryptOctetsTo(&got, doc.Root(), DecryptOptions{
+		Key: key,
+		CipherStreamResolver: func(uri string) (io.ReadCloser, error) {
+			if uri != "urn:clip:1" {
+				t.Fatalf("resolver got uri %q", uri)
+			}
+			return io.NopCloser(slowReader{bytes.NewReader(payload)}), nil
+		},
+		CipherResolver: func(uri string) ([]byte, error) {
+			t.Fatal("byte-slice resolver used despite stream resolver")
+			return nil, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(len(pt)) || !bytes.Equal(got.Bytes(), pt) {
+		t.Fatalf("streamed %d bytes, want %d", n, len(pt))
+	}
+
+	// Without a stream resolver the byte-slice resolver still works.
+	got.Reset()
+	if _, err := DecryptOctetsTo(&got, doc.Root(), DecryptOptions{
+		Key:            key,
+		CipherResolver: func(string) ([]byte, error) { return payload, nil },
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), pt) {
+		t.Fatal("byte-slice fallback produced different plaintext")
+	}
+}
+
+// TestDecryptOctetsToRejectsCorruption: truncation and bad padding
+// fail with ErrDecryptionFailed, not silent short output.
+func TestDecryptOctetsToRejectsCorruption(t *testing.T) {
+	key := testKey(16)
+	pt := testPlaintext(100)
+	doc, payload, err := EncryptOctetsToReference(pt, "urn:clip:2", EncryptOptions{
+		Algorithm: xmlsecuri.EncAES128CBC, Key: key,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream := func(b []byte) DecryptOptions {
+		return DecryptOptions{Key: key, CipherStreamResolver: func(string) (io.ReadCloser, error) {
+			return io.NopCloser(bytes.NewReader(b)), nil
+		}}
+	}
+
+	// Non-block-multiple truncation.
+	if _, err := DecryptOctetsTo(io.Discard, doc.Root(), stream(payload[:len(payload)-5])); !errors.Is(err, ErrDecryptionFailed) {
+		t.Errorf("truncated payload err = %v, want ErrDecryptionFailed", err)
+	}
+	// IV only, no ciphertext blocks.
+	if _, err := DecryptOctetsTo(io.Discard, doc.Root(), stream(payload[:16])); !errors.Is(err, ErrDecryptionFailed) {
+		t.Errorf("IV-only payload err = %v, want ErrDecryptionFailed", err)
+	}
+	// Corrupt final block: padding byte becomes garbage.
+	bad := append([]byte(nil), payload...)
+	bad[len(bad)-1] ^= 0xFF
+	var out bytes.Buffer
+	if _, err := DecryptOctetsTo(&out, doc.Root(), stream(bad)); err == nil {
+		if out.Len() == len(pt) && bytes.Equal(out.Bytes(), pt) {
+			t.Error("corrupt payload decrypted to the original plaintext")
+		}
+	}
+}

@@ -1,0 +1,349 @@
+// Package xmlstream is the module's single hardened XML tokenizer: a
+// SAX-style streaming parser over io.Reader that feeds handlers one
+// token at a time, never materializing the document.
+//
+// It exists so the cold verification path can be a single pass — the
+// same token stream that builds a DOM (xmldom.StreamBuilder) can
+// simultaneously drive incremental canonicalization and digesting
+// (c14n.Stream), which is how the verification library computes its
+// cache key without a second tree walk. Because xmldom's tree parser is
+// itself built on this package, streaming and DOM pipelines agree on
+// accept/reject verdicts by construction; the differential fuzz targets
+// pin that property.
+//
+// The hardening the XML security processing model requires lives here,
+// below every consumer: DOCTYPE rejection (entity expansion, default
+// attributes), element nesting depth and total token limits, duplicate
+// attribute rejection, matching end tags, and a single document
+// element. Namespace prefixes are preserved exactly as written — this
+// is a raw tokenizer, not a namespace-resolving one — because
+// canonicalization and signature processing need the author's prefixes.
+package xmlstream
+
+import (
+	"bytes"
+	"encoding/xml"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Options controls parsing limits.
+type Options struct {
+	// AllowDoctype permits a document type declaration. Doctype
+	// declarations are rejected by default: the XML security processing
+	// model treats DTDs (entity expansion, default attributes) as an
+	// attack surface.
+	AllowDoctype bool
+	// MaxDepth bounds element nesting; 0 means the default of 512.
+	MaxDepth int
+	// MaxTokens bounds the total token count; 0 means the default of
+	// 4 * 1024 * 1024.
+	MaxTokens int
+}
+
+const (
+	defaultMaxDepth  = 512
+	defaultMaxTokens = 4 << 20
+)
+
+// ErrDoctype is returned when a document contains a DOCTYPE declaration
+// and Options.AllowDoctype is false.
+var ErrDoctype = errors.New("xmlstream: document type declarations are not allowed")
+
+// Attr is one attribute exactly as written: prefix split from local
+// name, namespace declarations included.
+type Attr struct {
+	Prefix string
+	Local  string
+	Value  string
+}
+
+// Name renders the attribute name as written.
+func (a Attr) Name() string {
+	if a.Prefix == "" {
+		return a.Local
+	}
+	return a.Prefix + ":" + a.Local
+}
+
+// IsNamespaceDecl reports whether the attribute declares a namespace
+// (xmlns="..." or xmlns:p="...").
+func (a Attr) IsNamespaceDecl() bool {
+	return (a.Prefix == "" && a.Local == "xmlns") || a.Prefix == "xmlns"
+}
+
+// DeclaredPrefix returns the prefix a namespace declaration binds
+// ("" for the default namespace).
+func (a Attr) DeclaredPrefix() string {
+	if a.Prefix == "xmlns" {
+		return a.Local
+	}
+	return ""
+}
+
+// Handler receives the token stream. The attrs slice and byte payloads
+// are reused between calls and are only valid for the duration of the
+// call; a handler that retains them must copy.
+//
+// Character data inside the root element may arrive chunked (around
+// CDATA boundaries and entity references): consecutive Text calls are
+// one logical text node. Whitespace-only character data outside the
+// document element is dropped by the parser, as are the XML
+// declaration and (permitted) DOCTYPE declarations.
+type Handler interface {
+	StartElement(prefix, local string, attrs []Attr) error
+	EndElement(prefix, local string) error
+	Text(data []byte) error
+	Comment(data []byte) error
+	ProcInst(target string, data []byte) error
+}
+
+// name is one open element on the parser stack.
+type name struct {
+	prefix, local string
+}
+
+// parser holds the pooled per-parse state: the open-element stack and
+// the attribute scratch buffer handed to handlers.
+type parser struct {
+	stack []name
+	attrs []Attr
+}
+
+var parserPool = sync.Pool{New: newParser}
+
+// newParser is the pool's first-touch factory: a declared function so
+// Parse never builds a closure.
+func newParser() any {
+	return &parser{stack: make([]name, 0, 32), attrs: make([]Attr, 0, 16)}
+}
+
+// Parse tokenizes one XML document from r, feeding every token to each
+// handler in order. It enforces the well-formedness the raw tokenizer
+// does not (matching end tags, single document element, no duplicate
+// attributes) plus the security limits in opts, and returns the first
+// error from the tokenizer, the limits, or a handler.
+//
+//discvet:hotpath per-token dispatch of the streaming verification pipeline; stack and attribute buffers are pooled, allocation only on error paths
+func Parse(r io.Reader, opts Options, handlers ...Handler) error {
+	maxDepth := opts.MaxDepth
+	if maxDepth <= 0 {
+		maxDepth = defaultMaxDepth
+	}
+	maxTokens := opts.MaxTokens
+	if maxTokens <= 0 {
+		maxTokens = defaultMaxTokens
+	}
+
+	dec := xml.NewDecoder(r)
+	dec.Strict = true
+
+	p := parserPool.Get().(*parser)
+	p.stack = p.stack[:0]
+	defer putParser(p)
+
+	tokens := 0
+	sawRoot := false
+
+	for {
+		tok, err := dec.RawToken()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return errParse(err)
+		}
+		tokens++
+		if tokens > maxTokens {
+			return errTokenLimit(maxTokens)
+		}
+
+		switch t := tok.(type) {
+		case xml.StartElement:
+			if len(p.stack) == 0 && sawRoot {
+				return errMultipleRoots()
+			}
+			if len(p.stack) >= maxDepth {
+				return errDepthLimit(maxDepth)
+			}
+			p.attrs = p.attrs[:0]
+			for _, a := range t.Attr {
+				p.attrs = append(p.attrs, Attr{Prefix: a.Name.Space, Local: a.Name.Local, Value: a.Value})
+			}
+			if err := checkDuplicateAttrs(p.attrs, t.Name); err != nil {
+				return err
+			}
+			p.stack = append(p.stack, name{prefix: t.Name.Space, local: t.Name.Local})
+			sawRoot = true
+			for _, h := range handlers {
+				if err := h.StartElement(t.Name.Space, t.Name.Local, p.attrs); err != nil {
+					return err
+				}
+			}
+
+		case xml.EndElement:
+			if len(p.stack) == 0 {
+				return errUnexpectedEnd(t.Name)
+			}
+			top := p.stack[len(p.stack)-1]
+			if top.prefix != t.Name.Space || top.local != t.Name.Local {
+				return errEndMismatch(t.Name, top)
+			}
+			p.stack = p.stack[:len(p.stack)-1]
+			for _, h := range handlers {
+				if err := h.EndElement(t.Name.Space, t.Name.Local); err != nil {
+					return err
+				}
+			}
+
+		case xml.CharData:
+			if len(p.stack) == 0 {
+				if len(bytes.TrimSpace(t)) > 0 {
+					return errStrayCharData()
+				}
+				continue
+			}
+			for _, h := range handlers {
+				if err := h.Text(t); err != nil {
+					return err
+				}
+			}
+
+		case xml.Comment:
+			for _, h := range handlers {
+				if err := h.Comment(t); err != nil {
+					return err
+				}
+			}
+
+		case xml.ProcInst:
+			if t.Target == "xml" {
+				// The XML declaration is not part of the data model.
+				continue
+			}
+			for _, h := range handlers {
+				if err := h.ProcInst(t.Target, t.Inst); err != nil {
+					return err
+				}
+			}
+
+		case xml.Directive:
+			if !opts.AllowDoctype {
+				return ErrDoctype
+			}
+			// Permitted doctypes are not part of the token stream.
+		}
+	}
+
+	if len(p.stack) != 0 {
+		return errUnclosed(p.stack[len(p.stack)-1])
+	}
+	if !sawRoot {
+		return errNoRoot()
+	}
+	return nil
+}
+
+// checkDuplicateAttrs rejects repeated attribute names, which the raw
+// tokenizer does not police. The common small-attribute case is a
+// quadratic scan over the pooled buffer (no allocation); pathological
+// attribute counts fall back to a map so adversarial inputs stay
+// linear.
+//
+//discvet:hotpath runs on every start tag; must not allocate for ordinary elements
+func checkDuplicateAttrs(attrs []Attr, el xml.Name) error {
+	if len(attrs) < 2 {
+		return nil
+	}
+	if len(attrs) > 16 {
+		return checkDuplicateAttrsLarge(attrs, el)
+	}
+	for i := 1; i < len(attrs); i++ {
+		for j := 0; j < i; j++ {
+			if attrs[i].Prefix == attrs[j].Prefix && attrs[i].Local == attrs[j].Local {
+				return errDuplicateAttr(attrs[i], el)
+			}
+		}
+	}
+	return nil
+}
+
+//discvet:coldpath rare wide elements; the map keeps hostile attribute lists linear
+func checkDuplicateAttrsLarge(attrs []Attr, el xml.Name) error {
+	seen := make(map[Attr]struct{}, len(attrs))
+	for _, a := range attrs {
+		k := Attr{Prefix: a.Prefix, Local: a.Local}
+		if _, dup := seen[k]; dup {
+			return errDuplicateAttr(a, el)
+		}
+		seen[k] = struct{}{}
+	}
+	return nil
+}
+
+//discvet:coldpath pool return is once per document
+func putParser(p *parser) {
+	parserPool.Put(p)
+}
+
+// Error constructors live off the hot path: the per-token loop only
+// calls them when the parse is already failing.
+
+//discvet:coldpath error path
+func errParse(err error) error { return fmt.Errorf("xmlstream: parse: %w", err) }
+
+//discvet:coldpath error path
+func errTokenLimit(n int) error { return fmt.Errorf("xmlstream: parse: token limit %d exceeded", n) }
+
+//discvet:coldpath error path
+func errDepthLimit(n int) error {
+	return fmt.Errorf("xmlstream: parse: nesting depth limit %d exceeded", n)
+}
+
+//discvet:coldpath error path
+func errMultipleRoots() error { return errors.New("xmlstream: parse: multiple document elements") }
+
+//discvet:coldpath error path
+func errStrayCharData() error {
+	return errors.New("xmlstream: parse: character data outside document element")
+}
+
+//discvet:coldpath error path
+func errNoRoot() error { return errors.New("xmlstream: parse: no document element") }
+
+//discvet:coldpath error path
+func errUnexpectedEnd(n xml.Name) error {
+	return fmt.Errorf("xmlstream: parse: unexpected end tag </%s>", rawName(n))
+}
+
+//discvet:coldpath error path
+func errEndMismatch(n xml.Name, top name) error {
+	open := top.local
+	if top.prefix != "" {
+		open = top.prefix + ":" + top.local
+	}
+	return fmt.Errorf("xmlstream: parse: end tag </%s> does not match <%s>", rawName(n), open)
+}
+
+//discvet:coldpath error path
+func errUnclosed(top name) error {
+	open := top.local
+	if top.prefix != "" {
+		open = top.prefix + ":" + top.local
+	}
+	return fmt.Errorf("xmlstream: parse: unclosed element <%s>", open)
+}
+
+//discvet:coldpath error path
+func errDuplicateAttr(a Attr, el xml.Name) error {
+	return fmt.Errorf("xmlstream: parse: duplicate attribute %q on <%s>", a.Name(), rawName(el))
+}
+
+func rawName(n xml.Name) string {
+	if n.Space == "" {
+		return n.Local
+	}
+	return n.Space + ":" + n.Local
+}
