@@ -2,11 +2,13 @@
 # CI gate: every PR must build cleanly, pass go vet and the discvet
 # static-analysis suite (see internal/analysis), and pass the full
 # test suite under the race detector. The SARIF report — which since
-# discvet v3 also carries the interprocedural concurrency rules
-# (lockorder, goroutineleak) and the hot-path allocation rule
-# (hotpathalloc) and the reader-first streaming rule (readerfirst) —
+# discvet v4 carries the SSA-lite value-flow rules (poolescape,
+# errdominate, onceonly) on top of the v3 interprocedural concurrency
+# rules (lockorder, goroutineleak), the hot-path allocation rule
+# (hotpathalloc), and the reader-first streaming rule (readerfirst) —
 # is archived next to the BENCH_*.json artifacts for code-scanning
-# upload.
+# upload, with discvet's own wall-clock recorded in its invocations
+# block (make vet-bench).
 set -eux
 
 go build ./...
@@ -19,18 +21,20 @@ make lint-baseline
 # interactive. 60s is ~10x current cost; breaching it means an
 # analyzer regressed to something super-linear.
 lint_start=$(date +%s)
-go run ./cmd/discvet -sarif ./... > discvet.sarif
+make vet-bench
 lint_end=$(date +%s)
 lint_elapsed=$((lint_end - lint_start))
-echo "discvet -sarif ./... took ${lint_elapsed}s"
+echo "discvet -sarif -walltime ./... took ${lint_elapsed}s"
 if [ "$lint_elapsed" -gt 60 ]; then
     echo "discvet self-analysis exceeded the 60s budget (${lint_elapsed}s)" >&2
     exit 1
 fi
-# The archived report must mention the v3 rule table.
-for rule in lockorder goroutineleak hotpathalloc readerfirst; do
+# The archived report must mention the v3 and v4 rule tables and carry
+# the recorded wall-clock.
+for rule in lockorder goroutineleak hotpathalloc readerfirst poolescape errdominate onceonly; do
     grep -q "\"$rule\"" discvet.sarif || { echo "discvet.sarif is missing rule $rule" >&2; exit 1; }
 done
+grep -q '"wallClockMillis"' discvet.sarif || { echo "discvet.sarif is missing the recorded wall-clock" >&2; exit 1; }
 
 go test -race ./...
 go test -race ./internal/analysis/...

@@ -4,7 +4,7 @@
 // Usage:
 //
 //	discvet [-rules taintflow,auditpath] [-list] [-json|-sarif]
-//	        [-baseline file] [-writebaseline file] [packages]
+//	        [-walltime] [-baseline file] [-writebaseline file] [packages]
 //
 // Packages default to ./... relative to the enclosing module root.
 // Findings print as file:line:col: [rule] message, or as structured
@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"discsec/internal/analysis"
 )
@@ -36,8 +37,9 @@ func main() {
 	sarifOut := flag.Bool("sarif", false, "emit findings as SARIF 2.1.0 on stdout")
 	baselinePath := flag.String("baseline", "", "filter findings through the baseline `file`; only new findings fail")
 	writeBaseline := flag.String("writebaseline", "", "write current findings to the baseline `file` and exit 0")
+	wallTime := flag.Bool("walltime", false, "with -sarif, record analysis wall-clock in the report's invocations block")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: discvet [-rules r1,r2] [-list] [-json|-sarif] [-baseline file] [-writebaseline file] [packages]\n")
+		fmt.Fprintf(os.Stderr, "usage: discvet [-rules r1,r2] [-list] [-json|-sarif] [-walltime] [-baseline file] [-writebaseline file] [packages]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -74,6 +76,7 @@ func main() {
 	if err != nil {
 		fatalf("%v", err)
 	}
+	start := time.Now()
 	loader, err := analysis.NewLoader(cwd)
 	if err != nil {
 		fatalf("%v", err)
@@ -84,6 +87,7 @@ func main() {
 	}
 
 	diags := analysis.Run(pkgs, selected)
+	elapsed := time.Since(start)
 
 	if *writeBaseline != "" {
 		b := analysis.NewBaseline(diags, loader.Root)
@@ -104,7 +108,12 @@ func main() {
 
 	switch {
 	case *sarifOut:
-		out, err := analysis.SARIFReport(diags, selected, loader.Root)
+		var out []byte
+		if *wallTime {
+			out, err = analysis.SARIFReportTimed(diags, selected, loader.Root, elapsed)
+		} else {
+			out, err = analysis.SARIFReport(diags, selected, loader.Root)
+		}
 		if err != nil {
 			fatalf("%v", err)
 		}

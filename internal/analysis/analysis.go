@@ -58,6 +58,18 @@
 //     verification entry (core.Opener.OpenReader, library OpenReader,
 //     player LoadFrom, xmldom.Parse, xmldsig digest streams); pass
 //     the original reader through, or use the []byte API form.
+//   - poolescape: values from sync.Pool.Get (or pooled module helpers,
+//     found interprocedurally) must not be used, aliased, or returned
+//     after their Put, and never Put twice on any path. Built on the
+//     SSA-lite value-flow layer (ssa.go, flow.go).
+//   - errdominate: the non-error results of core.Open*,
+//     xmldsig.Verify*/Digest*, library.Open*, and xmlenc.Decrypt* may
+//     only be used on paths dominated by an err == nil check of the
+//     producing call's error — the fail-closed discipline the paper's
+//     Verifier depends on.
+//   - onceonly: one-shot readers (request bodies, OpenReader-family
+//     arguments) must not be consumed twice or re-wrapped after a
+//     partial read; both silently verify the wrong bytes.
 //
 // Diagnostics carry file:line:col positions. A finding can be
 // suppressed with a justified comment on the same line or the line
@@ -75,8 +87,24 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"runtime"
 	"sort"
+	"sync"
 )
+
+// runParallelism bounds the analyzer worker pool: enough to keep the
+// cores busy, capped so a large machine does not thrash the type-info
+// caches.
+func runParallelism() int {
+	n := runtime.GOMAXPROCS(0)
+	if n > 8 {
+		n = 8
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
 
 // Analyzer is one named rule. Per-package rules set Run and inspect a
 // single package via its Pass; module-level rules (the interprocedural
@@ -165,6 +193,9 @@ func Analyzers() []*Analyzer {
 		GoroutineLeak,
 		HotPathAlloc,
 		ReaderFirst,
+		PoolEscape,
+		ErrDominate,
+		OnceOnly,
 	}
 }
 
@@ -183,23 +214,38 @@ func ByName(name string) *Analyzer {
 // directives naming unknown rules are reported, and directives that
 // suppress nothing under the selected rules are reported as
 // uselessignore. The result is sorted by position then rule.
+//
+// Analyzer execution is parallel under a bounded worker pool: every
+// (package, per-package rule) pair and every module rule is an
+// independent unit writing into its own diagnostic slot, and the slots
+// are concatenated in registry order before the final sort — so the
+// output is byte-for-byte identical to the sequential driver's.
+// Loading and type-checking stay sequential in the Loader; analyzers
+// only read the shared type information, which is what makes the
+// fan-out safe.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
-	var raw []Diagnostic
+	type unit struct {
+		run   func(diags *[]Diagnostic)
+		diags []Diagnostic
+	}
+	var units []*unit
 	for _, pkg := range pkgs {
 		for _, a := range analyzers {
 			if a.Run == nil {
 				continue
 			}
-			pass := &Pass{
-				Analyzer: a,
-				Fset:     pkg.Fset,
-				Path:     pkg.Path,
-				Files:    pkg.Files,
-				Pkg:      pkg.Types,
-				Info:     pkg.Info,
-				diags:    &raw,
-			}
-			a.Run(pass)
+			pkg, a := pkg, a
+			units = append(units, &unit{run: func(diags *[]Diagnostic) {
+				a.Run(&Pass{
+					Analyzer: a,
+					Fset:     pkg.Fset,
+					Path:     pkg.Path,
+					Files:    pkg.Files,
+					Pkg:      pkg.Types,
+					Info:     pkg.Info,
+					diags:    diags,
+				})
+			}})
 		}
 	}
 	var graph *CallGraph
@@ -210,11 +256,33 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 		if graph == nil {
 			graph = BuildCallGraph(pkgs)
 		}
-		mp := &ModulePass{Analyzer: a, Pkgs: pkgs, Graph: graph, diags: &raw}
-		if len(pkgs) > 0 {
-			mp.Fset = pkgs[0].Fset
-		}
-		a.RunModule(mp)
+		a, graph := a, graph
+		units = append(units, &unit{run: func(diags *[]Diagnostic) {
+			mp := &ModulePass{Analyzer: a, Pkgs: pkgs, Graph: graph, diags: diags}
+			if len(pkgs) > 0 {
+				mp.Fset = pkgs[0].Fset
+			}
+			a.RunModule(mp)
+		}})
+	}
+
+	sem := make(chan struct{}, runParallelism())
+	var wg sync.WaitGroup
+	for _, u := range units {
+		u := u
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			u.run(&u.diags)
+		}()
+	}
+	wg.Wait()
+
+	var raw []Diagnostic
+	for _, u := range units {
+		raw = append(raw, u.diags...)
 	}
 	diags := applySuppressions(pkgs, analyzers, raw)
 	sort.Slice(diags, func(i, j int) bool {

@@ -83,6 +83,11 @@ type CallGraph struct {
 	// Funcs indexes every function and method that has a body in the
 	// analyzed packages.
 	Funcs map[*types.Func]*FuncNode
+
+	// flowSummaryCache lazily holds the v4 value-flow summaries
+	// (flow.go); module analyzers running in parallel share one
+	// fixpoint through it.
+	flowSummaryCache
 }
 
 // Lookup finds the node for the named function: pkgPath is the import

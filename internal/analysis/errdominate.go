@@ -1,0 +1,341 @@
+package analysis
+
+// errdominate: fail-closed use of verification and decryption results.
+// The producers in errCheckedProducers return (value, error) pairs
+// where the value is only meaningful when the error is nil — an
+// OpenResult from a failed Open, plaintext from a failed Decrypt. "XML
+// Signature Wrapping Still Considered Harmful" (PAPERS.md) catalogues
+// real-world verifiers that regressed exactly here: the result was
+// consulted on a path where the error had not been ruled out.
+//
+// The rule is a MUST analysis: a use of the result is clean only when
+// every path from the producing call to the use passes an `err == nil`
+// check of that call's error binding (the dominance in the name). The
+// branch facts come from the CFG edges; the version map (vers) keeps a
+// check of a *reassigned* err variable from guarding the old value.
+// Two deliberate exemptions keep the rule quiet on idiomatic Go:
+// `return v, err` (and any return whose expressions mention the bound
+// error — wrapping counts) is a passthrough for the caller to check,
+// and bare returns with named results carry no checked use at all.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ErrDominate flags uses of producer results that are not dominated by
+// an err == nil check of the producing call's error.
+var ErrDominate = &Analyzer{
+	Name:      "errdominate",
+	Doc:       "results of Open/Verify/Digest/Decrypt producers may only be used on paths dominated by an err == nil check",
+	RunModule: runErrDominate,
+}
+
+// Abstract register states. Zero means untracked.
+const (
+	// errUnguarded: no path-dominating err == nil check seen yet.
+	errUnguarded uint8 = 1
+	// errGuarded: every path to here checked err == nil.
+	errGuarded uint8 = 2
+	// errPoisoned: this path assumed err != nil; the value is known-bad.
+	errPoisoned uint8 = 3
+)
+
+func runErrDominate(pass *ModulePass) {
+	runFlowModule(pass, &errDominateRule{}, nil)
+}
+
+type errDominateRule struct{}
+
+// mergeVal: most-pessimistic wins. Guarded survives a merge only when
+// both sides are guarded (MUST); a poisoned side poisons the join (MAY
+// for the known-bad direction).
+func (r *errDominateRule) mergeVal(a, b uint8) uint8 {
+	if a == b {
+		return a
+	}
+	if a == errPoisoned || b == errPoisoned {
+		return errPoisoned
+	}
+	if a == errUnguarded || b == errUnguarded {
+		return errUnguarded
+	}
+	return errGuarded
+}
+
+// applyFact folds an assumed `err == nil` / `err != nil` outcome into
+// every register bound to that error object, provided the variable
+// still holds the definition the register was bound to.
+func (r *errDominateRule) applyFact(fa *flowAnalysis, st *flowState, f branchFact) {
+	obj, errIsNil, ok := errNilFact(fa.info, f)
+	if !ok {
+		return
+	}
+	for reg := range st.vals {
+		ri := fa.regs[reg]
+		if ri.errObj != obj {
+			continue
+		}
+		if ver, has := st.vers[obj]; has && ver != ri.errPos {
+			// err was reassigned since this value was produced; checking
+			// the new err says nothing about the old value.
+			continue
+		}
+		if errIsNil {
+			st.vals[reg] = errGuarded
+		} else {
+			st.vals[reg] = errPoisoned
+		}
+	}
+}
+
+// errNilFact decodes a branch fact of the shape `x == nil` / `x != nil`
+// into (object of x, whether the edge assumes x is nil).
+func errNilFact(info *types.Info, f branchFact) (types.Object, bool, bool) {
+	bin, ok := ast.Unparen(f.cond).(*ast.BinaryExpr)
+	if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+		return nil, false, false
+	}
+	x, y := ast.Unparen(bin.X), ast.Unparen(bin.Y)
+	var id *ast.Ident
+	switch {
+	case isNilExpr(info, y):
+		id, _ = x.(*ast.Ident)
+	case isNilExpr(info, x):
+		id, _ = y.(*ast.Ident)
+	}
+	if id == nil {
+		return nil, false, false
+	}
+	obj := info.Uses[id]
+	if obj == nil {
+		return nil, false, false
+	}
+	errIsNil := (bin.Op == token.EQL) == f.val
+	return obj, errIsNil, true
+}
+
+func isNilExpr(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	return ok && tv.IsNil()
+}
+
+func (r *errDominateRule) transferNode(fa *flowAnalysis, st *flowState, n ast.Node) {
+	switch x := n.(type) {
+	case *ast.AssignStmt:
+		for _, rhs := range x.Rhs {
+			r.scanExpr(fa, st, rhs)
+		}
+		if r.bindProducer(fa, st, x) {
+			return
+		}
+		if len(x.Lhs) == len(x.Rhs) {
+			for i := range x.Lhs {
+				r.bindPlain(fa, st, x.Lhs[i], x.Rhs[i])
+			}
+			return
+		}
+		for _, lhs := range x.Lhs {
+			if obj := assignedObj(fa.info, lhs); obj != nil {
+				st.vers[obj] = lhs.Pos()
+				delete(st.objs, obj)
+			}
+		}
+
+	case *ast.ReturnStmt:
+		// Passthrough exemption: a return that mentions the bound error
+		// (plain or wrapped) hands the pair to the caller to check.
+		passthrough := map[types.Object]bool{}
+		for _, res := range x.Results {
+			ast.Inspect(res, func(n ast.Node) bool {
+				if id, ok := n.(*ast.Ident); ok {
+					if obj := fa.info.Uses[id]; obj != nil && isErrorType(obj.Type()) {
+						passthrough[obj] = true
+					}
+				}
+				return true
+			})
+		}
+		for _, res := range x.Results {
+			r.scanExprExempt(fa, st, res, passthrough)
+		}
+
+	case *ast.DeferStmt:
+		// Registration-time check: the deferred call captures its
+		// arguments now, so now is when the result must be guarded.
+		r.scanExpr(fa, st, x.Call.Fun)
+		for _, a := range x.Call.Args {
+			r.scanExpr(fa, st, a)
+		}
+
+	case replayedDefer:
+		// The replay sees the merged all-exits state; judging uses there
+		// would flag values that were guarded at registration. Skip.
+
+	case *ast.GoStmt:
+		r.scanExpr(fa, st, x.Call.Fun)
+		for _, a := range x.Call.Args {
+			r.scanExpr(fa, st, a)
+		}
+
+	case *ast.RangeStmt:
+		r.scanExpr(fa, st, x.X)
+
+	case *ast.ExprStmt:
+		r.scanExpr(fa, st, x.X)
+
+	case ast.Expr:
+		// Branch condition: respect && / || short-circuit, so
+		// `err == nil && v.OK()` judges v under the err == nil fact.
+		r.transferCond(fa, st, x)
+
+	case *ast.IncDecStmt:
+		r.scanExpr(fa, st, x.X)
+
+	case *ast.SendStmt:
+		r.scanExpr(fa, st, x.Chan)
+		r.scanExpr(fa, st, x.Value)
+
+	case *ast.DeclStmt:
+		if gd, ok := x.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						r.scanExpr(fa, st, v)
+					}
+				}
+			}
+		}
+	}
+}
+
+// transferCond walks a branch condition left to right, folding each
+// short-circuit operand's assumed outcome into a scratch state before
+// judging the next operand — Go only evaluates `b` in `a && b` when a
+// was true.
+func (r *errDominateRule) transferCond(fa *flowAnalysis, st *flowState, e ast.Expr) {
+	e = ast.Unparen(e)
+	if bin, ok := e.(*ast.BinaryExpr); ok && (bin.Op == token.LAND || bin.Op == token.LOR) {
+		r.transferCond(fa, st, bin.X)
+		tmp := st.clone()
+		for _, f := range factsFor(bin.X, bin.Op == token.LAND) {
+			r.applyFact(fa, tmp, f)
+		}
+		r.transferCond(fa, tmp, bin.Y)
+		return
+	}
+	r.scanExpr(fa, st, e)
+}
+
+// bindProducer recognizes `v, err := producer(...)` and starts an
+// unguarded register for every non-error result name, bound to the
+// error name's current definition. Returns false when the statement is
+// not a producer binding.
+func (r *errDominateRule) bindProducer(fa *flowAnalysis, st *flowState, x *ast.AssignStmt) bool {
+	if len(x.Rhs) != 1 || len(x.Lhs) < 2 {
+		return false
+	}
+	call, ok := unwrapValueExpr(x.Rhs[0]).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	fn := calleeFunc(fa.info, call)
+	if fn == nil || !matchAny(fn, errCheckedProducers) {
+		return false
+	}
+	// Locate the error binding (by convention the last result, but scan
+	// all of them).
+	var errObj types.Object
+	var errPos token.Pos
+	for _, lhs := range x.Lhs {
+		obj := assignedObj(fa.info, lhs)
+		if obj != nil && isErrorType(obj.Type()) {
+			errObj, errPos = obj, lhs.Pos()
+		}
+	}
+	for _, lhs := range x.Lhs {
+		obj := assignedObj(fa.info, lhs)
+		if obj == nil || obj == errObj {
+			continue
+		}
+		reg := fa.register(lhs.Pos(), obj.Name()+" (from "+funcDisplayName(fn)+")", obj)
+		ri := fa.regs[reg]
+		ri.errObj, ri.errPos = errObj, errPos
+		st.objs[obj] = []vreg{reg}
+		st.vals[reg] = errUnguarded
+		st.vers[obj] = lhs.Pos()
+	}
+	if errObj != nil {
+		st.vers[errObj] = errPos
+	}
+	return true
+}
+
+// bindPlain handles a non-producer lhs := rhs pair: version bump for
+// the written name, alias propagation when rhs names tracked registers.
+func (r *errDominateRule) bindPlain(fa *flowAnalysis, st *flowState, lhs, rhs ast.Expr) {
+	obj := assignedObj(fa.info, lhs)
+	if obj == nil {
+		return
+	}
+	st.vers[obj] = lhs.Pos()
+	if id, ok := unwrapValueExpr(rhs).(*ast.Ident); ok {
+		if src := fa.info.Uses[id]; src != nil {
+			if regs := st.objs[src]; len(regs) > 0 {
+				st.objs[obj] = append([]vreg(nil), regs...)
+				return
+			}
+		}
+	}
+	delete(st.objs, obj)
+}
+
+func (r *errDominateRule) scanExpr(fa *flowAnalysis, st *flowState, e ast.Expr) {
+	r.scanExprExempt(fa, st, e, nil)
+}
+
+// scanExprExempt reports unguarded and poisoned uses, skipping
+// registers whose bound error is in the passthrough set.
+func (r *errDominateRule) scanExprExempt(fa *flowAnalysis, st *flowState, e ast.Expr, passthrough map[types.Object]bool) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := fa.info.Uses[id]
+		if obj == nil {
+			return true
+		}
+		for _, reg := range st.objs[obj] {
+			ri := fa.regs[reg]
+			if ri.errObj != nil && passthrough[ri.errObj] {
+				continue
+			}
+			switch st.vals[reg] {
+			case errUnguarded:
+				if ri.errObj == nil {
+					fa.reportf(id.Pos(), "%s used but its error result was discarded; fail closed by checking it", ri.name)
+				} else {
+					fa.reportf(id.Pos(), "%s used without a dominating %s == nil check", ri.name, ri.errObj.Name())
+				}
+			case errPoisoned:
+				fa.reportf(id.Pos(), "%s used on a path where %s != nil; a failed verification result must not be consulted", ri.name, errObjName(ri.errObj))
+			}
+		}
+		return true
+	})
+}
+
+func errObjName(obj types.Object) string {
+	if obj == nil {
+		return "err"
+	}
+	return obj.Name()
+}

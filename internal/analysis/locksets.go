@@ -515,3 +515,38 @@ func selectHasDefault(s *ast.SelectStmt) bool {
 	}
 	return false
 }
+
+// lockCall matches a call expression of the form recv.Lock / RLock /
+// Unlock / RUnlock where the method belongs to sync.Mutex or
+// sync.RWMutex (including promoted methods of embedded mutexes), and
+// returns a stable key for the receiver expression.
+func lockCall(info *types.Info, e ast.Expr) (recv, op string, ok bool) {
+	call, isCall := ast.Unparen(e).(*ast.CallExpr)
+	if !isCall {
+		return "", "", false
+	}
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	fn, isFn := info.Uses[sel.Sel].(*types.Func)
+	if !isFn || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", "", false
+	}
+	switch fn.Name() {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+		return exprKey(sel.X), fn.Name(), true
+	}
+	return "", "", false
+}
+
+// deferredUnlock reports whether stmt is `defer recv.Unlock()` (or
+// RUnlock) for the same receiver key.
+func deferredUnlock(info *types.Info, stmt ast.Stmt, wantRecv string) bool {
+	d, ok := stmt.(*ast.DeferStmt)
+	if !ok {
+		return false
+	}
+	recv, op, ok := lockCall(info, d.Call)
+	return ok && recv == wantRecv && (op == "Unlock" || op == "RUnlock")
+}

@@ -1,0 +1,306 @@
+package analysis
+
+// poolescape: lifetime soundness for sync.Pool-owned values. Once a
+// value is Put back — directly, through a deferred Put, or through a
+// module helper whose flow summary releases it (xmlstream's putParser)
+// — the pool may hand it to another goroutine at any moment, so every
+// later read through any alias is a data race in waiting, and a second
+// Put makes the pool hold the same object twice. The rule is a MAY
+// analysis over the value-flow framework: released on any path to a
+// use is enough to flag the use.
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// PoolEscape flags uses, aliases, and returns of a pooled value after
+// its Put, and double Puts, on any path.
+var PoolEscape = &Analyzer{
+	Name:      "poolescape",
+	Doc:       "values from sync.Pool.Get (or pooled helpers) must not be used, aliased, or returned after their Put, and never Put twice on any path",
+	RunModule: runPoolEscape,
+}
+
+// Abstract register states. Zero means untracked.
+const (
+	poolLive     uint8 = 1
+	poolReleased uint8 = 2
+)
+
+func runPoolEscape(pass *ModulePass) {
+	runFlowModule(pass, &poolEscapeRule{sums: pass.Graph.flowSums()}, nil)
+}
+
+type poolEscapeRule struct {
+	sums map[*types.Func]*flowSummary
+}
+
+// mergeVal: released on any path wins (MAY analysis).
+func (r *poolEscapeRule) mergeVal(a, b uint8) uint8 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func (r *poolEscapeRule) applyFact(fa *flowAnalysis, st *flowState, f branchFact) {}
+
+func (r *poolEscapeRule) transferNode(fa *flowAnalysis, st *flowState, n ast.Node) {
+	switch x := n.(type) {
+	case *ast.AssignStmt:
+		for _, rhs := range x.Rhs {
+			r.scanExpr(fa, st, rhs)
+		}
+		if len(x.Lhs) == len(x.Rhs) {
+			for i := range x.Lhs {
+				r.bind(fa, st, x.Lhs[i], x.Rhs[i])
+			}
+			return
+		}
+		// Tuple assignment: no single producer expression per name.
+		for _, lhs := range x.Lhs {
+			if obj := assignedObj(fa.info, lhs); obj != nil {
+				delete(st.objs, obj)
+			}
+		}
+
+	case *ast.DeclStmt:
+		gd, ok := x.Decl.(*ast.GenDecl)
+		if !ok {
+			return
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for _, v := range vs.Values {
+				r.scanExpr(fa, st, v)
+			}
+			if len(vs.Names) == len(vs.Values) {
+				for i := range vs.Names {
+					r.bind(fa, st, vs.Names[i], vs.Values[i])
+				}
+			}
+		}
+
+	case *ast.ReturnStmt:
+		for _, res := range x.Results {
+			regs := r.regsOf(fa, st, res)
+			released := false
+			for _, reg := range regs {
+				if st.vals[reg] == poolReleased {
+					released = true
+					fa.reportf(res.Pos(), "pooled %s returned after Put; the pool may already have handed it to another goroutine", fa.regs[reg].name)
+				}
+			}
+			if !released {
+				r.scanExpr(fa, st, res)
+			}
+		}
+
+	case *ast.DeferStmt:
+		// Registration: arguments evaluate now; the call itself runs at
+		// exit and is handled by the replayedDefer node there.
+		r.scanCallOperands(fa, st, x.Call)
+
+	case *ast.GoStmt:
+		// The spawned call runs at an unknowable time; only argument
+		// evaluation happens here.
+		r.scanCallOperands(fa, st, x.Call)
+
+	case replayedDefer:
+		r.call(fa, st, x.CallExpr)
+
+	case *ast.RangeStmt:
+		// Only the range operand evaluates in this block; the body lives
+		// in its own blocks.
+		r.scanExpr(fa, st, x.X)
+
+	case *ast.ExprStmt:
+		r.scanExpr(fa, st, x.X)
+
+	case ast.Expr:
+		// Branch conditions.
+		r.scanExpr(fa, st, x)
+
+	case *ast.IncDecStmt:
+		r.scanExpr(fa, st, x.X)
+
+	case *ast.SendStmt:
+		r.scanExpr(fa, st, x.Chan)
+		r.scanExpr(fa, st, x.Value)
+	}
+}
+
+// scanExpr walks one expression: identifiers are use-checked, calls get
+// their release semantics. Function literals are separate roots.
+func (r *poolEscapeRule) scanExpr(fa *flowAnalysis, st *flowState, e ast.Expr) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			r.call(fa, st, x)
+			return false
+		case *ast.Ident:
+			r.useCheck(fa, st, x)
+		}
+		return true
+	})
+}
+
+// scanCallOperands scans a call's receiver and arguments as plain uses
+// without applying the call's release semantics.
+func (r *poolEscapeRule) scanCallOperands(fa *flowAnalysis, st *flowState, call *ast.CallExpr) {
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		r.scanExpr(fa, st, sel.X)
+	}
+	for _, a := range call.Args {
+		r.scanExpr(fa, st, a)
+	}
+}
+
+// call interprets one call: a direct Pool.Put releases its argument
+// (double release reported), a summarized module callee releases the
+// effective parameters its summary says it does, everything else is
+// argument uses.
+func (r *poolEscapeRule) call(fa *flowAnalysis, st *flowState, call *ast.CallExpr) {
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		r.scanExpr(fa, st, sel.X)
+	}
+	fn := calleeFunc(fa.info, call)
+
+	if fn != nil && matchAny(fn, poolPutFuncs) && len(call.Args) == 1 {
+		regs := r.regsOf(fa, st, call.Args[0])
+		for _, reg := range regs {
+			if st.vals[reg] == poolReleased {
+				fa.reportf(call.Lparen, "pooled %s Put again; it was already released on this path", fa.regs[reg].name)
+			}
+			st.vals[reg] = poolReleased
+		}
+		if len(regs) == 0 {
+			r.scanExpr(fa, st, call.Args[0])
+		}
+		return
+	}
+
+	for _, a := range call.Args {
+		r.scanExpr(fa, st, a)
+	}
+	if fn == nil {
+		return
+	}
+	if sum, ok := r.sums[fn]; ok && sum.releases != 0 {
+		args := effectiveArgs(fa.info, call)
+		for i, a := range args {
+			if sum.releases&summaryBit(i) == 0 {
+				continue
+			}
+			for _, reg := range r.regsOf(fa, st, a) {
+				if st.vals[reg] == poolReleased {
+					fa.reportf(call.Lparen, "pooled %s Put again (via %s); it was already released on this path", fa.regs[reg].name, funcDisplayName(fn))
+				}
+				st.vals[reg] = poolReleased
+			}
+		}
+	}
+}
+
+func (r *poolEscapeRule) useCheck(fa *flowAnalysis, st *flowState, id *ast.Ident) {
+	obj := fa.info.Uses[id]
+	if obj == nil {
+		return
+	}
+	for _, reg := range st.objs[obj] {
+		if st.vals[reg] == poolReleased {
+			fa.reportf(id.Pos(), "pooled %s used after Put; the pool may already have handed it to another goroutine", fa.regs[reg].name)
+		}
+	}
+}
+
+// bind updates the abstract store for one lhs := rhs pair: a pooled
+// producer starts a live register, an alias shares the source's
+// registers, anything else clears the name.
+func (r *poolEscapeRule) bind(fa *flowAnalysis, st *flowState, lhs, rhs ast.Expr) {
+	obj := assignedObj(fa.info, lhs)
+	if obj == nil {
+		return
+	}
+	e := unwrapValueExpr(rhs)
+	if call, ok := e.(*ast.CallExpr); ok {
+		fn := calleeFunc(fa.info, call)
+		pooled := fn != nil && matchAny(fn, poolGetFuncs)
+		if !pooled && fn != nil {
+			if sum, ok := r.sums[fn]; ok && sum.returnsPooled {
+				pooled = true
+			}
+		}
+		if pooled {
+			reg := fa.register(call.Lparen, obj.Name(), obj)
+			st.objs[obj] = []vreg{reg}
+			st.vals[reg] = poolLive
+			return
+		}
+	}
+	if regs := r.regsOf(fa, st, rhs); len(regs) > 0 {
+		st.objs[obj] = append([]vreg(nil), regs...)
+		return
+	}
+	delete(st.objs, obj)
+}
+
+// regsOf resolves an expression to the registers it names, through
+// parens, type assertions, unary ops, and dereferences.
+func (r *poolEscapeRule) regsOf(fa *flowAnalysis, st *flowState, e ast.Expr) []vreg {
+	e = unwrapValueExpr(e)
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	obj := fa.info.Uses[id]
+	if obj == nil {
+		return nil
+	}
+	return st.objs[obj]
+}
+
+// assignedObj resolves the object a plain-identifier lhs writes to
+// (either a fresh definition or a reuse), or nil for blanks and
+// non-identifier targets.
+func assignedObj(info *types.Info, lhs ast.Expr) types.Object {
+	id, ok := ast.Unparen(lhs).(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	if obj := info.Defs[id]; obj != nil {
+		return obj
+	}
+	return info.Uses[id]
+}
+
+// unwrapValueExpr strips the wrappers that preserve value identity:
+// parens, type assertions, &x, and *x.
+func unwrapValueExpr(e ast.Expr) ast.Expr {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.TypeAssertExpr:
+			if x.Type == nil {
+				return e // type-switch guard
+			}
+			e = x.X
+		case *ast.UnaryExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return e
+		}
+	}
+}

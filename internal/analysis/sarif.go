@@ -1,11 +1,16 @@
 package analysis
 
-import "encoding/json"
+import (
+	"encoding/json"
+	"time"
+)
 
 // Structured emitters for CI integration: a compact JSON report and a
 // SARIF 2.1.0 log (the shape GitHub code scanning and most SARIF
 // viewers consume: version + runs[].tool.driver.rules + runs[].results
-// with ruleId/message/physical locations).
+// with ruleId/message/physical locations). An optional invocations
+// block records analysis wall-clock, so the archived report doubles as
+// the perf artifact `make vet-bench` tracks.
 
 const (
 	sarifVersion = "2.1.0"
@@ -19,8 +24,17 @@ type sarifLog struct {
 }
 
 type sarifRun struct {
-	Tool    sarifTool     `json:"tool"`
-	Results []sarifResult `json:"results"`
+	Tool        sarifTool         `json:"tool"`
+	Invocations []sarifInvocation `json:"invocations,omitempty"`
+	Results     []sarifResult     `json:"results"`
+}
+
+// sarifInvocation is the subset of the SARIF invocation object the
+// wall-clock recording needs: the mandatory success flag plus a
+// property bag holding the measured duration.
+type sarifInvocation struct {
+	ExecutionSuccessful bool           `json:"executionSuccessful"`
+	Properties          map[string]any `json:"properties,omitempty"`
 }
 
 type sarifTool struct {
@@ -72,6 +86,19 @@ type sarifRegion struct {
 // selected analyzer plus the suppression pseudo-rules, so every result
 // ruleId resolves.
 func SARIFReport(diags []Diagnostic, analyzers []*Analyzer, root string) ([]byte, error) {
+	return sarifReport(diags, analyzers, root, 0)
+}
+
+// SARIFReportTimed is SARIFReport plus an invocations block recording
+// the analysis wall-clock (load + run) in the invocation's property
+// bag. It is a separate entry point, not a default: timing varies run
+// to run, and the plain report must stay byte-identical across runs so
+// the parallel driver's determinism can be asserted on raw output.
+func SARIFReportTimed(diags []Diagnostic, analyzers []*Analyzer, root string, wall time.Duration) ([]byte, error) {
+	return sarifReport(diags, analyzers, root, wall)
+}
+
+func sarifReport(diags []Diagnostic, analyzers []*Analyzer, root string, wall time.Duration) ([]byte, error) {
 	driver := sarifDriver{
 		Name:  "discvet",
 		Rules: []sarifRule{},
@@ -103,10 +130,20 @@ func SARIFReport(diags []Diagnostic, analyzers []*Analyzer, root string) ([]byte
 		})
 	}
 
+	run := sarifRun{Tool: sarifTool{Driver: driver}, Results: results}
+	if wall > 0 {
+		run.Invocations = []sarifInvocation{{
+			ExecutionSuccessful: true,
+			Properties: map[string]any{
+				"wallClockMillis": wall.Milliseconds(),
+				"parallelism":     runParallelism(),
+			},
+		}}
+	}
 	log := sarifLog{
 		Schema:  sarifSchema,
 		Version: sarifVersion,
-		Runs:    []sarifRun{{Tool: sarifTool{Driver: driver}, Results: results}},
+		Runs:    []sarifRun{run},
 	}
 	return json.MarshalIndent(log, "", "  ")
 }

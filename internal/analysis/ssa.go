@@ -1,0 +1,585 @@
+package analysis
+
+// The SSA-lite layer under the v4 value-flow rules (poolescape,
+// errdominate, onceonly). Full SSA over go/ast is overkill for the
+// three properties discvet proves; what they actually need is
+//
+//   - a per-function control-flow graph whose edges remember which
+//     branch of a condition they took (so a rule can learn "err == nil
+//     holds here"),
+//   - dominance information over that graph (so "checked before used"
+//     is a graph property, not a lexical guess), and
+//   - versioned definitions: each assignment to a variable starts a new
+//     virtual register, so facts established about one definition never
+//     leak onto the next one (the property SSA renaming buys, without
+//     materializing phi nodes).
+//
+// The CFG is structural: it is built by a single walk of the body, one
+// basic block per straight-line run of statements, with explicit edges
+// for if/for/range/switch/select and a synthetic exit block every
+// return jumps to. Deferred calls are replayed in the exit block in
+// reverse registration order, which is where Go runs them — that is
+// what makes `defer pool.Put(p)` a release *at function exit* rather
+// than a release between two uses. Function literals are not inlined:
+// each one is an independent root with its own CFG (the value-flow
+// rules deliberately do not carry facts across the goroutine/defer
+// boundary; see DESIGN.md §15).
+//
+// goto is rare enough in this codebase (absent) that the builder
+// treats it as a terminator rather than modeling arbitrary jumps; the
+// effect is over-approximation of facts after the jump, i.e. possible
+// false negatives, never false positives.
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// cfgEdge is one control-flow edge. Branch edges carry the condition
+// expression and the truth value the edge assumes, so a dataflow can
+// harvest facts ("this edge is only taken when err != nil is false").
+type cfgEdge struct {
+	from, to *cfgBlock
+	// assumes lists the (condition, truth) facts that hold on this
+	// edge; nil for unconditional edges.
+	assumes []branchFact
+}
+
+// branchFact is one condition outcome assumed on an edge.
+type branchFact struct {
+	cond ast.Expr
+	val  bool
+}
+
+// cfgBlock is one basic block: a maximal run of nodes with a single
+// entry and exit. Nodes are statements and, for conditions, bare
+// expressions, in execution order.
+type cfgBlock struct {
+	id    int
+	nodes []ast.Node
+	succs []*cfgEdge
+	preds []*cfgEdge
+	// terminated marks a block that never falls through (return, panic,
+	// goto); the builder stops adding successors to it.
+	terminated bool
+	// pendingReturn marks a block ending in a return; the builder wires
+	// it to the synthetic exit once that block exists.
+	pendingReturn bool
+}
+
+// funcCFG is the control-flow graph of one function body.
+type funcCFG struct {
+	entry  *cfgBlock
+	exit   *cfgBlock
+	blocks []*cfgBlock
+	// idom[b.id] is b's immediate dominator block id, or -1 for the
+	// entry (and for blocks unreachable from the entry).
+	idom []int
+}
+
+// dominates reports whether block a dominates block b: every path from
+// the entry to b passes through a. A block dominates itself.
+func (g *funcCFG) dominates(a, b *cfgBlock) bool {
+	for {
+		if a == b {
+			return true
+		}
+		next := g.idom[b.id]
+		if next < 0 {
+			return false
+		}
+		b = g.blocks[next]
+	}
+}
+
+// cfgBuilder carries the under-construction graph.
+type cfgBuilder struct {
+	g   *funcCFG
+	cur *cfgBlock
+	// loop stack for break/continue targets.
+	breaks    []*cfgBlock
+	continues []*cfgBlock
+	// defers accumulates deferred calls in registration order; they are
+	// replayed into the exit block in reverse.
+	defers []*ast.CallExpr
+}
+
+// replayedDefer wraps a deferred call replayed in the exit block, so a
+// rule can tell "this call runs at function exit" apart from the same
+// CallExpr at its registration site. Release semantics (pool.Put)
+// belong at the replay; value-use checks belong at registration, where
+// the arguments were actually evaluated — reporting uses at the replay
+// would judge them against the merged all-paths exit state.
+type replayedDefer struct{ *ast.CallExpr }
+
+// buildCFG constructs the graph for one function body. The body's
+// top-level statement list is walked structurally; nested function
+// literals are left alone (callers analyze them as separate roots).
+func buildCFG(body *ast.BlockStmt) *funcCFG {
+	b := &cfgBuilder{g: &funcCFG{}}
+	entry := b.newBlock()
+	b.g.entry = entry
+	b.cur = entry
+	b.stmts(body.List)
+	exit := b.newBlock()
+	b.g.exit = exit
+	// The fallthrough off the end of the body reaches the exit, as does
+	// every return (their edges were deferred until exit existed).
+	if !b.cur.terminated {
+		b.edge(b.cur, exit, nil)
+	}
+	for _, blk := range b.g.blocks {
+		if blk.pendingReturn {
+			b.edge(blk, exit, nil)
+		}
+	}
+	// Deferred calls run on every exit path, last registered first.
+	for i := len(b.defers) - 1; i >= 0; i-- {
+		exit.nodes = append(exit.nodes, replayedDefer{b.defers[i]})
+	}
+	b.g.computeDominators()
+	return b.g
+}
+
+func (b *cfgBuilder) newBlock() *cfgBlock {
+	blk := &cfgBlock{id: len(b.g.blocks)}
+	b.g.blocks = append(b.g.blocks, blk)
+	return blk
+}
+
+func (b *cfgBuilder) edge(from, to *cfgBlock, assumes []branchFact) {
+	e := &cfgEdge{from: from, to: to, assumes: assumes}
+	from.succs = append(from.succs, e)
+	to.preds = append(to.preds, e)
+}
+
+// startBlock begins a new block reached unconditionally from the
+// current one (unless the current block already terminated).
+func (b *cfgBuilder) startBlock() *cfgBlock {
+	nb := b.newBlock()
+	if !b.cur.terminated {
+		b.edge(b.cur, nb, nil)
+	}
+	b.cur = nb
+	return nb
+}
+
+func (b *cfgBuilder) stmts(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	if b.cur.terminated {
+		// Dead code after return/panic: give it its own unreachable
+		// block so its nodes still exist (rules skip unreachable blocks).
+		b.cur = b.newBlock()
+	}
+	switch x := s.(type) {
+	case *ast.BlockStmt:
+		b.stmts(x.List)
+
+	case *ast.IfStmt:
+		if x.Init != nil {
+			b.stmt(x.Init)
+		}
+		cond := b.cur
+		cond.nodes = append(cond.nodes, x.Cond)
+
+		then := b.newBlock()
+		b.edge(cond, then, factsFor(x.Cond, true))
+		b.cur = then
+		b.stmts(x.Body.List)
+		thenEnd := b.cur
+
+		var elseEnd *cfgBlock
+		if x.Else != nil {
+			els := b.newBlock()
+			b.edge(cond, els, factsFor(x.Cond, false))
+			b.cur = els
+			b.stmt(x.Else)
+			elseEnd = b.cur
+		}
+
+		join := b.newBlock()
+		if !thenEnd.terminated {
+			b.edge(thenEnd, join, nil)
+		}
+		if x.Else != nil {
+			if !elseEnd.terminated {
+				b.edge(elseEnd, join, nil)
+			}
+		} else {
+			b.edge(cond, join, factsFor(x.Cond, false))
+		}
+		b.cur = join
+
+	case *ast.ForStmt:
+		if x.Init != nil {
+			b.stmt(x.Init)
+		}
+		head := b.startBlock()
+		if x.Cond != nil {
+			head.nodes = append(head.nodes, x.Cond)
+		}
+		after := b.newBlock()
+		body := b.newBlock()
+		if x.Cond != nil {
+			b.edge(head, body, factsFor(x.Cond, true))
+			b.edge(head, after, factsFor(x.Cond, false))
+		} else {
+			b.edge(head, body, nil)
+			// An endless for still reaches after via break.
+		}
+		b.pushLoop(after, head)
+		b.cur = body
+		b.stmts(x.Body.List)
+		if x.Post != nil {
+			b.stmt(x.Post)
+		}
+		if !b.cur.terminated {
+			b.edge(b.cur, head, nil) // back edge
+		}
+		b.popLoop()
+		b.cur = after
+
+	case *ast.RangeStmt:
+		head := b.startBlock()
+		head.nodes = append(head.nodes, x) // the range operand evaluates here
+		after := b.newBlock()
+		body := b.newBlock()
+		b.edge(head, body, nil)
+		b.edge(head, after, nil)
+		b.pushLoop(after, head)
+		b.cur = body
+		b.stmts(x.Body.List)
+		if !b.cur.terminated {
+			b.edge(b.cur, head, nil)
+		}
+		b.popLoop()
+		b.cur = after
+
+	case *ast.SwitchStmt:
+		if x.Init != nil {
+			b.stmt(x.Init)
+		}
+		head := b.cur
+		if x.Tag != nil {
+			head.nodes = append(head.nodes, x.Tag)
+		}
+		after := b.newBlock()
+		b.pushBreak(after)
+		sawDefault := false
+		var negated []branchFact
+		for _, c := range x.Body.List {
+			cc, ok := c.(*ast.CaseClause)
+			if !ok {
+				continue
+			}
+			blk := b.newBlock()
+			b.edge(head, blk, caseFacts(x.Tag, cc))
+			if cc.List == nil {
+				sawDefault = true
+			} else if x.Tag == nil {
+				for _, e := range cc.List {
+					negated = append(negated, branchFact{cond: e, val: false})
+				}
+			}
+			b.cur = blk
+			b.stmts(cc.Body)
+			if !b.cur.terminated {
+				b.edge(b.cur, after, nil)
+			}
+		}
+		if !sawDefault {
+			// No default: the switch can fall through without taking any
+			// case. In a tagless switch that edge knows every case
+			// condition was false.
+			var facts []branchFact
+			if x.Tag == nil {
+				facts = negated
+			}
+			b.edge(head, after, facts)
+		}
+		b.popBreak()
+		b.cur = after
+
+	case *ast.TypeSwitchStmt:
+		if x.Init != nil {
+			b.stmt(x.Init)
+		}
+		head := b.cur
+		head.nodes = append(head.nodes, x.Assign)
+		after := b.newBlock()
+		b.pushBreak(after)
+		sawDefault := false
+		for _, c := range x.Body.List {
+			cc, ok := c.(*ast.CaseClause)
+			if !ok {
+				continue
+			}
+			if cc.List == nil {
+				sawDefault = true
+			}
+			blk := b.newBlock()
+			b.edge(head, blk, nil)
+			b.cur = blk
+			b.stmts(cc.Body)
+			if !b.cur.terminated {
+				b.edge(b.cur, after, nil)
+			}
+		}
+		if !sawDefault {
+			b.edge(head, after, nil)
+		}
+		b.popBreak()
+		b.cur = after
+
+	case *ast.SelectStmt:
+		head := b.cur
+		after := b.newBlock()
+		b.pushBreak(after)
+		for _, c := range x.Body.List {
+			cc, ok := c.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			blk := b.newBlock()
+			b.edge(head, blk, nil)
+			b.cur = blk
+			if cc.Comm != nil {
+				b.stmt(cc.Comm)
+			}
+			b.stmts(cc.Body)
+			if !b.cur.terminated {
+				b.edge(b.cur, after, nil)
+			}
+		}
+		b.popBreak()
+		b.cur = after
+
+	case *ast.ReturnStmt:
+		b.cur.nodes = append(b.cur.nodes, x)
+		b.cur.pendingReturn = true
+		b.cur.terminated = true
+
+	case *ast.BranchStmt:
+		switch x.Tok {
+		case token.BREAK:
+			if t := b.breakTarget(); t != nil {
+				b.edge(b.cur, t, nil)
+			}
+			b.cur.terminated = true
+		case token.CONTINUE:
+			if t := b.continueTarget(); t != nil {
+				b.edge(b.cur, t, nil)
+			}
+			b.cur.terminated = true
+		case token.GOTO:
+			// Modeled as a terminator (see package comment).
+			b.cur.terminated = true
+		case token.FALLTHROUGH:
+			// The next case edge is added by the switch handling; the
+			// widened merge is already conservative.
+		}
+
+	case *ast.LabeledStmt:
+		b.stmt(x.Stmt)
+
+	case *ast.DeferStmt:
+		// Argument expressions evaluate now; the call itself runs at
+		// exit. The whole DeferStmt is kept in the current block so
+		// rules can see argument evaluation, and the call is replayed
+		// in the exit block.
+		b.cur.nodes = append(b.cur.nodes, x)
+		b.defers = append(b.defers, x.Call)
+
+	case *ast.ExprStmt:
+		b.cur.nodes = append(b.cur.nodes, x)
+		if isTerminatingCall(x.X) {
+			b.cur.terminated = true
+		}
+
+	default:
+		// Assignments, declarations, go statements, sends, inc/dec:
+		// straight-line nodes.
+		b.cur.nodes = append(b.cur.nodes, s)
+	}
+}
+
+func (b *cfgBuilder) pushLoop(brk, cont *cfgBlock) {
+	b.breaks = append(b.breaks, brk)
+	b.continues = append(b.continues, cont)
+}
+
+func (b *cfgBuilder) popLoop() {
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	b.continues = b.continues[:len(b.continues)-1]
+}
+
+func (b *cfgBuilder) pushBreak(blk *cfgBlock) {
+	b.breaks = append(b.breaks, blk)
+	b.continues = append(b.continues, nil)
+}
+
+func (b *cfgBuilder) popBreak() { b.popLoop() }
+
+func (b *cfgBuilder) breakTarget() *cfgBlock {
+	if len(b.breaks) == 0 {
+		return nil
+	}
+	return b.breaks[len(b.breaks)-1]
+}
+
+func (b *cfgBuilder) continueTarget() *cfgBlock {
+	for i := len(b.continues) - 1; i >= 0; i-- {
+		if b.continues[i] != nil {
+			return b.continues[i]
+		}
+	}
+	return nil
+}
+
+// isTerminatingCall recognizes the calls after which control does not
+// continue: panic and the unconditional process exits.
+func isTerminatingCall(e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name == "panic"
+	case *ast.SelectorExpr:
+		if pkg, ok := fun.X.(*ast.Ident); ok {
+			switch pkg.Name + "." + fun.Sel.Name {
+			case "os.Exit", "log.Fatal", "log.Fatalf", "log.Fatalln":
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// factsFor decomposes a branch condition into the facts known on the
+// edge that assumes it evaluated to val:
+//
+//   - cond           true edge: [cond=true],   false edge: [cond=false]
+//   - !a             recurse with flipped val
+//   - a && b, val=true:  both a and b are true; val=false: nothing
+//   - a || b, val=false: both a and b are false; val=true: nothing
+//
+// Leaves are kept as expressions; the consuming rule decides which
+// shapes (err == nil, err != nil) it can interpret.
+func factsFor(cond ast.Expr, val bool) []branchFact {
+	cond = ast.Unparen(cond)
+	switch x := cond.(type) {
+	case *ast.UnaryExpr:
+		if x.Op == token.NOT {
+			return factsFor(x.X, !val)
+		}
+	case *ast.BinaryExpr:
+		if x.Op == token.LAND && val {
+			return append(factsFor(x.X, true), factsFor(x.Y, true)...)
+		}
+		if x.Op == token.LOR && !val {
+			return append(factsFor(x.X, false), factsFor(x.Y, false)...)
+		}
+	}
+	return []branchFact{{cond: cond, val: val}}
+}
+
+// caseFacts derives edge facts for one case clause of a switch.
+// Tagless switches treat a single-expression case like an if condition;
+// a tag of the form `switch err { case nil: }` yields err==nil facts by
+// synthesizing nothing (the consuming rule only reads binary
+// comparisons) — kept simple on purpose.
+func caseFacts(tag ast.Expr, cc *ast.CaseClause) []branchFact {
+	if tag != nil || len(cc.List) != 1 {
+		return nil
+	}
+	return factsFor(cc.List[0], true)
+}
+
+// computeDominators fills idom with the immediate dominator of every
+// block, using the simple iterative algorithm over a reverse postorder
+// (Cooper/Harvey/Kennedy). Function-sized graphs make the O(n²) worst
+// case irrelevant.
+func (g *funcCFG) computeDominators() {
+	n := len(g.blocks)
+	g.idom = make([]int, n)
+	for i := range g.idom {
+		g.idom[i] = -1
+	}
+	if n == 0 {
+		return
+	}
+	// Reverse postorder from the entry.
+	order := make([]*cfgBlock, 0, n)
+	seen := make([]bool, n)
+	var dfs func(*cfgBlock)
+	dfs = func(b *cfgBlock) {
+		seen[b.id] = true
+		for _, e := range b.succs {
+			if !seen[e.to.id] {
+				dfs(e.to)
+			}
+		}
+		order = append(order, b)
+	}
+	dfs(g.entry)
+	for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
+		order[i], order[j] = order[j], order[i]
+	}
+	rpoNum := make([]int, n)
+	for i, b := range order {
+		rpoNum[b.id] = i
+	}
+
+	intersect := func(a, b int) int {
+		for a != b {
+			for rpoNum[a] > rpoNum[b] {
+				a = g.idom[a]
+			}
+			for rpoNum[b] > rpoNum[a] {
+				b = g.idom[b]
+			}
+		}
+		return a
+	}
+
+	g.idom[g.entry.id] = g.entry.id
+	for changed := true; changed; {
+		changed = false
+		for _, b := range order {
+			if b == g.entry {
+				continue
+			}
+			newIdom := -1
+			for _, e := range b.preds {
+				p := e.from.id
+				if !seen[p] || g.idom[p] < 0 {
+					continue
+				}
+				if newIdom < 0 {
+					newIdom = p
+				} else {
+					newIdom = intersect(p, newIdom)
+				}
+			}
+			if newIdom >= 0 && g.idom[b.id] != newIdom {
+				g.idom[b.id] = newIdom
+				changed = true
+			}
+		}
+	}
+	// Entry's idom is conventionally itself during iteration; expose -1.
+	g.idom[g.entry.id] = -1
+}
+
+// reachable reports whether the block is reachable from the entry
+// (unreachable blocks hold dead code; rules skip them).
+func (g *funcCFG) reachable(b *cfgBlock) bool {
+	return b == g.entry || g.idom[b.id] >= 0
+}

@@ -1,0 +1,137 @@
+// Fixture for the poolescape analyzer: values from sync.Pool.Get must
+// not be used, aliased, or returned after their Put, and never Put
+// twice on any path.
+package fixture
+
+import "sync"
+
+type item struct {
+	n   int
+	buf []byte
+}
+
+var pool = sync.Pool{New: func() any { return new(item) }}
+
+// longLived models a longer-lived location a released value must not
+// be aliased into.
+var longLived struct {
+	p *item
+}
+
+func use(p *item) {}
+
+// putItem releases its parameter; the flow summaries make every call
+// site a release without the rule knowing this helper by name.
+func putItem(p *item) {
+	p.n = 0
+	pool.Put(p)
+}
+
+// getItem returns a pool-owned value (returnsPooled in the summary).
+func getItem() *item {
+	return pool.Get().(*item)
+}
+
+// Use after an explicit Put.
+func useAfterPut() {
+	p := pool.Get().(*item)
+	use(p)
+	pool.Put(p)
+	p.n++ // want poolescape
+}
+
+// Put twice on the same straight-line path.
+func doublePut() {
+	p := pool.Get().(*item)
+	use(p)
+	pool.Put(p)
+	pool.Put(p) // want poolescape
+}
+
+// Returned after its Put: the caller receives an object the pool may
+// already have handed elsewhere.
+func returnAfterPut() *item {
+	p := pool.Get().(*item)
+	use(p)
+	pool.Put(p)
+	return p // want poolescape
+}
+
+// An alias does not launder the release: Put through one name kills
+// every name bound to the same register.
+func aliasedUse() {
+	p := pool.Get().(*item)
+	q := p
+	pool.Put(p)
+	use(q) // want poolescape
+}
+
+// Aliased into a longer-lived location after the Put.
+func escapeAfterPut() {
+	p := pool.Get().(*item)
+	pool.Put(p)
+	longLived.p = p // want poolescape
+}
+
+// The release happens inside a module helper; the interprocedural
+// summary carries it back to this call site.
+func helperRelease() {
+	p := getItem()
+	use(p)
+	putItem(p)
+	use(p) // want poolescape
+}
+
+// A body Put plus a deferred Put is a double release at exit.
+func deferDoublePut() {
+	p := pool.Get().(*item)
+	defer pool.Put(p) // want poolescape
+	use(p)
+	pool.Put(p)
+}
+
+// Released on one branch only: any path reaching the use may hold a
+// recycled object.
+func mayUseAfterPut(cond bool) {
+	p := pool.Get().(*item)
+	if cond {
+		pool.Put(p)
+	}
+	use(p) // want poolescape
+}
+
+// Clean twin: get, use, single Put at the end.
+func straightLine() {
+	p := pool.Get().(*item)
+	use(p)
+	pool.Put(p)
+}
+
+// Clean twin: the idiomatic deferred Put runs after every use.
+func deferredPut() {
+	p := pool.Get().(*item)
+	defer pool.Put(p)
+	use(p)
+	p.n++
+}
+
+// Clean twin: the releasing branch returns, so no released value
+// reaches the use (this is what branch sensitivity buys).
+func putAndBailOut(cond bool) {
+	p := pool.Get().(*item)
+	if cond {
+		pool.Put(p)
+		return
+	}
+	use(p)
+	pool.Put(p)
+}
+
+// Clean twin: re-acquiring after the Put starts a fresh lifetime.
+func reacquire() {
+	p := pool.Get().(*item)
+	pool.Put(p)
+	p = pool.Get().(*item)
+	use(p)
+	pool.Put(p)
+}

@@ -1,0 +1,47 @@
+// Fixture for stale suppressions naming the discvet v4 value-flow
+// rules: every directive below sits on code its rule does not flag, so
+// each must be reported as uselessignore. Assertions live in the test
+// (the directive comment occupies the line, so `// want` markers
+// cannot).
+package fixture
+
+import (
+	"context"
+	"io"
+	"sync"
+
+	"discsec/internal/core"
+)
+
+type scratch struct{ b []byte }
+
+var pool = sync.Pool{New: func() any { return new(scratch) }}
+
+// Fill touches its pooled buffer strictly before Put: nothing for
+// poolescape to report.
+func Fill(data []byte) int {
+	p := pool.Get().(*scratch)
+	p.b = append(p.b[:0], data...)
+	n := len(p.b)
+	//discvet:ignore poolescape fixture: stale, the Put below is the last touch
+	pool.Put(p)
+	return n
+}
+
+// Open guards every use behind the early err return: nothing for
+// errdominate to report.
+func Open(ctx context.Context, op *core.Opener, raw []byte) int {
+	res, err := op.Open(ctx, raw)
+	if err != nil {
+		return 0
+	}
+	//discvet:ignore errdominate fixture: stale, the early return guards this use
+	return len(res.Signatures)
+}
+
+// Slurp consumes its reader exactly once: nothing for onceonly to
+// report.
+func Slurp(r io.Reader) ([]byte, error) {
+	//discvet:ignore onceonly fixture: stale, single consume of a fresh reader
+	return io.ReadAll(r)
+}
