@@ -43,3 +43,4 @@ make chaos
 make metrics
 make library-bench
 make stream-bench
+make cluster-bench

@@ -1,0 +1,262 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"discsec/internal/cluster"
+	"discsec/internal/core"
+	"discsec/internal/experiments"
+	"discsec/internal/keymgmt"
+	"discsec/internal/library"
+	"discsec/internal/obs"
+	"discsec/internal/server"
+	"discsec/internal/workload"
+	"discsec/internal/xmldsig"
+)
+
+// clusterReport is the committed BENCH_cluster.json shape: what the
+// distributed verification tier buys — fleet-wide cold-miss collapse,
+// cache-local warm opens over real loopback HTTP, and how fast a
+// revocation reaches every edge.
+type clusterReport struct {
+	Quick          bool  `json:"quick"`
+	Edges          int   `json:"edges"`
+	DocBytes       int   `json:"doc_bytes"`
+	ColdOpens      int   `json:"cold_opens"`
+	OriginVerifies int64 `json:"origin_verifies"`
+	// ColdDedupeRatio is concurrent cold opens per actual origin
+	// verification (higher is better; the fleet-wide singleflight
+	// target is ColdOpens).
+	ColdDedupeRatio float64 `json:"cold_dedupe_ratio"`
+	WarmOpens       int     `json:"warm_opens"`
+	WarmP50NS       int64   `json:"warm_p50_ns"`
+	WarmP99NS       int64   `json:"warm_p99_ns"`
+	// WarmOriginTrips counts origin verifications triggered by the
+	// warm phase (the cache-locality claim is that this is zero).
+	WarmOriginTrips int64 `json:"warm_origin_trips"`
+	// RevocationConvergenceNS is the wall time from Revoke returning
+	// to every edge reporting the post-revocation epoch.
+	RevocationConvergenceNS int64 `json:"revocation_convergence_ns"`
+}
+
+// tableCluster stands up a real loopback fleet — one origin, N edges,
+// each behind its own ContentServer — and measures the tier's three
+// claims: concurrent cold misses collapse fleet-wide, warm opens are
+// cache-local (zero origin round trips), and revocation converges the
+// whole fleet.
+func tableCluster() {
+	header("CLUSTER", "origin/edge verification tier (loopback fleet)")
+
+	edges, sessions, coldOpens := 4, 512, 32
+	if *quickFlag {
+		edges, sessions, coldOpens = 4, 64, 16
+	}
+
+	root, creator := experiments.PKIFixture()
+	svc := keymgmt.NewService(root.Pool())
+	if err := svc.Register(creator.Name, creator.Cert, "pw"); err != nil {
+		fatal(err)
+	}
+	originRec := obs.NewRecorder()
+	lib := library.New(
+		library.WithOpener(core.Opener{RequireSignature: true}),
+		library.WithTrustService(svc),
+		library.WithRecorder(originRec),
+	)
+	origin := cluster.NewOrigin(lib,
+		cluster.WithOriginRecorder(originRec),
+		cluster.WithOriginTrust(svc),
+	)
+	fleet, stop, err := startFleet(origin, edges)
+	if err != nil {
+		fatal(err)
+	}
+	defer stop()
+
+	doc := benchDoc(creator, 7)
+	ctx := context.Background()
+
+	// Cold phase: coldOpens concurrent opens of the same never-seen
+	// document, spread across the edges.
+	var wg sync.WaitGroup
+	var coldFails atomic.Int64
+	var gate sync.WaitGroup
+	gate.Add(1)
+	wg.Add(coldOpens)
+	for i := 0; i < coldOpens; i++ {
+		e := fleet[i%len(fleet)]
+		go func() {
+			defer wg.Done()
+			gate.Wait()
+			if _, _, err := e.OpenReader(ctx, bytes.NewReader(doc)); err != nil {
+				coldFails.Add(1)
+			}
+		}()
+	}
+	gate.Done()
+	wg.Wait()
+	if n := coldFails.Load(); n > 0 {
+		fatal(fmt.Errorf("cluster bench: %d cold opens failed", n))
+	}
+	originVerifies := originRec.Counter("library.miss")
+
+	// Warm phase: sessions sequential opens round-robin across edges,
+	// individually timed for the latency distribution.
+	lat := make([]time.Duration, 0, sessions)
+	for i := 0; i < sessions; i++ {
+		e := fleet[i%len(fleet)]
+		start := time.Now()
+		_, st, err := e.OpenReader(ctx, bytes.NewReader(doc))
+		if err != nil {
+			fatal(err)
+		}
+		if st != cluster.StatusHit {
+			fatal(fmt.Errorf("cluster bench: warm open %d status %q, want hit", i, st))
+		}
+		lat = append(lat, time.Since(start))
+	}
+	warmTrips := originRec.Counter("library.miss") - originVerifies
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	pct := func(q float64) time.Duration { return lat[int(q*float64(len(lat)-1))] }
+
+	// Revocation convergence: wall time from Revoke returning until
+	// every edge reports the post-revocation epoch.
+	revStart := time.Now()
+	if err := svc.Revoke(creator.Name, "pw"); err != nil {
+		fatal(err)
+	}
+	want := origin.Epoch()
+	for {
+		converged := true
+		for _, e := range fleet {
+			if e.Epoch() != want {
+				converged = false
+			}
+		}
+		if converged {
+			break
+		}
+		if time.Since(revStart) > 10*time.Second {
+			fatal(fmt.Errorf("cluster bench: fleet did not converge on epoch %d", want))
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	convergence := time.Since(revStart)
+
+	rep := clusterReport{
+		Quick:                   *quickFlag,
+		Edges:                   edges,
+		DocBytes:                len(doc),
+		ColdOpens:               coldOpens,
+		OriginVerifies:          originVerifies,
+		ColdDedupeRatio:         float64(coldOpens) / float64(originVerifies),
+		WarmOpens:               sessions,
+		WarmP50NS:               pct(0.50).Nanoseconds(),
+		WarmP99NS:               pct(0.99).Nanoseconds(),
+		WarmOriginTrips:         warmTrips,
+		RevocationConvergenceNS: convergence.Nanoseconds(),
+	}
+
+	fmt.Printf("%-26s %14v\n", "edges", rep.Edges)
+	fmt.Printf("%-26s %14v\n", "cold opens (concurrent)", rep.ColdOpens)
+	fmt.Printf("%-26s %14v\n", "origin verifications", rep.OriginVerifies)
+	fmt.Printf("%-26s %14.1f\n", "cold dedupe ratio", rep.ColdDedupeRatio)
+	fmt.Printf("%-26s %14v\n", "warm opens", rep.WarmOpens)
+	fmt.Printf("%-26s %14s\n", "warm p50", pct(0.50))
+	fmt.Printf("%-26s %14s\n", "warm p99", pct(0.99))
+	fmt.Printf("%-26s %14v\n", "warm origin trips", rep.WarmOriginTrips)
+	fmt.Printf("%-26s %14s\n", "revocation convergence", convergence)
+
+	if *clusterJSONFlag != "" {
+		b, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		b = append(b, '\n')
+		if err := os.WriteFile(*clusterJSONFlag, b, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nwrote cluster benchmark -> %s\n", *clusterJSONFlag)
+	}
+}
+
+// benchDoc builds a KeyName-signed cluster document so origin
+// verification exercises the trust service and revocation genuinely
+// kills it.
+func benchDoc(creator *keymgmt.Identity, seed uint64) []byte {
+	cl, _ := workload.Cluster(workload.ClusterSpec{
+		AppTracks: 1,
+		Manifest:  workload.ManifestSpec{Regions: 2, MediaItems: 2, Scripts: 1, ScriptStatements: 20},
+		Seed:      seed,
+	})
+	doc := cl.Document()
+	if _, err := xmldsig.SignEnveloped(doc, doc.Root(), xmldsig.SignOptions{
+		Key:     creator.Key,
+		KeyInfo: xmldsig.KeyInfoSpec{KeyName: creator.Name},
+	}); err != nil {
+		fatal(err)
+	}
+	return doc.Bytes()
+}
+
+// startFleet serves the origin and n edges, each behind its own
+// ContentServer on a loopback listener, and joins every edge. The
+// returned stop function tears the whole fleet down.
+func startFleet(origin *cluster.Origin, n int) ([]*cluster.Edge, func(), error) {
+	originCS := server.NewContentServer(server.WithClusterOrigin(origin))
+	originURL, stopOrigin, err := originCS.Serve("127.0.0.1:0")
+	if err != nil {
+		return nil, nil, err
+	}
+	stops := []func(){func() { _ = stopOrigin() }}
+	stopAll := func() {
+		for i := len(stops) - 1; i >= 0; i-- {
+			stops[i]()
+		}
+	}
+
+	fleet := make([]*cluster.Edge, 0, n)
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			stopAll()
+			return nil, nil, err
+		}
+		e := cluster.NewEdge(fmt.Sprintf("edge-%d", i), "http://"+ln.Addr().String(), originURL,
+			cluster.WithEdgeRecorder(obs.NewRecorder()))
+		srv := &http.Server{Handler: server.NewContentServer(server.WithClusterEdge(e))}
+		//discvet:ignore goroutineleak Serve returns when the stop func below calls srv.Close
+		go srv.Serve(ln) //nolint:errcheck // shutdown path returns ErrServerClosed
+		stops = append(stops, func() { _ = srv.Close() })
+		if err := e.Join(context.Background()); err != nil {
+			stopAll()
+			return nil, nil, err
+		}
+		fleet = append(fleet, e)
+	}
+
+	// Join broadcasts fan out asynchronously after each response; wait
+	// for every edge to see the full membership before benchmarking
+	// ring routing.
+	deadline := time.Now().Add(5 * time.Second)
+	for _, e := range fleet {
+		for e.Ring().Len() != n {
+			if time.Now().After(deadline) {
+				stopAll()
+				return nil, nil, fmt.Errorf("cluster bench: %s never saw full membership", e.Name())
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	return fleet, stopAll, nil
+}

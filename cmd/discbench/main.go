@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	discbench [-table all|e1|e2|e3|e4|e5|e6|e7|c1|obs|library|stream] [-quick] [-metrics] [-obsjson file] [-libjson file] [-streamjson file]
+//	discbench [-table all|e1|e2|e3|e4|e5|e6|e7|c1|obs|library|stream|cluster] [-quick] [-metrics] [-obsjson file] [-libjson file] [-streamjson file] [-clusterjson file]
 package main
 
 import (
@@ -21,12 +21,13 @@ import (
 )
 
 var (
-	tableFlag      = flag.String("table", "all", "experiment table to run (all, e1..e7, c1, obs, library, stream)")
-	quickFlag      = flag.Bool("quick", false, "fewer iterations (smoke mode)")
-	metricsFlag    = flag.Bool("metrics", false, "run the instrumented pipeline and print its per-stage table")
-	obsJSONFlag    = flag.String("obsjson", "", "write the instrumented pipeline's metrics snapshot as JSON to this file")
-	libJSONFlag    = flag.String("libjson", "", "write the library benchmark report as JSON to this file")
-	streamJSONFlag = flag.String("streamjson", "", "merge the streaming-pipeline benchmark into this JSON file (under the \"streaming\" key)")
+	tableFlag       = flag.String("table", "all", "experiment table to run (all, e1..e7, c1, obs, library, stream, cluster)")
+	quickFlag       = flag.Bool("quick", false, "fewer iterations (smoke mode)")
+	metricsFlag     = flag.Bool("metrics", false, "run the instrumented pipeline and print its per-stage table")
+	obsJSONFlag     = flag.String("obsjson", "", "write the instrumented pipeline's metrics snapshot as JSON to this file")
+	libJSONFlag     = flag.String("libjson", "", "write the library benchmark report as JSON to this file")
+	streamJSONFlag  = flag.String("streamjson", "", "merge the streaming-pipeline benchmark into this JSON file (under the \"streaming\" key)")
+	clusterJSONFlag = flag.String("clusterjson", "", "write the cluster-tier benchmark report as JSON to this file")
 )
 
 func main() {
@@ -35,6 +36,7 @@ func main() {
 		"e1": tableE1, "e2": tableE2, "e3": tableE3, "e4": tableE4,
 		"e5": tableE5, "e6": tableE6, "e7": tableE7, "c1": tableC1,
 		"obs": tableObs, "library": tableLibrary, "stream": tableStream,
+		"cluster": tableCluster,
 	}
 	if *tableFlag == "all" {
 		for _, name := range []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "c1"} {

@@ -244,3 +244,27 @@ func TestReaderFirstCleanFixture(t *testing.T) {
 		t.Errorf("got %d diagnostics on decoupled buffering, want 0: %v", len(diags), diags)
 	}
 }
+
+func TestObsCtxCoversClusterPackage(t *testing.T) {
+	// internal/cluster is a pipeline package: edge opens carry ctx for
+	// cancellation and the recorder, so a dropped ctx flags there
+	// exactly as it does in core and library.
+	pkg := loadFixture(t, "obsctx", "discsec/internal/cluster/ocfixture")
+	checkFixture(t, pkg, ObsCtx)
+	if diags := Run([]*Package{pkg}, []*Analyzer{ObsCtx}); len(diags) != 1 {
+		t.Errorf("got %d diagnostics under internal/cluster, want 1: %v", len(diags), diags)
+	}
+}
+
+func TestHTTPClientCoversClusterPackage(t *testing.T) {
+	// internal/cluster talks to origin and peer edges over HTTP; a
+	// deadline-less client there would hang an edge on a partitioned
+	// origin instead of entering the heartbeat/breaker path.
+	pkg := loadFixture(t, "httpclient", "discsec/internal/cluster/hcfixture")
+	checkFixture(t, pkg, HTTPClient)
+}
+
+func TestReaderFirstClusterFixture(t *testing.T) {
+	pkg := loadFixture(t, "readerfirst_cluster", "discsec/internal/player/rfcluster")
+	checkFixture(t, pkg, ReaderFirst)
+}

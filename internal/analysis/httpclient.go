@@ -12,7 +12,7 @@ import (
 // unreachable content server or trust service would hang the player
 // forever instead of entering the resilience layer's retry/degrade
 // path.
-var httpClientPackages = []string{"server", "keymgmt", "player", "health"}
+var httpClientPackages = []string{"server", "keymgmt", "player", "health", "cluster"}
 
 // httpDefaultClientFuncs are the net/http package-level helpers that
 // route through DefaultClient.

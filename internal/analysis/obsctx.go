@@ -11,7 +11,7 @@ import (
 // it on the floor severs both: the callee can neither be cancelled
 // nor observed, silently detaching a whole subtree of the Fig. 9
 // pipeline from the recorder.
-var obsCtxPackages = []string{"player", "core", "server", "library", "health"}
+var obsCtxPackages = []string{"player", "core", "server", "library", "health", "cluster"}
 
 // ObsCtx flags exported functions in the pipeline packages that take a
 // context.Context but never use it, while calling at least one other

@@ -23,6 +23,7 @@ var readerFirstEntries = []readerFirstEntry{
 	{FuncRef{Pkg: pkgCore, Recv: "Opener", Name: "OpenReader"}, 1},
 	{FuncRef{Pkg: pkgCore, Recv: "Opener", Name: "VerifyDetachedReader"}, 1},
 	{FuncRef{Pkg: pkgLibrary, Recv: "Library", Name: "OpenReader"}, 1},
+	{FuncRef{Pkg: pkgCluster, Recv: "Edge", Name: "OpenReader"}, 1},
 	{FuncRef{Pkg: pkgPlayer, Recv: "Engine", Name: "LoadFrom"}, 1},
 	{FuncRef{Pkg: pkgXMLDSig, Name: "DigestDocumentReader"}, 0},
 	{FuncRef{Pkg: pkgXMLDSig, Name: "HashReader"}, 0},

@@ -17,6 +17,7 @@ var (
 	pkgKeymgmt = modulePath + "/internal/keymgmt"
 	pkgAccess  = modulePath + "/internal/access"
 	pkgLibrary = modulePath + "/internal/library"
+	pkgCluster = modulePath + "/internal/cluster"
 )
 
 // taintSources are reads crossing the trust boundary inward: disc image

@@ -1,0 +1,46 @@
+// Fixture proving the readerfirst rule covers the cluster tier:
+// Edge.OpenReader consumes its reader in one streaming digest pass, so
+// buffering the payload first and re-wrapping it defeats the edge's
+// whole point.
+package fixture
+
+import (
+	"bytes"
+	"context"
+	"io"
+
+	"discsec/internal/cluster"
+)
+
+// Inline wrap: the buffer flows straight back into the reader argument.
+func inlineWrap(ctx context.Context, e *cluster.Edge, r io.Reader) error {
+	buf, err := io.ReadAll(r)
+	if err != nil {
+		return err
+	}
+	_, _, err = e.OpenReader(ctx, bytes.NewReader(buf)) // want readerfirst
+	return err
+}
+
+// Two-step wrap: the reader is built first, then passed.
+func twoStepWrap(ctx context.Context, e *cluster.Edge, r io.Reader) error {
+	buf, err := io.ReadAll(r)
+	if err != nil {
+		return err
+	}
+	br := bytes.NewReader(buf)
+	_, _, err = e.OpenReader(ctx, br) // want readerfirst
+	return err
+}
+
+// Clean: the original reader flows straight through.
+func passThrough(ctx context.Context, e *cluster.Edge, r io.Reader) error {
+	_, _, err := e.OpenReader(ctx, r)
+	return err
+}
+
+// Clean: a reader over bytes that were never an io.ReadAll buffer.
+func residentBytes(ctx context.Context, e *cluster.Edge, raw []byte) error {
+	_, _, err := e.OpenReader(ctx, bytes.NewReader(raw))
+	return err
+}

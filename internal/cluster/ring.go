@@ -1,0 +1,154 @@
+// Consistent hashing with virtual nodes: cold-miss routing. Every edge
+// hashes a key the same way, so concurrent misses for one digest
+// across the whole fleet converge on one ring owner, whose local
+// singleflight then collapses them into a single origin fill. Virtual
+// nodes smooth the distribution; node churn moves only the keys whose
+// arcs changed hands.
+package cluster
+
+import (
+	"hash/fnv"
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// DefaultVirtualNodes is the per-node virtual point count when a Ring
+// is built with vnodes <= 0.
+const DefaultVirtualNodes = 64
+
+// ringPoint is one virtual node position.
+type ringPoint struct {
+	hash uint64
+	node string
+}
+
+// Ring is a consistent-hash ring over named nodes. All methods are
+// safe for concurrent use; membership changes rebuild the point set
+// from scratch, so the ring's layout depends only on the member set,
+// never on the order of joins and leaves.
+type Ring struct {
+	vnodes int
+
+	mu     sync.RWMutex
+	nodes  map[string]struct{}
+	points []ringPoint
+}
+
+// NewRing builds a ring with the given virtual-node count per member
+// (DefaultVirtualNodes when <= 0).
+func NewRing(vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVirtualNodes
+	}
+	return &Ring{vnodes: vnodes, nodes: make(map[string]struct{})}
+}
+
+func ringHash(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s)) //nolint:errcheck // hash.Hash never errors
+	return mix64(h.Sum64())
+}
+
+// mix64 is a 64-bit finalizer (multiply-xorshift avalanche). FNV-1a
+// alone leaves the high bits of short, similar labels ("edge-0#12")
+// barely mixed, and the binary search over sorted points compares high
+// bits first — without this step the arc lengths skew by an order of
+// magnitude.
+func mix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// rebuildLocked recomputes every virtual point from the node set.
+func (r *Ring) rebuildLocked() {
+	r.points = r.points[:0]
+	for n := range r.nodes {
+		for i := 0; i < r.vnodes; i++ {
+			r.points = append(r.points, ringPoint{hash: ringHash(n + "#" + strconv.Itoa(i)), node: n})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// Colliding points order by name so the layout stays a pure
+		// function of the member set.
+		return r.points[i].node < r.points[j].node
+	})
+}
+
+// Add inserts nodes into the ring.
+func (r *Ring) Add(nodes ...string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, n := range nodes {
+		if n != "" {
+			r.nodes[n] = struct{}{}
+		}
+	}
+	r.rebuildLocked()
+}
+
+// Remove deletes nodes from the ring.
+func (r *Ring) Remove(nodes ...string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, n := range nodes {
+		delete(r.nodes, n)
+	}
+	r.rebuildLocked()
+}
+
+// SetNodes replaces the membership wholesale (the origin's membership
+// broadcasts).
+func (r *Ring) SetNodes(nodes []string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.nodes = make(map[string]struct{}, len(nodes))
+	for _, n := range nodes {
+		if n != "" {
+			r.nodes[n] = struct{}{}
+		}
+	}
+	r.rebuildLocked()
+}
+
+// Owner returns the node owning key: the first virtual point at or
+// clockwise of the key's hash. Empty string on an empty ring.
+func (r *Ring) Owner(key string) string {
+	h := ringHash(key)
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.points) == 0 {
+		return ""
+	}
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].node
+}
+
+// Nodes returns the member names, sorted.
+func (r *Ring) Nodes() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.nodes))
+	for n := range r.nodes {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len reports the member count.
+func (r *Ring) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.nodes)
+}

@@ -1,0 +1,149 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestRingGoldenRouting pins the routing function: every edge in the
+// fleet must compute identical owners for identical keys, forever, or
+// concurrent cold misses stop converging on one origin fill. A hash or
+// layout change that moves these keys is a wire-compatibility break
+// between mixed-version edges and must be deliberate.
+func TestRingGoldenRouting(t *testing.T) {
+	r := NewRing(64)
+	r.Add("edge-0", "edge-1", "edge-2", "edge-3")
+	golden := []struct {
+		key   string
+		owner string
+	}{
+		{"alpha", "edge-2"},
+		{"bravo", "edge-1"},
+		{"charlie", "edge-0"},
+		{"delta", "edge-0"},
+		{"echo", "edge-2"},
+		{"foxtrot", "edge-1"},
+		{"a1b2c3", "edge-2"},
+		{"deadbeef", "edge-2"},
+	}
+	for _, g := range golden {
+		if got := r.Owner(g.key); got != g.owner {
+			t.Errorf("Owner(%q) = %q, want %q (routing changed: mixed-version fleets will dedupe cold misses at different owners)", g.key, got, g.owner)
+		}
+	}
+}
+
+// TestRingDistributionBounds sweeps 16 virtual-node configurations and
+// checks that 8192 keys over 8 nodes stay within a factor of two of the
+// per-node mean, tightening once vnodes reach 16.
+func TestRingDistributionBounds(t *testing.T) {
+	const nodes, keys = 8, 8192
+	const mean = keys / nodes
+	for v := 8; v <= 128; v += 8 {
+		r := NewRing(v)
+		for i := 0; i < nodes; i++ {
+			r.Add(fmt.Sprintf("edge-%d", i))
+		}
+		counts := make(map[string]int, nodes)
+		for i := 0; i < keys; i++ {
+			counts[r.Owner(fmt.Sprintf("key-%d", i))]++
+		}
+		lo, hi := mean/4, 2*mean
+		if v >= 16 {
+			lo, hi = mean/2, 7*mean/4
+		}
+		for i := 0; i < nodes; i++ {
+			n := fmt.Sprintf("edge-%d", i)
+			if c := counts[n]; c < lo || c > hi {
+				t.Errorf("vnodes=%d: node %s owns %d of %d keys, want within [%d, %d] (mean %d)", v, n, c, keys, lo, hi, mean)
+			}
+		}
+	}
+}
+
+// TestRingJoinMovesOnlyToNewNode checks the defining consistent-hashing
+// property: when a node joins, the only keys that change owner are the
+// ones the newcomer claims, and their count is near keys/(n+1). Any key
+// moving between two standing nodes would invalidate their warm caches
+// for no reason.
+func TestRingJoinMovesOnlyToNewNode(t *testing.T) {
+	const nodes, keys = 8, 8192
+	r := NewRing(64)
+	for i := 0; i < nodes; i++ {
+		r.Add(fmt.Sprintf("edge-%d", i))
+	}
+	before := make(map[string]string, keys)
+	for i := 0; i < keys; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		before[k] = r.Owner(k)
+	}
+
+	r.Add("edge-8")
+	moved := 0
+	for k, old := range before {
+		now := r.Owner(k)
+		if now == old {
+			continue
+		}
+		moved++
+		if now != "edge-8" {
+			t.Fatalf("key %q moved %s -> %s on join of edge-8: keys may only move to the joining node", k, old, now)
+		}
+	}
+	want := keys / (nodes + 1)
+	if moved < want/2 || moved > 2*want {
+		t.Errorf("join moved %d keys, want near %d (within [%d, %d])", moved, want, want/2, 2*want)
+	}
+
+	// Leaving restores the exact prior layout: the ring is a pure
+	// function of the member set.
+	r.Remove("edge-8")
+	for k, old := range before {
+		if now := r.Owner(k); now != old {
+			t.Fatalf("key %q owned by %s after leave, want %s (layout must depend only on membership)", k, now, old)
+		}
+	}
+}
+
+// TestRingOrderIndependence checks that join order and SetNodes produce
+// identical layouts — edges learn membership through broadcasts that
+// can arrive in any interleaving.
+func TestRingOrderIndependence(t *testing.T) {
+	a := NewRing(32)
+	a.Add("edge-2")
+	a.Add("edge-0", "edge-3")
+	a.Add("edge-1")
+	a.Remove("edge-3")
+
+	b := NewRing(32)
+	b.SetNodes([]string{"edge-0", "edge-1", "edge-2"})
+
+	for i := 0; i < 512; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		if ao, bo := a.Owner(k), b.Owner(k); ao != bo {
+			t.Fatalf("Owner(%q): incremental ring says %s, SetNodes ring says %s", k, ao, bo)
+		}
+	}
+}
+
+// TestRingEmptyAndDefaults covers the edges: empty ring routes nowhere,
+// vnodes <= 0 takes the default, blank names are ignored.
+func TestRingEmptyAndDefaults(t *testing.T) {
+	r := NewRing(0)
+	if r.vnodes != DefaultVirtualNodes {
+		t.Errorf("NewRing(0) vnodes = %d, want %d", r.vnodes, DefaultVirtualNodes)
+	}
+	if got := r.Owner("anything"); got != "" {
+		t.Errorf("empty ring Owner = %q, want \"\"", got)
+	}
+	r.Add("", "edge-0", "")
+	if n := r.Len(); n != 1 {
+		t.Errorf("Len = %d after adding one real and two blank names, want 1", n)
+	}
+	if got := r.Owner("anything"); got != "edge-0" {
+		t.Errorf("single-node ring Owner = %q, want edge-0", got)
+	}
+	if ns := r.Nodes(); len(ns) != 1 || ns[0] != "edge-0" {
+		t.Errorf("Nodes = %v, want [edge-0]", ns)
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"net/http"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 )
@@ -341,8 +342,31 @@ func (b *truncateBody) Read(p []byte) (int, error) {
 // socket layer.
 type Listener struct {
 	net.Listener
-	// Schedule supplies per-connection faults; nil passes through.
+	// Schedule supplies per-connection faults; nil passes through. Set
+	// it before the listener starts accepting; to change the script
+	// mid-run (e.g. partitioning a live peer), use Swap instead.
 	Schedule *Schedule
+
+	// swapped, when set via Swap, takes precedence over Schedule. It
+	// lets a test flip a serving listener into (or out of) a fault mode
+	// while Accept runs concurrently, without racing on the field.
+	swapped atomic.Pointer[Schedule]
+}
+
+// Swap atomically replaces the listener's fault schedule, taking
+// effect from the next accepted connection. Passing nil restores the
+// original Schedule field.
+func (l *Listener) Swap(s *Schedule) {
+	l.swapped.Store(s)
+}
+
+// schedule returns the active script: the swapped-in one if present,
+// else the static field.
+func (l *Listener) schedule() *Schedule {
+	if s := l.swapped.Load(); s != nil {
+		return s
+	}
+	return l.Schedule
 }
 
 // Accept implements net.Listener.
@@ -351,7 +375,7 @@ func (l *Listener) Accept() (net.Conn, error) {
 	if err != nil {
 		return nil, err
 	}
-	f := l.Schedule.Take()
+	f := l.schedule().Take()
 	if f.Kind == None {
 		return c, nil
 	}

@@ -28,6 +28,11 @@ const (
 	ComponentOrigin = "origin"
 	// ComponentLibrary is the verified title library fill path.
 	ComponentLibrary = "library"
+	// ComponentCluster is the origin/edge cluster link: an edge's
+	// heartbeat + fill path to its origin. Degraded after the first
+	// missed heartbeat; Down past the heartbeat budget, at which point
+	// the edge fails warm serves closed (see internal/cluster).
+	ComponentCluster = "cluster"
 )
 
 // State is a component's effective health.
@@ -74,7 +79,11 @@ type ComponentStatus struct {
 // Snapshot is a point-in-time view of every registered component,
 // ordered by name. It is the /healthz response body.
 type Snapshot struct {
-	Overall    string            `json:"overall"`
+	Overall string `json:"overall"`
+	// Role is the node's cluster role ("origin" or "edge"), set by the
+	// server when it runs in a cluster mode so fleet orchestration can
+	// distinguish the tiers from the same health feed.
+	Role       string            `json:"role,omitempty"`
 	Components []ComponentStatus `json:"components"`
 }
 

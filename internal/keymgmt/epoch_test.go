@@ -1,0 +1,55 @@
+package keymgmt
+
+import "testing"
+
+// TestServiceEpochCountsTrustChanges pins the epoch feed the cluster
+// origin seeds from: every trust-changing event (revoke, reissue)
+// advances it by one, and a refused operation advances nothing.
+func TestServiceEpochCountsTrustChanges(t *testing.T) {
+	s := NewService(fixture.root.Pool())
+	if err := s.Register("app-author", fixture.author.Cert, "pw"); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Epoch(); got != 0 {
+		t.Fatalf("epoch after register = %d, want 0 (registration changes no standing trust)", got)
+	}
+
+	// A refused revocation (bad authenticator) must not move the epoch:
+	// nothing was actually revoked, so no cache anywhere needs flushing.
+	if err := s.Revoke("app-author", "wrong"); err == nil {
+		t.Fatal("revoke with a bad authenticator succeeded")
+	}
+	if got := s.Epoch(); got != 0 {
+		t.Fatalf("epoch after refused revoke = %d, want 0", got)
+	}
+
+	if err := s.Reissue("app-author", fixture.author.Cert, "pw"); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Epoch(); got != 1 {
+		t.Fatalf("epoch after reissue = %d, want 1", got)
+	}
+
+	if err := s.Revoke("app-author", "pw"); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Epoch(); got != 2 {
+		t.Fatalf("epoch after revoke = %d, want 2", got)
+	}
+
+	// The epoch advances before the revocation hooks fire, so a hook
+	// reading it (the cluster origin's bump) already sees the
+	// post-revocation value.
+	s2 := NewService(fixture.root.Pool())
+	if err := s2.Register("app-author", fixture.author.Cert, "pw"); err != nil {
+		t.Fatal(err)
+	}
+	var seen uint64
+	s2.OnRevoke(func(string) { seen = s2.Epoch() })
+	if err := s2.Revoke("app-author", "pw"); err != nil {
+		t.Fatal(err)
+	}
+	if seen != 1 {
+		t.Errorf("hook observed epoch %d, want 1 (bump happens before hooks fire)", seen)
+	}
+}

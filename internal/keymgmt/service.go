@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // BindingStatus is the XKMS key binding status reported by Validate.
@@ -44,6 +45,12 @@ type KeyBinding struct {
 // zero value is not usable; construct with NewService.
 type Service struct {
 	roots *x509.CertPool
+
+	// epoch counts trust-changing events (Revoke, Reissue) since the
+	// service started. It only moves forward; distributed verdict
+	// caches stamp entries with it so a replica can tell whether a
+	// verdict predates the latest trust change.
+	epoch atomic.Uint64
 
 	mu            sync.RWMutex
 	bindings      map[string]*binding
@@ -140,8 +147,12 @@ func (s *Service) OnRevoke(fn func(name string)) {
 }
 
 // fireRevoke snapshots the hook list under the read lock and invokes
-// each hook unlocked, so hooks may call back into the service.
+// each hook unlocked, so hooks may call back into the service. The
+// trust epoch advances before any hook runs: a hook that reads
+// Epoch() (the cluster origin does, to stamp its fan-out) must see
+// the post-revocation value.
 func (s *Service) fireRevoke(name string) {
+	s.epoch.Add(1)
 	s.mu.RLock()
 	hooks := append([]func(string){}, s.onRevoke...)
 	s.mu.RUnlock()
@@ -149,6 +160,11 @@ func (s *Service) fireRevoke(name string) {
 		fn(name)
 	}
 }
+
+// Epoch reports the monotonic count of trust-changing events (Revoke,
+// Reissue) the service has processed. A verdict cache stamped with an
+// older epoch may predate a revocation and must re-verify.
+func (s *Service) Epoch() uint64 { return s.epoch.Load() }
 
 // Revoke marks the binding invalid. The authenticator must match the one
 // presented at registration.

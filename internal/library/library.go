@@ -639,6 +639,36 @@ func (l *Library) InvalidateAll() {
 	l.rec.Inc("library.invalidate_all")
 }
 
+// GlobalEpoch reports the library's current global trust epoch.
+// Cluster edges stamp replicated verdicts with it and compare against
+// the origin's announced epoch before serving.
+func (l *Library) GlobalEpoch() uint64 {
+	return l.globalEpoch.Load()
+}
+
+// AdvanceGlobalEpoch moves the global trust epoch forward to exactly
+// `to`, invalidating every resident verdict, and reports whether the
+// epoch moved. It is the wire-facing counterpart of InvalidateAll: a
+// revocation announcement replicated over the network can be
+// duplicated, delayed, or reordered, so the guard is forward-only — a
+// stale or replayed announcement (to <= current) is a no-op and can
+// never roll the epoch backward onto verdicts that a newer revocation
+// already killed.
+func (l *Library) AdvanceGlobalEpoch(to uint64) bool {
+	for {
+		cur := l.globalEpoch.Load()
+		if to <= cur {
+			l.rec.Inc("library.epoch_stale")
+			return false
+		}
+		if l.globalEpoch.CompareAndSwap(cur, to) {
+			l.invalGen.Add(1)
+			l.rec.Inc("library.epoch_advance")
+			return true
+		}
+	}
+}
+
 // InvalidateSigner flushes every verdict signed by the fingerprinted
 // key — no global lock, no cache walk: the signer's epoch moves and
 // dependent entries die on their next lookup.

@@ -62,6 +62,9 @@ const (
 	// StageLibrary covers one shared-library track open (cache lookup
 	// plus, on a miss, the full verification fill).
 	StageLibrary = "library"
+	// StageCluster covers one cluster-tier open on an edge node
+	// (replica lookup plus, on a miss, the forward/origin fill).
+	StageCluster = "cluster"
 )
 
 // Audit event kinds.
@@ -92,6 +95,16 @@ const (
 	// dependency it requires is down (e.g. a cold library fill while
 	// the trust service's breaker is open).
 	AuditFailClosed = "fail-closed"
+	// AuditClusterEpoch records a cluster trust-epoch advance — a
+	// revocation (or rollover) propagating fleet-wide. Recorded on the
+	// origin when it bumps the epoch and on every edge that applies
+	// the announce.
+	AuditClusterEpoch = "cluster-epoch-advanced"
+	// AuditClusterPartition records an edge refusing to serve because
+	// it has missed its heartbeat budget: revocations may not be
+	// reaching it, so it fails closed rather than serve possibly
+	// stale verdicts.
+	AuditClusterPartition = "cluster-partition-fail-closed"
 )
 
 // AuditEvent is one security-relevant decision.

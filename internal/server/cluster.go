@@ -1,0 +1,33 @@
+package server
+
+import (
+	"discsec/internal/cluster"
+)
+
+// WithClusterOrigin runs the server as the cluster's origin node: the
+// /cluster/* routes serve cold verification, epoch announcements, the
+// verdict set, and edge joins, and /healthz reports the origin role.
+func WithClusterOrigin(o *cluster.Origin) Option {
+	return func(cs *ContentServer) {
+		cs.cluster = o
+		cs.clusterRole = cluster.RoleOrigin
+	}
+}
+
+// WithClusterEdge runs the server as a cluster edge node: the
+// /cluster/* routes accept forwarded misses, pushed verdicts, and
+// epoch/membership updates, and /healthz reports the edge role (with
+// the edge's own monitor when none was set explicitly).
+func WithClusterEdge(e *cluster.Edge) Option {
+	return func(cs *ContentServer) {
+		cs.cluster = e
+		cs.clusterRole = cluster.RoleEdge
+		if cs.health == nil {
+			cs.health = e.Health()
+		}
+	}
+}
+
+// ClusterRole reports the configured cluster role ("" outside cluster
+// modes).
+func (cs *ContentServer) ClusterRole() string { return cs.clusterRole }

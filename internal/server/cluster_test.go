@@ -1,0 +1,125 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"discsec/internal/cluster"
+	"discsec/internal/health"
+	"discsec/internal/library"
+)
+
+func testOrigin() *cluster.Origin {
+	return cluster.NewOrigin(library.New())
+}
+
+func testEdge() *cluster.Edge {
+	return cluster.NewEdge("edge-0", "http://self.invalid", "http://origin.invalid")
+}
+
+// TestHealthzReportsClusterRole pins the fleet-orchestration contract:
+// /healthz tells the tiers apart. Edge mode adopts the edge's own
+// monitor (JSON body with a role field and the cluster component);
+// origin mode without a monitor still reports the role in the legacy
+// text body.
+func TestHealthzReportsClusterRole(t *testing.T) {
+	edgeCS := NewContentServer(WithClusterEdge(testEdge()))
+	if got := edgeCS.ClusterRole(); got != cluster.RoleEdge {
+		t.Fatalf("ClusterRole = %q, want %q", got, cluster.RoleEdge)
+	}
+	w := httptest.NewRecorder()
+	edgeCS.ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if w.Code != http.StatusOK {
+		t.Fatalf("edge healthz status = %d: %s", w.Code, w.Body.String())
+	}
+	var snap health.Snapshot
+	if err := json.Unmarshal(w.Body.Bytes(), &snap); err != nil {
+		t.Fatalf("edge healthz is not the JSON snapshot: %v (%s)", err, w.Body.String())
+	}
+	if snap.Role != cluster.RoleEdge {
+		t.Errorf("edge healthz role = %q, want %q", snap.Role, cluster.RoleEdge)
+	}
+	foundCluster := false
+	for _, c := range snap.Components {
+		if c.Name == health.ComponentCluster {
+			foundCluster = true
+		}
+	}
+	if !foundCluster {
+		t.Errorf("edge healthz lacks the %s component: %+v", health.ComponentCluster, snap.Components)
+	}
+
+	originCS := NewContentServer(WithClusterOrigin(testOrigin()))
+	if got := originCS.ClusterRole(); got != cluster.RoleOrigin {
+		t.Fatalf("ClusterRole = %q, want %q", got, cluster.RoleOrigin)
+	}
+	w = httptest.NewRecorder()
+	originCS.ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if w.Code != http.StatusOK {
+		t.Fatalf("origin healthz status = %d", w.Code)
+	}
+	if !strings.Contains(w.Body.String(), "role origin\n") {
+		t.Errorf("origin text healthz lacks the role line: %q", w.Body.String())
+	}
+
+	// Outside cluster modes nothing changes: no role line, no field.
+	plainCS := NewContentServer()
+	if got := plainCS.ClusterRole(); got != "" {
+		t.Fatalf("plain ClusterRole = %q, want empty", got)
+	}
+	w = httptest.NewRecorder()
+	plainCS.ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if strings.Contains(w.Body.String(), "role ") {
+		t.Errorf("plain healthz grew a role line: %q", w.Body.String())
+	}
+}
+
+// TestClusterRouteDispatch pins that /cluster/* reaches the role
+// handler through the ContentServer front door — before the GET/HEAD
+// method restriction, which would otherwise reject the protocol's
+// POSTs — and that the routes simply do not exist outside cluster
+// modes.
+func TestClusterRouteDispatch(t *testing.T) {
+	originCS := NewContentServer(WithClusterOrigin(testOrigin()))
+	w := httptest.NewRecorder()
+	originCS.ServeHTTP(w, httptest.NewRequest(http.MethodGet, cluster.PathEpoch, nil))
+	if w.Code != http.StatusOK {
+		t.Fatalf("GET %s = %d, want 200", cluster.PathEpoch, w.Code)
+	}
+	var ann cluster.EpochAnnounce
+	if err := cluster.NewFrameReader(w.Body).Next(&ann); err != nil {
+		t.Fatalf("epoch response is not a frame: %v", err)
+	}
+
+	// A protocol POST must pass the method gate.
+	edgeCS := NewContentServer(WithClusterEdge(testEdge()))
+	frame, err := cluster.EncodeFrame(cluster.EpochAnnounce{Epoch: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w = httptest.NewRecorder()
+	edgeCS.ServeHTTP(w, httptest.NewRequest(http.MethodPost, cluster.PathEpoch, bytes.NewReader(frame)))
+	if w.Code != http.StatusNoContent {
+		t.Fatalf("POST %s = %d, want 204", cluster.PathEpoch, w.Code)
+	}
+
+	// Unknown cluster subroutes 404 inside the role handler.
+	w = httptest.NewRecorder()
+	originCS.ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/cluster/nope", nil))
+	if w.Code != http.StatusNotFound {
+		t.Errorf("GET /cluster/nope = %d, want 404", w.Code)
+	}
+
+	// Outside cluster modes the prefix is ordinary (absent) catalog
+	// content.
+	plainCS := NewContentServer()
+	w = httptest.NewRecorder()
+	plainCS.ServeHTTP(w, httptest.NewRequest(http.MethodGet, cluster.PathEpoch, nil))
+	if w.Code != http.StatusNotFound {
+		t.Errorf("GET %s without a cluster role = %d, want 404", cluster.PathEpoch, w.Code)
+	}
+}

@@ -79,6 +79,14 @@ type ContentServer struct {
 	// drainHook, when set, runs after draining flips and before the
 	// listener shuts down (tests pin the ordering through it).
 	drainHook func()
+	// cluster, when set, handles the /cluster/* routes — the node's
+	// half of the distributed verification tier (WithClusterOrigin /
+	// WithClusterEdge).
+	cluster http.Handler
+	// clusterRole is the node's cluster role ("origin" or "edge"),
+	// reported by /healthz so fleet orchestration can tell the tiers
+	// apart.
+	clusterRole string
 }
 
 // Option configures a ContentServer built by NewContentServer.
@@ -257,6 +265,18 @@ func (cs *ContentServer) acquireSlot(w http.ResponseWriter) (release func(), adm
 // returns the verdict as JSON.
 func (cs *ContentServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	name := strings.TrimPrefix(r.URL.Path, "/")
+	if cs.cluster != nil && strings.HasPrefix(name, "cluster/") {
+		// Cluster wire routes mix GET and POST; the role handler owns
+		// its own method dispatch.
+		defer cs.observeRoute("cluster", cs.now())
+		release, admitted := cs.acquireSlot(w)
+		if !admitted {
+			return
+		}
+		defer release()
+		cs.cluster.ServeHTTP(w, r)
+		return
+	}
 	if r.Method != http.MethodGet && r.Method != http.MethodHead {
 		if r.Method == http.MethodPost && name == "verify" {
 			defer cs.observeRoute("verify", cs.now())
@@ -332,6 +352,7 @@ func (cs *ContentServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 func (cs *ContentServer) serveHealthz(w http.ResponseWriter) {
 	if cs.health != nil {
 		snap := cs.health.Snapshot()
+		snap.Role = cs.clusterRole
 		status := http.StatusOK
 		if cs.draining.Load() {
 			snap.Overall = "draining"
@@ -352,6 +373,9 @@ func (cs *ContentServer) serveHealthz(w http.ResponseWriter) {
 	}
 	fmt.Fprintf(w, "ok\ncatalog %d\ninflight %d\nshed %d\ndownloads %d\n",
 		len(cs.Catalog()), cs.inflight.Load(), cs.shed.Load(), cs.download.Load())
+	if cs.clusterRole != "" {
+		fmt.Fprintf(w, "role %s\n", cs.clusterRole)
+	}
 }
 
 // serve starts srv on ln and returns the base URL plus a shutdown
